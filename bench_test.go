@@ -1,0 +1,347 @@
+// Benchmarks regenerating the paper's evaluation (Section 8). There is one
+// benchmark per table and figure:
+//
+//	BenchmarkTable4Accuracy    - encrypted-inference fidelity (Table 4)
+//	BenchmarkTable5DNNLatency  - CHET vs EVA inference latency (Table 5)
+//	BenchmarkTable6Parameters  - selected encryption parameters (Table 6)
+//	BenchmarkTable7Times       - compile / context / encrypt / decrypt (Table 7)
+//	BenchmarkTable8Applications- the application suite (Table 8)
+//	BenchmarkFigure7Scaling    - strong scaling of both pipelines (Figure 7)
+//
+// plus ablation benchmarks for the design choices called out in DESIGN.md
+// (rescale strategy, modulus-switch strategy, scheduler). The benchmarks use
+// the scaled-down network configuration so the whole suite completes in
+// minutes; `cmd/evabench -full -secure` runs the paper-scale setting.
+//
+// Numbers are reported through b.ReportMetric so `go test -bench` output
+// doubles as the data for EXPERIMENTS.md.
+package eva_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"eva/internal/apps"
+	"eva/internal/bench"
+	"eva/internal/chet"
+	"eva/internal/ckks"
+	"eva/internal/compile"
+	"eva/internal/execute"
+	"eva/internal/nn"
+	"eva/internal/rewrite"
+)
+
+func benchOptions() bench.Options {
+	o := bench.DefaultOptions()
+	o.Config = nn.Config{InputSize: 8, ChannelDivisor: 8}
+	return o
+}
+
+// benchNetworks returns the evaluation networks in a configuration small
+// enough for repeated benchmark iterations.
+func benchNetworks() []*nn.Network {
+	return nn.All(nn.Config{InputSize: 8, ChannelDivisor: 8})
+}
+
+// BenchmarkTable4Accuracy measures the fidelity of encrypted inference
+// relative to the unencrypted reference for both pipelines (the offline
+// analogue of Table 4's accuracy columns: same model, same inputs, encrypted
+// vs unencrypted execution).
+func BenchmarkTable4Accuracy(b *testing.B) {
+	for _, net := range benchNetworks() {
+		b.Run(net.Name, func(b *testing.B) {
+			opts := benchOptions()
+			var res *bench.NetworkResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = bench.RunNetwork(net, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.EVA.MaxError, "eva-max-err")
+			b.ReportMetric(res.CHET.MaxError, "chet-max-err")
+			b.ReportMetric(boolMetric(res.EVA.AgreesRef), "eva-agree")
+			b.ReportMetric(boolMetric(res.CHET.AgreesRef), "chet-agree")
+		})
+	}
+}
+
+// BenchmarkTable5DNNLatency measures the inference latency of the CHET
+// baseline and of EVA on every network (Table 5). The reported speedup is the
+// paper's headline metric.
+func BenchmarkTable5DNNLatency(b *testing.B) {
+	for _, net := range benchNetworks() {
+		b.Run(net.Name, func(b *testing.B) {
+			opts := benchOptions()
+			var res *bench.NetworkResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = bench.RunNetwork(net, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.EVA.RunTime.Seconds(), "eva-s")
+			b.ReportMetric(res.CHET.RunTime.Seconds(), "chet-s")
+			b.ReportMetric(res.Speedup(), "speedup-x")
+			b.ReportMetric(float64(net.Paper.CHETLatency)/float64(net.Paper.EVALatency), "paper-speedup-x")
+		})
+	}
+}
+
+// BenchmarkTable6Parameters measures compilation and reports the encryption
+// parameters both pipelines select (Table 6).
+func BenchmarkTable6Parameters(b *testing.B) {
+	for _, net := range benchNetworks() {
+		b.Run(net.Name, func(b *testing.B) {
+			rngSeed := int64(1)
+			weights := nn.RandomWeights(net, newRand(rngSeed))
+			prog, err := nn.BuildProgram(net, weights)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := compile.DefaultOptions()
+			opts.AllowInsecure = true
+			var evaRes, chetRes *compile.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				evaRes, err = compile.Compile(prog, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				chetRes, err = chet.Compile(prog, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(evaRes.Plan.LogQP()), "eva-logQ")
+			b.ReportMetric(float64(evaRes.Plan.NumPrimes()), "eva-r")
+			b.ReportMetric(float64(chetRes.Plan.LogQP()), "chet-logQ")
+			b.ReportMetric(float64(chetRes.Plan.NumPrimes()), "chet-r")
+		})
+	}
+}
+
+// BenchmarkTable7Times measures the EVA pipeline's compilation, encryption
+// context (key generation), encryption, and decryption times (Table 7).
+func BenchmarkTable7Times(b *testing.B) {
+	for _, net := range benchNetworks() {
+		b.Run(net.Name, func(b *testing.B) {
+			opts := benchOptions()
+			var res *bench.NetworkResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = bench.RunNetwork(net, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.EVA.CompileTime.Seconds(), "compile-s")
+			b.ReportMetric(res.EVA.ContextTime.Seconds(), "context-s")
+			b.ReportMetric(res.EVA.EncryptTime.Seconds(), "encrypt-s")
+			b.ReportMetric(res.EVA.DecryptTime.Seconds(), "decrypt-s")
+		})
+	}
+}
+
+// BenchmarkTable8Applications measures the single-thread latency of every
+// application of Table 8 and reports the error against the plain reference.
+func BenchmarkTable8Applications(b *testing.B) {
+	suite, err := apps.Suite(256, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, app := range suite {
+		b.Run(app.Name, func(b *testing.B) {
+			opts := benchOptions()
+			var res *bench.AppResult
+			for i := 0; i < b.N; i++ {
+				res, err = bench.RunApplication(app, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.RunTime.Seconds(), "run-s")
+			b.ReportMetric(res.MaxError, "max-err")
+			b.ReportMetric(float64(app.LinesOfCode), "loc")
+			b.ReportMetric(app.Paper.TimeSeconds, "paper-s")
+		})
+	}
+}
+
+// BenchmarkFigure7Scaling measures strong scaling of both pipelines over
+// increasing worker counts (Figure 7). LeNet-5-small is omitted as in the paper.
+func BenchmarkFigure7Scaling(b *testing.B) {
+	threadCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		threadCounts = append(threadCounts, p)
+	}
+	nets := []*nn.Network{
+		nn.LeNet5Medium(nn.Config{InputSize: 8, ChannelDivisor: 8}),
+		nn.Industrial(nn.Config{InputSize: 8, ChannelDivisor: 8}),
+	}
+	for _, net := range nets {
+		for _, threads := range threadCounts {
+			b.Run(fmt.Sprintf("%s/threads=%d", net.Name, threads), func(b *testing.B) {
+				opts := benchOptions()
+				var points []bench.ScalingPoint
+				var err error
+				for i := 0; i < b.N; i++ {
+					points, err = bench.RunScaling(net, []int{threads}, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, p := range points {
+					switch p.Pipeline {
+					case "EVA":
+						b.ReportMetric(p.Latency.Seconds(), "eva-s")
+					case "CHET":
+						b.ReportMetric(p.Latency.Seconds(), "chet-s")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationRescaleStrategy compares the paper's waterline insertion
+// against the per-multiply always-rescale rule and against the CHET-style
+// uniform-scale fixed rescaling on the Harris program, reporting the
+// resulting modulus chain length and size (the optimization target of
+// Section 5.3). The fixed-maximum discipline requires CHET's uniform 60-bit
+// working scale, so that case goes through the chet pipeline.
+func BenchmarkAblationRescaleStrategy(b *testing.B) {
+	app, err := apps.HarrisCornerDetection(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := compile.DefaultOptions()
+	opts.AllowInsecure = true
+	cases := map[string]func() (*compile.Result, error){
+		"waterline": func() (*compile.Result, error) {
+			return compile.Compile(app.Program, opts)
+		},
+		"always": func() (*compile.Result, error) {
+			o := opts
+			o.Rescale = rewrite.RescaleAlways
+			o.ModSwitch = rewrite.ModSwitchLazy
+			return compile.Compile(app.Program, o)
+		},
+		"chet-fixed-max": func() (*compile.Result, error) {
+			return chet.Compile(app.Program, opts)
+		},
+	}
+	for name, compileFn := range cases {
+		b.Run(name, func(b *testing.B) {
+			var res *compile.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = compileFn()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Plan.NumPrimes()), "primes")
+			b.ReportMetric(float64(res.Plan.LogQP()), "logQ")
+		})
+	}
+}
+
+// BenchmarkAblationModSwitch compares eager and lazy modulus-switch insertion
+// on the Sobel program, reporting the number of inserted MOD_SWITCH
+// instructions and compiled program size.
+func BenchmarkAblationModSwitch(b *testing.B) {
+	app, err := apps.SobelFilter(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, strategy := range map[string]rewrite.ModSwitchStrategy{
+		"eager": rewrite.ModSwitchEager,
+		"lazy":  rewrite.ModSwitchLazy,
+	} {
+		b.Run(name, func(b *testing.B) {
+			opts := compile.DefaultOptions()
+			opts.AllowInsecure = true
+			opts.ModSwitch = strategy
+			var res *compile.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = compile.Compile(app.Program, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.CompiledStats.Instructions["MOD_SWITCH"]), "modswitches")
+			b.ReportMetric(float64(res.CompiledStats.Terms), "terms")
+		})
+	}
+}
+
+// BenchmarkAblationScheduler compares EVA's asynchronous DAG scheduler with
+// the bulk-synchronous baseline and sequential execution on the same compiled
+// program (the execution-side half of the paper's speedup).
+func BenchmarkAblationScheduler(b *testing.B) {
+	app, err := apps.HarrisCornerDetection(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := compile.DefaultOptions()
+	opts.AllowInsecure = true
+	res, err := compile.Compile(app.Program, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prng := ckks.NewTestPRNG(1)
+	ctx, keys, err := execute.NewContext(res, prng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := app.MakeInputs(newRand(1))
+	enc, err := execute.EncryptInputs(ctx, res, keys, in, prng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, sched := range map[string]execute.Scheduler{
+		"parallel":         execute.SchedulerParallel,
+		"bulk-synchronous": execute.SchedulerBulkSynchronous,
+		"sequential":       execute.SchedulerSequential,
+	} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := execute.Run(ctx, res, enc, execute.RunOptions{Scheduler: sched}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompilerOnly isolates compilation throughput on the largest
+// tensor program of the suite (part of Table 7's compile-time column).
+func BenchmarkCompilerOnly(b *testing.B) {
+	net := nn.SqueezeNetCIFAR(nn.Config{InputSize: 8, ChannelDivisor: 8})
+	weights := nn.RandomWeights(net, newRand(2))
+	prog, err := nn.BuildProgram(net, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := compile.DefaultOptions()
+	opts.AllowInsecure = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compile.Compile(prog, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(prog.NumTerms()), "input-terms")
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

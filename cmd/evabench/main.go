@@ -1,0 +1,179 @@
+// Command evabench regenerates the tables and figures of the paper's
+// evaluation (Section 8): Tables 3-8 and Figure 7. By default it uses the
+// scaled-down network configuration (see DESIGN.md) so every experiment runs
+// on a laptop; -full and -secure move toward the paper-scale setting.
+//
+// Usage:
+//
+//	evabench -table 5            # one table (3,4,5,6,7,8)
+//	evabench -figure 7           # the strong-scaling figure
+//	evabench -all                # everything
+//	evabench -all -networks LeNet-5-small,Industrial -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"eva/internal/apps"
+	"eva/internal/bench"
+	"eva/internal/nn"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate one table (3-8)")
+		figure   = flag.Int("figure", 0, "regenerate one figure (7)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		full     = flag.Bool("full", false, "use the paper-scale network configuration (slow)")
+		secure   = flag.Bool("secure", false, "require 128-bit-secure parameters (paper setting; slower)")
+		workers  = flag.Int("workers", 0, "executor threads (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		networks = flag.String("networks", "", "comma-separated subset of networks to evaluate")
+		vecSize  = flag.Int("vec", 1024, "vector size for the Table 8 applications")
+		imgSize  = flag.Int("image", 16, "image side for the Table 8 Sobel/Harris applications")
+		threads  = flag.String("threads", "", "comma-separated thread counts for Figure 7 (default 1,2,4,GOMAXPROCS)")
+	)
+	flag.Parse()
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := bench.DefaultOptions()
+	opts.Secure = *secure
+	opts.Workers = *workers
+	opts.Seed = *seed
+	if *full {
+		opts.Config = nn.FullConfig()
+	}
+
+	nets := selectNetworks(opts.Config, *networks)
+
+	needNetworkRuns := *all || *table == 4 || *table == 5 || *table == 6 || *table == 7
+	var results []*bench.NetworkResult
+	if needNetworkRuns {
+		for _, n := range nets {
+			fmt.Fprintf(os.Stderr, "running %s (EVA + CHET pipelines)...\n", n.Name)
+			r, err := bench.RunNetwork(n, opts)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, r)
+		}
+	}
+
+	if *all || *table == 3 {
+		bench.PrintTable3(os.Stdout, opts.Config)
+		fmt.Println()
+	}
+	if *all || *table == 4 {
+		bench.PrintTable4(os.Stdout, results)
+		fmt.Println()
+	}
+	if *all || *table == 5 {
+		w := opts.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		bench.PrintTable5(os.Stdout, results, w)
+		fmt.Println()
+	}
+	if *all || *table == 6 {
+		bench.PrintTable6(os.Stdout, results)
+		fmt.Println()
+	}
+	if *all || *table == 7 {
+		bench.PrintTable7(os.Stdout, results)
+		fmt.Println()
+	}
+	if *all || *table == 8 {
+		suite, err := apps.Suite(*vecSize, *imgSize)
+		if err != nil {
+			fail(err)
+		}
+		var appResults []*bench.AppResult
+		for _, app := range suite {
+			fmt.Fprintf(os.Stderr, "running %s...\n", app.Name)
+			r, err := bench.RunApplication(app, opts)
+			if err != nil {
+				fail(err)
+			}
+			appResults = append(appResults, r)
+		}
+		bench.PrintTable8(os.Stdout, appResults)
+		fmt.Println()
+	}
+	if *all || *figure == 7 {
+		counts := parseThreads(*threads)
+		var points []bench.ScalingPoint
+		scalingNets := nets
+		if *networks == "" {
+			// The paper's Figure 7 omits LeNet-5-small (too fast to scale).
+			scalingNets = nil
+			for _, n := range nets {
+				if n.Name != "LeNet-5-small" {
+					scalingNets = append(scalingNets, n)
+				}
+			}
+		}
+		for _, n := range scalingNets {
+			fmt.Fprintf(os.Stderr, "scaling %s over threads %v...\n", n.Name, counts)
+			p, err := bench.RunScaling(n, counts, opts)
+			if err != nil {
+				fail(err)
+			}
+			points = append(points, p...)
+		}
+		bench.PrintFigure7(os.Stdout, points)
+	}
+}
+
+func selectNetworks(cfg nn.Config, filter string) []*nn.Network {
+	all := nn.All(cfg)
+	if filter == "" {
+		return all
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(filter, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	var out []*nn.Network
+	for _, n := range all {
+		if want[strings.ToLower(n.Name)] {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		fail(fmt.Errorf("no networks match %q", filter))
+	}
+	return out
+}
+
+func parseThreads(s string) []int {
+	if s == "" {
+		maxThreads := runtime.GOMAXPROCS(0)
+		counts := []int{1, 2, 4}
+		if maxThreads > 4 {
+			counts = append(counts, maxThreads)
+		}
+		return counts
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err != nil || v <= 0 {
+			fail(fmt.Errorf("bad thread count %q", part))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "evabench:", err)
+	os.Exit(1)
+}

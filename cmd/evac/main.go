@@ -1,0 +1,140 @@
+// Command evac is the EVA compiler driver: it reads an EVA program in the
+// JSON program format, runs the compiler (transformation, validation,
+// parameter selection, rotation selection), and reports the selected
+// encryption parameters, rotation steps, and transformed program. It can also
+// emit the compiled program back in the serialized format.
+//
+// Usage:
+//
+//	evac -in program.json [-out compiled.json] [-insecure] [-print]
+//	evac -demo x2y3 [-waterline 30] [-print]
+//
+// The -demo mode compiles the paper's running example (Figure 2) so the
+// effect of the transformation passes can be inspected without writing a
+// program first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eva/internal/analysis"
+	"eva/internal/bench"
+	"eva/internal/compile"
+	"eva/internal/core"
+	"eva/internal/rewrite"
+)
+
+func main() {
+	var (
+		inPath    = flag.String("in", "", "input program in the JSON program format")
+		outPath   = flag.String("out", "", "write the compiled program to this path")
+		demo      = flag.String("demo", "", "compile a built-in demo program instead of -in (x2y3)")
+		insecure  = flag.Bool("insecure", false, "allow parameter sets below the 128-bit security level")
+		printProg = flag.Bool("print", false, "print the transformed program instruction by instruction")
+		waterline = flag.Float64("waterline", 0, "override the waterline scale (log2); 0 = maximum input scale")
+		rescale   = flag.String("rescale", "waterline", "rescale insertion strategy: waterline, always, fixed, none")
+		modswitch = flag.String("modswitch", "eager", "modulus-switch insertion strategy: eager, lazy, none")
+	)
+	flag.Parse()
+
+	prog, err := loadProgram(*inPath, *demo)
+	if err != nil {
+		fail(err)
+	}
+
+	opts := compile.DefaultOptions()
+	opts.AllowInsecure = *insecure
+	opts.WaterlineLog = *waterline
+	if opts.Rescale, err = parseRescale(*rescale); err != nil {
+		fail(err)
+	}
+	if opts.ModSwitch, err = parseModSwitch(*modswitch); err != nil {
+		fail(err)
+	}
+
+	res, err := compile.Compile(prog, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println(res.Summary())
+	fmt.Printf("prime bit sizes (consumption order, special first): [%d %v]\n", res.Plan.SpecialBits, res.Plan.BitSizes)
+	fmt.Printf("rotation steps requiring Galois keys: %v\n", res.RotationSteps)
+	fmt.Printf("critical output: %q, chain length %d\n", res.Plan.CriticalOutput, res.Plan.MaxChainLength)
+	fmt.Printf("instructions: input %d -> compiled %d (mult depth %d)\n",
+		res.SourceStats.Terms, res.CompiledStats.Terms, res.CompiledStats.MultDepth)
+	for op, count := range res.CompiledStats.Instructions {
+		fmt.Printf("  %-12s %d\n", op, count)
+	}
+	model := analysis.CostModel{LogN: res.LogN, TotalLevels: len(res.Plan.BitSizes)}
+	est := model.EstimateCost(res.Program)
+	fmt.Printf("estimated cost: %.3g limb-element ops, critical path %.3g (ideal parallel speedup <= %.1fx)\n",
+		est.Total, est.CriticalPath, est.ParallelSpeedupBound())
+	if *printProg {
+		fmt.Println("transformed program:")
+		bench.DescribeProgram(os.Stdout, res.Program)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := res.Program.Serialize(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("compiled program written to %s\n", *outPath)
+	}
+}
+
+func loadProgram(inPath, demo string) (*core.Program, error) {
+	switch {
+	case demo != "":
+		if demo != "x2y3" {
+			return nil, fmt.Errorf("unknown demo %q (available: x2y3)", demo)
+		}
+		return bench.FigureDemoProgram(), nil
+	case inPath != "":
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.Deserialize(f)
+	default:
+		return nil, fmt.Errorf("either -in or -demo is required")
+	}
+}
+
+func parseRescale(s string) (rewrite.RescaleStrategy, error) {
+	switch s {
+	case "waterline":
+		return rewrite.RescaleWaterline, nil
+	case "always":
+		return rewrite.RescaleAlways, nil
+	case "fixed":
+		return rewrite.RescaleFixedMax, nil
+	case "none":
+		return rewrite.RescaleNone, nil
+	}
+	return 0, fmt.Errorf("unknown rescale strategy %q", s)
+}
+
+func parseModSwitch(s string) (rewrite.ModSwitchStrategy, error) {
+	switch s {
+	case "eager":
+		return rewrite.ModSwitchEager, nil
+	case "lazy":
+		return rewrite.ModSwitchLazy, nil
+	case "none":
+		return rewrite.ModSwitchNone, nil
+	}
+	return 0, fmt.Errorf("unknown modswitch strategy %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "evac:", err)
+	os.Exit(1)
+}

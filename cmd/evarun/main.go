@@ -1,0 +1,128 @@
+// Command evarun executes one of the built-in EVA applications end to end:
+// it builds the program, compiles it, generates keys, encrypts random inputs,
+// runs the program homomorphically, decrypts the outputs, and reports timing
+// and the maximum error against the unencrypted reference execution.
+//
+// Usage:
+//
+//	evarun -app sobel [-image 16] [-vec 1024] [-workers 4] [-secure]
+//
+// Applications: pathlength, linear, polynomial, multivariate, sobel, harris.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"eva/internal/apps"
+	"eva/internal/ckks"
+	"eva/internal/compile"
+	"eva/internal/execute"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "sobel", "application: pathlength, linear, polynomial, multivariate, sobel, harris")
+		imageSize = flag.Int("image", 16, "image side length for sobel/harris (power of two)")
+		vecSize   = flag.Int("vec", 1024, "vector size for the non-image applications (power of two)")
+		workers   = flag.Int("workers", 0, "executor worker threads (0 = GOMAXPROCS)")
+		secure    = flag.Bool("secure", false, "require 128-bit-secure encryption parameters")
+		seed      = flag.Int64("seed", 1, "random seed for inputs and keys")
+	)
+	flag.Parse()
+
+	app, err := makeApp(*appName, *vecSize, *imageSize)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("application: %s (vector size %d)\n", app.Name, app.Program.VecSize)
+
+	rng := rand.New(rand.NewSource(*seed))
+	inputs := app.MakeInputs(rng)
+	want := app.Plain(inputs)
+
+	opts := compile.DefaultOptions()
+	opts.AllowInsecure = !*secure
+	start := time.Now()
+	res, err := compile.Compile(app.Program, opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("compiled in %v: %s\n", time.Since(start).Round(time.Millisecond), res.Summary())
+
+	prng := ckks.NewTestPRNG(uint64(*seed))
+	ctx, keys, err := execute.NewContext(res, prng)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("encryption context (keys for %d rotations) in %v\n", len(res.RotationSteps), ctx.KeyGenTime.Round(time.Millisecond))
+
+	enc, err := execute.EncryptInputs(ctx, res, keys, inputs, prng)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("inputs encrypted in %v\n", enc.EncryptTime.Round(time.Millisecond))
+
+	out, err := execute.Run(ctx, res, enc, execute.RunOptions{Workers: *workers, Scheduler: execute.SchedulerParallel})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("homomorphic execution: %v (%d instructions, %d workers, peak %d live values, %d values reused)\n",
+		out.Stats.WallTime.Round(time.Millisecond), out.Stats.Instructions, out.Stats.Workers,
+		out.Stats.PeakLiveValues, out.Stats.ReusedValues)
+
+	dec, decTime := execute.DecryptOutputs(ctx, res, keys, out)
+	fmt.Printf("outputs decrypted in %v\n", decTime.Round(time.Millisecond))
+
+	maxErr := 0.0
+	for name, w := range want {
+		for i := range w {
+			if e := math.Abs(dec[name][i] - w[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	fmt.Printf("maximum error vs unencrypted reference: %.3e\n", maxErr)
+	for name, values := range dec {
+		n := 4
+		if len(values) < n {
+			n = len(values)
+		}
+		fmt.Printf("output %-10s first slots: %v\n", name, round(values[:n]))
+	}
+}
+
+func makeApp(name string, vecSize, imageSize int) (*apps.App, error) {
+	switch name {
+	case "pathlength":
+		return apps.PathLength3D(vecSize)
+	case "linear":
+		return apps.LinearRegression(vecSize)
+	case "polynomial":
+		return apps.PolynomialRegression(vecSize)
+	case "multivariate":
+		return apps.MultivariateRegression(vecSize, 4)
+	case "sobel":
+		return apps.SobelFilter(imageSize)
+	case "harris":
+		return apps.HarrisCornerDetection(imageSize)
+	}
+	return nil, fmt.Errorf("unknown application %q", name)
+}
+
+func round(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = math.Round(v[i]*1e4) / 1e4
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "evarun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Package eva is the public API of the EVA (Encrypted Vector Arithmetic)
+// framework: a language, optimizing compiler, and runtime for writing
+// programs that execute on encrypted data under the RNS-CKKS homomorphic
+// encryption scheme, following "EVA: An Encrypted Vector Arithmetic Language
+// and Compiler for Efficient Homomorphic Computation" (PLDI 2020).
+//
+// A typical workflow has four steps:
+//
+//  1. Build a program with NewBuilder (the PyEVA-style frontend): declare
+//     encrypted inputs, combine them with Add/Sub/Mul/Rotate expressions, and
+//     mark outputs together with their desired fixed-point scales.
+//
+//  2. Compile the program. The compiler inserts the FHE-specific RESCALE,
+//     MOD_SWITCH and RELINEARIZE instructions, validates every scheme
+//     constraint, and selects encryption parameters and rotation steps.
+//
+//  3. Generate keys and encrypt the inputs with NewContext and EncryptInputs
+//     (the client side).
+//
+//  4. Execute with Run (the server side) and decrypt with DecryptOutputs
+//     (back on the client).
+//
+// The reference executor RunReference evaluates the same program on
+// unencrypted data and is useful for testing and accuracy comparisons.
+package eva
+
+import (
+	"eva/internal/builder"
+	"eva/internal/ckks"
+	"eva/internal/compile"
+	"eva/internal/core"
+	"eva/internal/execute"
+	"eva/internal/rewrite"
+)
+
+// Builder constructs EVA input programs (the PyEVA-equivalent frontend).
+type Builder = builder.Builder
+
+// Expr is an expression handle produced by a Builder.
+type Expr = builder.Expr
+
+// Program is an EVA program graph (input, intermediate, or executable form).
+type Program = core.Program
+
+// NewBuilder returns a program builder for vectors of the given power-of-two size.
+func NewBuilder(name string, vecSize int) *Builder { return builder.New(name, vecSize) }
+
+// CompileOptions configures the compiler; the zero value of each field means
+// the paper's default (waterline rescaling, eager modulus switching, 60-bit
+// maximum rescale, 128-bit-secure parameters).
+type CompileOptions = compile.Options
+
+// Compiled is the result of compilation: the transformed program, the
+// encryption-parameter plan, and the rotation steps.
+type Compiled = compile.Result
+
+// Compile runs the EVA compiler on an input program.
+func Compile(p *Program, opts CompileOptions) (*Compiled, error) { return compile.Compile(p, opts) }
+
+// DefaultCompileOptions returns the paper's default compiler configuration.
+func DefaultCompileOptions() CompileOptions { return compile.DefaultOptions() }
+
+// Rescale/modulus-switch strategies, exposed for ablation studies.
+const (
+	RescaleWaterline = rewrite.RescaleWaterline
+	RescaleAlways    = rewrite.RescaleAlways
+	ModSwitchEager   = rewrite.ModSwitchEager
+	ModSwitchLazy    = rewrite.ModSwitchLazy
+)
+
+// Context bundles the CKKS runtime objects for a compiled program.
+type Context = execute.Context
+
+// KeyMaterial is the key set (secret, public, relinearization, rotation keys).
+type KeyMaterial = execute.KeyMaterial
+
+// Inputs maps input names to plaintext vectors.
+type Inputs = execute.Inputs
+
+// EncryptedInputs is the client-side encrypted input bundle.
+type EncryptedInputs = execute.EncryptedInputs
+
+// Outputs is the result of an encrypted execution.
+type Outputs = execute.Outputs
+
+// RunOptions configures the executor (worker count and scheduler).
+type RunOptions = execute.RunOptions
+
+// Schedulers available to Run.
+const (
+	SchedulerParallel        = execute.SchedulerParallel
+	SchedulerBulkSynchronous = execute.SchedulerBulkSynchronous
+	SchedulerSequential      = execute.SchedulerSequential
+)
+
+// PRNG is the deterministic random source used by key generation and
+// encryption; pass nil to the functions below for a securely seeded default.
+type PRNG = ckks.PRNG
+
+// NewTestPRNG returns a deterministic PRNG for reproducible tests and benchmarks.
+func NewTestPRNG(seed uint64) *PRNG { return ckks.NewTestPRNG(seed) }
+
+// NewContext generates encryption parameters and all key material for a
+// compiled program.
+func NewContext(c *Compiled, prng *PRNG) (*Context, *KeyMaterial, error) {
+	return execute.NewContext(c, prng)
+}
+
+// EncryptInputs encodes and encrypts the program's Cipher inputs.
+func EncryptInputs(ctx *Context, c *Compiled, keys *KeyMaterial, values Inputs, prng *PRNG) (*EncryptedInputs, error) {
+	return execute.EncryptInputs(ctx, c, keys, values, prng)
+}
+
+// Run executes a compiled program homomorphically.
+func Run(ctx *Context, c *Compiled, in *EncryptedInputs, opts RunOptions) (*Outputs, error) {
+	return execute.Run(ctx, c, in, opts)
+}
+
+// DecryptOutputs decrypts and decodes the outputs of Run.
+func DecryptOutputs(ctx *Context, c *Compiled, keys *KeyMaterial, out *Outputs) map[string][]float64 {
+	values, _ := execute.DecryptOutputs(ctx, c, keys, out)
+	return values
+}
+
+// RunReference executes a program on unencrypted data (the reference
+// semantics of the EVA language).
+func RunReference(p *Program, values Inputs) (map[string][]float64, error) {
+	return execute.RunReference(p, values)
+}

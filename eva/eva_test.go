@@ -1,0 +1,102 @@
+package eva_test
+
+import (
+	"math"
+	"testing"
+
+	"eva/eva"
+)
+
+// TestPublicAPIWorkflow exercises the documented four-step workflow end to
+// end through the public facade only.
+func TestPublicAPIWorkflow(t *testing.T) {
+	b := eva.NewBuilder("facade", 8)
+	x := b.Input("x", 30)
+	y := b.Input("y", 30)
+	b.Output("poly", x.Square().Add(y).MulScalar(0.5, 30), 30)
+	b.Output("shifted", x.RotateLeft(2), 30)
+	program, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := eva.DefaultCompileOptions()
+	opts.AllowInsecure = true
+	compiled, err := eva.Compile(program, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.Plan.NumPrimes() < 2 || compiled.LogN < 10 {
+		t.Fatalf("implausible compilation result: %s", compiled.Summary())
+	}
+
+	prng := eva.NewTestPRNG(99)
+	ctx, keys, err := eva.NewContext(compiled, prng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := eva.Inputs{"x": {1, 2, 3, 4, 5, 6, 7, 8}, "y": {1, 1, 1, 1, 1, 1, 1, 1}}
+	encrypted, err := eva.EncryptInputs(ctx, compiled, keys, inputs, prng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs, err := eva.Run(ctx, compiled, encrypted, eva.RunOptions{Scheduler: eva.SchedulerParallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decrypted := eva.DecryptOutputs(ctx, compiled, keys, outputs)
+	reference, err := eva.RunReference(program, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range reference {
+		got := decrypted[name]
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-3 {
+				t.Fatalf("output %q slot %d: got %g want %g", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPublicAPISchedulers checks the exported scheduler and strategy constants
+// are usable through the facade.
+func TestPublicAPISchedulersAndStrategies(t *testing.T) {
+	b := eva.NewBuilder("sched", 8)
+	x := b.Input("x", 30)
+	b.Output("out", x.Square(), 30)
+	program, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := eva.DefaultCompileOptions()
+	opts.AllowInsecure = true
+	opts.Rescale = eva.RescaleAlways
+	opts.ModSwitch = eva.ModSwitchLazy
+	compiled, err := eva.Compile(program, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, keys, err := eva.NewContext(compiled, eva.NewTestPRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := eva.EncryptInputs(ctx, compiled, keys, eva.Inputs{"x": {0.5, 0.25}}, eva.NewTestPRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []eva.RunOptions{
+		{Scheduler: eva.SchedulerParallel},
+		{Scheduler: eva.SchedulerBulkSynchronous},
+		{Scheduler: eva.SchedulerSequential},
+	} {
+		out, err := eva.Run(ctx, compiled, enc, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eva.DecryptOutputs(ctx, compiled, keys, out)["out"]
+		if math.Abs(got[0]-0.25) > 1e-3 {
+			t.Fatalf("out[0] = %g, want 0.25", got[0])
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Path length: the secure fitness-tracking scenario of Section 8.3.
+//
+// A mobile client records a walk as a sequence of 3-dimensional displacement
+// steps, encrypts them, and offloads the path-length computation
+// sum_i sqrt(dx_i² + dy_i² + dz_i²) to an untrusted server; only the client
+// can decrypt the total distance.
+//
+// Run with:
+//
+//	go run ./examples/pathlength [-steps 256]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"eva/eva"
+	"eva/internal/apps"
+)
+
+func main() {
+	steps := flag.Int("steps", 256, "number of recorded steps (power of two)")
+	flag.Parse()
+
+	app, err := apps.PathLength3D(*steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate a walk: mostly forward motion with some jitter. Step norms are
+	// kept within the range where the cubic sqrt approximation is accurate.
+	rng := rand.New(rand.NewSource(42))
+	dx := make([]float64, *steps)
+	dy := make([]float64, *steps)
+	dz := make([]float64, *steps)
+	exact := 0.0
+	for i := range dx {
+		dx[i] = 0.5 + 0.2*rng.Float64()
+		dy[i] = 0.3 * (rng.Float64() - 0.5)
+		dz[i] = 0.05 * (rng.Float64() - 0.5)
+		exact += math.Sqrt(dx[i]*dx[i] + dy[i]*dy[i] + dz[i]*dz[i])
+	}
+	inputs := eva.Inputs{"dx": dx, "dy": dy, "dz": dz}
+
+	opts := eva.DefaultCompileOptions()
+	opts.AllowInsecure = true // keep the demo small; use -secure parameters in production
+	compiled, err := eva.Compile(app.Program, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled:", compiled.Summary())
+
+	ctx, keys, err := eva.NewContext(compiled, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encrypted, err := eva.EncryptInputs(ctx, compiled, keys, inputs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outputs, err := eva.Run(ctx, compiled, encrypted, eva.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := eva.DecryptOutputs(ctx, compiled, keys, outputs)["length"][0]
+
+	approx := app.Plain(inputs)["length"][0]
+	fmt.Printf("homomorphic execution took %v over %d instructions\n",
+		outputs.Stats.WallTime.Round(1e6), outputs.Stats.Instructions)
+	fmt.Printf("encrypted path length          : %.4f\n", total)
+	fmt.Printf("plain polynomial approximation : %.4f\n", approx)
+	fmt.Printf("exact path length              : %.4f\n", exact)
+	fmt.Printf("encryption error               : %.2e\n", math.Abs(total-approx))
+	fmt.Printf("approximation error (sqrt poly): %.2e\n", math.Abs(approx-exact))
+}

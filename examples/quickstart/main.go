@@ -1,0 +1,90 @@
+// Quickstart: the smallest end-to-end EVA workflow.
+//
+// It builds a tiny program that computes 0.5·(x² + y) on an encrypted vector,
+// compiles it, generates keys, encrypts the inputs, runs the program on the
+// encrypted data, decrypts the result, and compares it against the
+// unencrypted reference execution.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"eva/eva"
+)
+
+func main() {
+	const vecSize = 8
+
+	// Step 1: write the program with the builder frontend. Scales are given
+	// as log2 values: the inputs are encoded with 30 fractional bits.
+	b := eva.NewBuilder("quickstart", vecSize)
+	x := b.Input("x", 30)
+	y := b.Input("y", 30)
+	result := x.Square().Add(y).MulScalar(0.5, 30)
+	b.Output("result", result, 30)
+	program, err := b.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 2: compile. The compiler inserts RESCALE/MOD_SWITCH/RELINEARIZE,
+	// validates every CKKS constraint, and picks encryption parameters.
+	// (AllowInsecure keeps the ring small for this toy-sized example; drop it
+	// for production parameters.)
+	opts := eva.DefaultCompileOptions()
+	opts.AllowInsecure = true
+	compiled, err := eva.Compile(program, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled:", compiled.Summary())
+
+	// Step 3: client side — generate keys and encrypt the inputs.
+	ctx, keys, err := eva.NewContext(compiled, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inputs := eva.Inputs{
+		"x": {1, 2, 3, 4, 5, 6, 7, 8},
+		"y": {8, 7, 6, 5, 4, 3, 2, 1},
+	}
+	encrypted, err := eva.EncryptInputs(ctx, compiled, keys, inputs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 4: server side — run the program on encrypted data only.
+	outputs, err := eva.Run(ctx, compiled, encrypted, eva.RunOptions{Scheduler: eva.SchedulerParallel})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %d instructions in %v\n", outputs.Stats.Instructions, outputs.Stats.WallTime.Round(1e6))
+
+	// Step 5: client side — decrypt and compare with the reference semantics.
+	decrypted := eva.DecryptOutputs(ctx, compiled, keys, outputs)
+	reference, err := eva.RunReference(program, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := 0; i < vecSize; i++ {
+		maxErr = math.Max(maxErr, math.Abs(decrypted["result"][i]-reference["result"][i]))
+	}
+	fmt.Println("encrypted result :", roundAll(decrypted["result"]))
+	fmt.Println("expected         :", reference["result"])
+	fmt.Printf("maximum error    : %.2e\n", maxErr)
+}
+
+func roundAll(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = math.Round(v[i]*1e4) / 1e4
+	}
+	return out
+}

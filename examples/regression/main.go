@@ -1,0 +1,93 @@
+// Statistical machine learning on encrypted data: linear, polynomial and
+// multivariate regression (Section 8.3), evaluated in a single run.
+//
+// The server holds the (public) regression models; the client's feature
+// vectors remain encrypted end to end.
+//
+// Run with:
+//
+//	go run ./examples/regression [-samples 512]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"eva/eva"
+	"eva/internal/apps"
+)
+
+func main() {
+	samples := flag.Int("samples", 512, "number of samples packed in one ciphertext (power of two)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(7))
+	linear, err := apps.LinearRegression(*samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poly, err := apps.PolynomialRegression(*samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	multi, err := apps.MultivariateRegression(*samples, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, app := range []*apps.App{linear, poly, multi} {
+		inputs := app.MakeInputs(rng)
+		expected := app.Plain(inputs)
+
+		opts := eva.DefaultCompileOptions()
+		opts.AllowInsecure = true
+		compiled, err := eva.Compile(app.Program, opts)
+		if err != nil {
+			log.Fatalf("%s: %v", app.Name, err)
+		}
+		ctx, keys, err := eva.NewContext(compiled, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		encrypted, err := eva.EncryptInputs(ctx, compiled, keys, inputs, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outputs, err := eva.Run(ctx, compiled, encrypted, eva.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		decrypted := eva.DecryptOutputs(ctx, compiled, keys, outputs)
+
+		maxErr := 0.0
+		for name, want := range expected {
+			got := decrypted[name]
+			for i := range want {
+				maxErr = math.Max(maxErr, math.Abs(got[i]-want[i]))
+			}
+		}
+		fmt.Printf("%-26s  %3d instructions  %8v  max error %.2e  (params: %s)\n",
+			app.Name, outputs.Stats.Instructions, outputs.Stats.WallTime.Round(1e5),
+			maxErr, fmt.Sprintf("logN=%d, %d primes", compiled.LogN, compiled.Plan.NumPrimes()))
+		fmt.Printf("    first predictions (encrypted): %v\n", round4(decrypted[firstOutput(expected)][:4]))
+		fmt.Printf("    first predictions (expected) : %v\n", round4(expected[firstOutput(expected)][:4]))
+	}
+}
+
+func firstOutput(m map[string][]float64) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func round4(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = math.Round(v[i]*1e4) / 1e4
+	}
+	return out
+}

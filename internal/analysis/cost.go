@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"eva/internal/core"
+	"eva/internal/rewrite"
+)
+
+// CostModel estimates the execution cost of a compiled program under a simple
+// RNS-CKKS cost model: the dominant cost of every homomorphic operation is a
+// number of "limb passes" — length-N NTT or coefficient-wise passes over each
+// remaining RNS limb — so the cost of an instruction is proportional to
+// N·log(N) for transform-bound operations and to N for element-wise ones,
+// times the number of limbs alive at the instruction's level. Key-switching
+// operations (relinearization and rotation) additionally pay one pass per
+// (digit, limb) pair. This is the quantity EVA's parameter-minimizing
+// passes reduce, and it explains the Table 5/6 relationship: fewer chain
+// primes means both fewer and cheaper operations.
+type CostModel struct {
+	// LogN is the ring-degree exponent used for the estimate.
+	LogN int
+	// TotalLevels is the length of the modulus chain (without the special prime).
+	TotalLevels int
+}
+
+// InstructionCost is the estimated cost of one instruction in abstract
+// "limb-element operations".
+type InstructionCost struct {
+	Term *core.Term
+	Cost float64
+}
+
+// CostEstimate summarizes a program's estimated execution cost.
+type CostEstimate struct {
+	Total   float64
+	ByOp    map[string]float64
+	Heaviest []InstructionCost
+	// CriticalPath is the estimated cost along the most expensive
+	// dependence chain: a lower bound on parallel execution time.
+	CriticalPath float64
+}
+
+// EstimateCost walks the compiled program and estimates its cost under the
+// model. levels must map every Cipher term to its chain position (as computed
+// by rewrite.Levels); terms at deeper levels operate on fewer limbs.
+func (m CostModel) EstimateCost(p *core.Program) CostEstimate {
+	levels := rewrite.Levels(p)
+	types := p.InferTypes()
+	n := math.Exp2(float64(m.LogN))
+	logN := float64(m.LogN)
+
+	est := CostEstimate{ByOp: map[string]float64{}}
+	pathCost := map[*core.Term]float64{}
+	var all []InstructionCost
+
+	for _, t := range p.TopoSort() {
+		limbs := float64(m.TotalLevels - levels[t])
+		if limbs < 1 {
+			limbs = 1
+		}
+		var cost float64
+		switch {
+		case t.IsLeaf() || types[t] != core.TypeCipher:
+			cost = 0
+		case t.Op == core.OpAdd || t.Op == core.OpSub || t.Op == core.OpNegate || t.Op == core.OpModSwitch:
+			cost = n * limbs
+		case t.Op == core.OpMultiply:
+			// Element-wise limb products; ct-pt and ct-ct differ by a small factor.
+			factor := 2.0
+			if types[t.Parm(0)] == core.TypeCipher && types[t.Parm(1)] == core.TypeCipher {
+				factor = 4
+			}
+			cost = factor * n * limbs
+		case t.Op == core.OpRescale:
+			cost = n * logN * limbs
+		case t.Op == core.OpRelinearize || t.Op.IsRotation():
+			// Key switching: one NTT pass per digit per limb.
+			cost = n * logN * limbs * limbs
+		default:
+			cost = n * limbs
+		}
+		est.Total += cost
+		est.ByOp[t.Op.String()] += cost
+
+		longest := 0.0
+		for _, parm := range t.Parms() {
+			if pathCost[parm] > longest {
+				longest = pathCost[parm]
+			}
+		}
+		pathCost[t] = longest + cost
+		if pathCost[t] > est.CriticalPath {
+			est.CriticalPath = pathCost[t]
+		}
+		if cost > 0 {
+			all = append(all, InstructionCost{Term: t, Cost: cost})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Cost > all[j].Cost })
+	if len(all) > 10 {
+		all = all[:10]
+	}
+	est.Heaviest = all
+	return est
+}
+
+// ParallelSpeedupBound returns the cost model's upper bound on the speedup an
+// ideal parallel schedule can achieve over sequential execution (total work
+// divided by critical-path work) — the quantity that limits Figure 7 scaling.
+func (e CostEstimate) ParallelSpeedupBound() float64 {
+	if e.CriticalPath <= 0 {
+		return 1
+	}
+	return e.Total / e.CriticalPath
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"eva/internal/core"
+	"eva/internal/rewrite"
+)
+
+// minPrimeLog is the smallest chain prime the backend can generate.
+const minPrimeLog = 20
+
+// SpecialPrimeLog is the bit size of the key-switching special prime, fixed
+// to the maximum rescale value as in the paper.
+const SpecialPrimeLog = 60
+
+// ParameterPlan is the output of the encryption-parameter selection pass: the
+// vector of prime bit sizes that must be used to generate the encryption
+// parameters, plus bookkeeping used to report Table 6-style statistics.
+type ParameterPlan struct {
+	// BitSizes lists the chain prime bit sizes in consumption order:
+	// BitSizes[0] is consumed by the first RESCALE/MOD_SWITCH after
+	// encryption and the last entries hold the output value. The special
+	// prime is not included.
+	BitSizes []int
+	// SpecialBits is the bit size of the key-switching special prime.
+	SpecialBits int
+	// MaxChainLength is the longest conforming rescale chain over all outputs.
+	MaxChainLength int
+	// CriticalOutput is the name of the output that determined the plan.
+	CriticalOutput string
+}
+
+// LogQ returns the total bit count of the chain primes (without the special prime).
+func (pl *ParameterPlan) LogQ() int {
+	total := 0
+	for _, b := range pl.BitSizes {
+		total += b
+	}
+	return total
+}
+
+// LogQP returns the total modulus bit count including the special prime.
+func (pl *ParameterPlan) LogQP() int { return pl.LogQ() + pl.SpecialBits }
+
+// NumPrimes returns the number of coefficient-modulus primes r (including the
+// special prime), the quantity the paper's Table 6 reports.
+func (pl *ParameterPlan) NumPrimes() int { return len(pl.BitSizes) + 1 }
+
+// SelectParameters implements the encryption-parameter selection pass of
+// Section 6.2: it computes the conforming rescale chain and scale of every
+// output, determines the output with the longest requirement, and produces
+// the vector of prime bit sizes for the modulus chain.
+func SelectParameters(p *core.Program, chains map[*core.Term]Chain, scales map[*core.Term]float64, maxRescaleLog float64) (*ParameterPlan, error) {
+	if len(p.Outputs()) == 0 {
+		return nil, fmt.Errorf("analysis: program has no outputs")
+	}
+	if maxRescaleLog <= 0 {
+		maxRescaleLog = SpecialPrimeLog
+	}
+	waterline := rewrite.Waterline(p)
+	if waterline < minPrimeLog {
+		waterline = minPrimeLog
+	}
+
+	best := -1
+	var bestChain Chain
+	var bestTail []int
+	var bestName string
+	maxChain := 0
+	for _, o := range p.Outputs() {
+		chain := chains[o.Term]
+		if len(chain) > maxChain {
+			maxChain = len(chain)
+		}
+		// s'_o = o.scale * desired output scale, factorized into primes of at
+		// most the maximum rescale size.
+		tail := factorizeScale(scales[o.Term]+o.LogScale, maxRescaleLog)
+		if score := len(chain) + len(tail); score > best {
+			best = score
+			bestChain = chain
+			bestTail = tail
+			bestName = o.Name
+		}
+	}
+
+	plan := &ParameterPlan{SpecialBits: SpecialPrimeLog, MaxChainLength: maxChain, CriticalOutput: bestName}
+	for _, c := range bestChain {
+		if math.IsInf(c, 1) {
+			// A position consumed only by MOD_SWITCH constrains nothing; use
+			// the waterline so the prime stays as small as possible.
+			plan.BitSizes = append(plan.BitSizes, int(math.Ceil(waterline)))
+			continue
+		}
+		plan.BitSizes = append(plan.BitSizes, clampPrimeBits(int(math.Ceil(c))))
+	}
+	plan.BitSizes = append(plan.BitSizes, bestTail...)
+	return plan, nil
+}
+
+// factorizeScale splits a log2 scale requirement into prime bit sizes of at
+// most maxRescaleLog bits each (all but the last equal to the maximum), as
+// prescribed by the parameter selection pass.
+func factorizeScale(logScale, maxRescaleLog float64) []int {
+	if logScale <= 0 {
+		return []int{minPrimeLog}
+	}
+	var out []int
+	remaining := logScale
+	for remaining > maxRescaleLog {
+		out = append(out, int(maxRescaleLog))
+		remaining -= maxRescaleLog
+	}
+	out = append(out, clampPrimeBits(int(math.Ceil(remaining))))
+	return out
+}
+
+func clampPrimeBits(bits int) int {
+	if bits < minPrimeLog {
+		return minPrimeLog
+	}
+	if bits > SpecialPrimeLog {
+		return SpecialPrimeLog
+	}
+	return bits
+}
+
+// SelectRotationSteps implements the rotation-key selection pass: the set of
+// distinct rotation step counts used by the program, for which Galois keys
+// must be generated.
+func SelectRotationSteps(p *core.Program) []int { return p.RotationSteps() }

@@ -1,0 +1,239 @@
+// Package apps contains the application suite the paper evaluates in Section
+// 8.3 (Table 8): 3-dimensional path length, linear / polynomial /
+// multivariate regression, Sobel filter detection and Harris corner
+// detection. Every application provides the EVA program (built through the
+// frontend), an input generator, and an independent plain implementation used
+// to validate the homomorphic results.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eva/internal/builder"
+	"eva/internal/core"
+	"eva/internal/execute"
+)
+
+// sqrtPoly is the 3rd-degree polynomial approximation of the square root used
+// by the paper's PyEVA examples (Figure 6): sqrt(x) ~ 2.214x - 1.098x² + 0.173x³
+// for x in (0, 2].
+var sqrtPoly = []float64{0, 2.214, -1.098, 0.173}
+
+func sqrtApprox(x float64) float64 {
+	return 2.214*x - 1.098*x*x + 0.173*x*x*x
+}
+
+// PaperResult records the corresponding row of Table 8 for comparison.
+type PaperResult struct {
+	VectorSize  int
+	LinesOfCode int
+	TimeSeconds float64
+}
+
+// App bundles one benchmark application.
+type App struct {
+	Name    string
+	Program *core.Program
+	// LinesOfCode is the size of the frontend code constructing the program
+	// (the Table 8 programmability metric).
+	LinesOfCode int
+	// Paper is the paper's reported row for this application.
+	Paper PaperResult
+	// MakeInputs generates a random input assignment.
+	MakeInputs func(rng *rand.Rand) execute.Inputs
+	// Plain computes the expected outputs directly (independently of the EVA
+	// graph), with the same cyclic-rotation semantics as the program.
+	Plain func(in execute.Inputs) map[string][]float64
+}
+
+// PathLength3D builds the secure fitness-tracking kernel: given encrypted
+// per-step displacements dx, dy, dz, it computes the total path length
+// sum_i sqrt(dx_i²+dy_i²+dz_i²) using the polynomial square-root approximation.
+func PathLength3D(vecSize int) (*App, error) {
+	b := builder.New("path_length_3d", vecSize)
+	const scale = 30
+	dx := b.Input("dx", scale)
+	dy := b.Input("dy", scale)
+	dz := b.Input("dz", scale)
+	norm2 := dx.Square().Add(dy.Square()).Add(dz.Square())
+	step := norm2.Polynomial(sqrtPoly, scale)
+	total := step.SumSlots(vecSize)
+	b.Output("length", total, scale)
+	prog, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("apps: path length: %w", err)
+	}
+	return &App{
+		Name:        "3-dimensional Path Length",
+		Program:     prog,
+		LinesOfCode: 12,
+		Paper:       PaperResult{VectorSize: 4096, LinesOfCode: 45, TimeSeconds: 0.394},
+		MakeInputs: func(rng *rand.Rand) execute.Inputs {
+			return execute.Inputs{
+				"dx": randomVec(rng, vecSize, 0.5),
+				"dy": randomVec(rng, vecSize, 0.5),
+				"dz": randomVec(rng, vecSize, 0.5),
+			}
+		},
+		Plain: func(in execute.Inputs) map[string][]float64 {
+			total := 0.0
+			steps := make([]float64, vecSize)
+			for i := 0; i < vecSize; i++ {
+				n2 := in["dx"][i]*in["dx"][i] + in["dy"][i]*in["dy"][i] + in["dz"][i]*in["dz"][i]
+				steps[i] = sqrtApprox(n2)
+			}
+			for _, s := range steps {
+				total += s
+			}
+			out := make([]float64, vecSize)
+			for i := range out {
+				// SumSlots produces the cyclic window sum in every slot; slot 0
+				// holds the total.
+				s := 0.0
+				for j := 0; j < vecSize; j++ {
+					s += steps[(i+j)%vecSize]
+				}
+				out[i] = s
+			}
+			_ = total
+			return map[string][]float64{"length": out}
+		},
+	}, nil
+}
+
+// LinearRegression evaluates y = w·x + c on an encrypted vector of samples
+// with plaintext model parameters.
+func LinearRegression(vecSize int) (*App, error) {
+	b := builder.New("linear_regression", vecSize)
+	const scale = 30
+	const w, c = 1.7, -0.31
+	x := b.Input("x", scale)
+	y := x.MulScalar(w, scale).AddScalar(c, scale)
+	b.Output("y", y, scale)
+	prog, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("apps: linear regression: %w", err)
+	}
+	return &App{
+		Name:        "Linear Regression",
+		Program:     prog,
+		LinesOfCode: 6,
+		Paper:       PaperResult{VectorSize: 2048, LinesOfCode: 10, TimeSeconds: 0.027},
+		MakeInputs: func(rng *rand.Rand) execute.Inputs {
+			return execute.Inputs{"x": randomVec(rng, vecSize, 1)}
+		},
+		Plain: func(in execute.Inputs) map[string][]float64 {
+			out := make([]float64, vecSize)
+			for i := range out {
+				out[i] = w*in["x"][i] + c
+			}
+			return map[string][]float64{"y": out}
+		},
+	}, nil
+}
+
+// PolynomialRegression evaluates a cubic model y = c0 + c1·x + c2·x² + c3·x³
+// on an encrypted vector of samples.
+func PolynomialRegression(vecSize int) (*App, error) {
+	b := builder.New("polynomial_regression", vecSize)
+	const scale = 30
+	coeffs := []float64{0.5, 1.2, -0.7, 0.25}
+	x := b.Input("x", scale)
+	y := x.Polynomial(coeffs, scale)
+	b.Output("y", y, scale)
+	prog, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("apps: polynomial regression: %w", err)
+	}
+	return &App{
+		Name:        "Polynomial Regression",
+		Program:     prog,
+		LinesOfCode: 7,
+		Paper:       PaperResult{VectorSize: 4096, LinesOfCode: 15, TimeSeconds: 0.104},
+		MakeInputs: func(rng *rand.Rand) execute.Inputs {
+			return execute.Inputs{"x": randomVec(rng, vecSize, 1)}
+		},
+		Plain: func(in execute.Inputs) map[string][]float64 {
+			out := make([]float64, vecSize)
+			for i := range out {
+				x := in["x"][i]
+				out[i] = coeffs[0] + coeffs[1]*x + coeffs[2]*x*x + coeffs[3]*x*x*x
+			}
+			return map[string][]float64{"y": out}
+		},
+	}, nil
+}
+
+// MultivariateRegression evaluates y = w·x + c where every sample packs
+// `features` consecutive slots of the encrypted vector; the prediction for a
+// sample lands in its first slot.
+func MultivariateRegression(vecSize, features int) (*App, error) {
+	if features <= 0 || features&(features-1) != 0 || features > vecSize {
+		return nil, fmt.Errorf("apps: feature count %d must be a power of two at most %d", features, vecSize)
+	}
+	b := builder.New("multivariate_regression", vecSize)
+	const scale = 30
+	weights := make([]float64, features)
+	for i := range weights {
+		weights[i] = 0.3 + 0.2*float64(i)
+	}
+	const c = 0.11
+	x := b.Input("x", scale)
+	dot := x.DotPlain(weights, scale, features)
+	y := dot.AddScalar(c, 2*scale)
+	b.Output("y", y, scale)
+	prog, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("apps: multivariate regression: %w", err)
+	}
+	return &App{
+		Name:        "Multivariate Regression",
+		Program:     prog,
+		LinesOfCode: 9,
+		Paper:       PaperResult{VectorSize: 2048, LinesOfCode: 15, TimeSeconds: 0.094},
+		MakeInputs: func(rng *rand.Rand) execute.Inputs {
+			return execute.Inputs{"x": randomVec(rng, vecSize, 1)}
+		},
+		Plain: func(in execute.Inputs) map[string][]float64 {
+			out := make([]float64, vecSize)
+			for i := range out {
+				s := 0.0
+				// The packed layout makes slots with i%features == 0 carry the
+				// predictions; other slots hold rotated partial products, which
+				// the plain model mirrors exactly.
+				for j := 0; j < features; j++ {
+					idx := (i + j) % vecSize
+					s += weights[idx%features] * in["x"][idx]
+				}
+				out[i] = s + c
+			}
+			return map[string][]float64{"y": out}
+		},
+	}, nil
+}
+
+// randomVec draws values uniformly from (-amplitude, amplitude).
+func randomVec(rng *rand.Rand, n int, amplitude float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = (rng.Float64()*2 - 1) * amplitude
+	}
+	return v
+}
+
+// randomImage draws pixel intensities from [0, amplitude).
+func randomImage(rng *rand.Rand, n int, amplitude float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64() * amplitude
+	}
+	return v
+}
+
+func checkImageSize(size int) error {
+	if size < 4 || size&(size-1) != 0 {
+		return fmt.Errorf("apps: image size %d must be a power of two of at least 4", size)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eva/internal/ckks"
+	"eva/internal/compile"
+	"eva/internal/execute"
+)
+
+func matchOutputs(t *testing.T, name string, got, want map[string][]float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: output count %d, want %d", name, len(got), len(want))
+	}
+	for out, w := range want {
+		g, ok := got[out]
+		if !ok {
+			t.Fatalf("%s: missing output %q", name, out)
+		}
+		for i := range w {
+			if math.Abs(g[i]-w[i]) > tol {
+				t.Fatalf("%s output %q slot %d: got %g want %g", name, out, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestAppsReferenceMatchesPlain validates the program graphs: the EVA
+// reference executor must agree with the independent plain implementations.
+func TestAppsReferenceMatchesPlain(t *testing.T) {
+	suite, err := Suite(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d apps, want 6", len(suite))
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, app := range suite {
+		in := app.MakeInputs(rng)
+		ref, err := execute.RunReference(app.Program, in)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		matchOutputs(t, app.Name, ref, app.Plain(in), 1e-9)
+		if app.LinesOfCode <= 0 || app.Paper.LinesOfCode <= 0 {
+			t.Errorf("%s: missing lines-of-code metadata", app.Name)
+		}
+	}
+}
+
+// TestAppsCompile ensures every application compiles under the default
+// pipeline and produces sensible parameter plans.
+func TestAppsCompile(t *testing.T) {
+	suite, err := Suite(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range suite {
+		opts := compile.DefaultOptions()
+		opts.AllowInsecure = true
+		res, err := compile.Compile(app.Program, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if res.Plan.NumPrimes() < 2 {
+			t.Errorf("%s: suspicious prime count %d", app.Name, res.Plan.NumPrimes())
+		}
+	}
+}
+
+// TestAppsEncryptedExecution runs the cheaper applications end to end under
+// encryption and compares against the plain implementation.
+func TestAppsEncryptedExecution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping encrypted application runs in -short mode")
+	}
+	rng := rand.New(rand.NewSource(12))
+	prng := ckks.NewTestPRNG(13)
+
+	cases := []struct {
+		app *App
+		err error
+		tol float64
+	}{}
+	lin, err := LinearRegression(64)
+	cases = append(cases, struct {
+		app *App
+		err error
+		tol float64
+	}{lin, err, 1e-3})
+	sob, err := SobelFilter(8)
+	cases = append(cases, struct {
+		app *App
+		err error
+		tol float64
+	}{sob, err, 5e-2})
+	path, err := PathLength3D(16)
+	cases = append(cases, struct {
+		app *App
+		err error
+		tol float64
+	}{path, err, 5e-2})
+
+	for _, c := range cases {
+		if c.err != nil {
+			t.Fatal(c.err)
+		}
+		app := c.app
+		in := app.MakeInputs(rng)
+		want := app.Plain(in)
+
+		opts := compile.DefaultOptions()
+		opts.AllowInsecure = true
+		res, err := compile.Compile(app.Program, opts)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", app.Name, err)
+		}
+		ctx, keys, err := execute.NewContext(res, prng)
+		if err != nil {
+			t.Fatalf("%s: context: %v", app.Name, err)
+		}
+		enc, err := execute.EncryptInputs(ctx, res, keys, in, prng)
+		if err != nil {
+			t.Fatalf("%s: encrypt: %v", app.Name, err)
+		}
+		out, err := execute.Run(ctx, res, enc, execute.RunOptions{Scheduler: execute.SchedulerParallel})
+		if err != nil {
+			t.Fatalf("%s: run: %v", app.Name, err)
+		}
+		dec, _ := execute.DecryptOutputs(ctx, res, keys, out)
+		matchOutputs(t, app.Name, dec, want, c.tol)
+	}
+}
+
+func TestAppArgumentValidation(t *testing.T) {
+	if _, err := SobelFilter(3); err == nil {
+		t.Error("expected error for non power-of-two image size")
+	}
+	if _, err := HarrisCornerDetection(2); err == nil {
+		t.Error("expected error for tiny image size")
+	}
+	if _, err := MultivariateRegression(64, 3); err == nil {
+		t.Error("expected error for non power-of-two feature count")
+	}
+	if _, err := MultivariateRegression(4, 8); err == nil {
+		t.Error("expected error for feature count exceeding vector size")
+	}
+	if _, err := Suite(64, 3); err == nil {
+		t.Error("expected suite error for bad image size")
+	}
+}

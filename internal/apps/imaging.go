@@ -1,0 +1,203 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eva/internal/builder"
+	"eva/internal/execute"
+)
+
+// sobelX is the horizontal Sobel kernel; the vertical kernel is its transpose.
+var sobelX = [3][3]float64{{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}}
+
+// sobelGradients emits the shared gradient computation of the Sobel and
+// Harris programs: Ix and Iy from a packed size×size image, using one
+// rotation per kernel tap exactly as the PyEVA program of Figure 6 does.
+// Rotations are cyclic, so the image border wraps around; the plain
+// references below use the same convention.
+func sobelGradients(image builder.Expr, size int, scale float64) (ix, iy builder.Expr) {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			rot := image.RotateLeft(i*size + j)
+			h := rot.MulScalar(sobelX[i][j], scale)
+			v := rot.MulScalar(sobelX[j][i], scale)
+			if i == 0 && j == 0 {
+				ix, iy = h, v
+				continue
+			}
+			ix = ix.Add(h)
+			iy = iy.Add(v)
+		}
+	}
+	return ix, iy
+}
+
+// plainSobelGradients mirrors sobelGradients on plain data.
+func plainSobelGradients(img []float64, size int) (ix, iy []float64) {
+	n := len(img)
+	ix = make([]float64, n)
+	iy = make([]float64, n)
+	for p := 0; p < n; p++ {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				v := img[(p+i*size+j)%n]
+				ix[p] += v * sobelX[i][j]
+				iy[p] += v * sobelX[j][i]
+			}
+		}
+	}
+	return ix, iy
+}
+
+// SobelFilter builds the Sobel edge-detection program of Figure 6 for a
+// size×size encrypted image packed row-major into a single vector. The output
+// is the gradient magnitude approximated with the cubic square-root polynomial.
+func SobelFilter(size int) (*App, error) {
+	if err := checkImageSize(size); err != nil {
+		return nil, err
+	}
+	vecSize := size * size
+	const scale = 30
+	b := builder.New("sobel", vecSize)
+	image := b.Input("image", scale)
+	ix, iy := sobelGradients(image, size, scale)
+	magnitude := ix.Square().Add(iy.Square()).Polynomial(sqrtPoly, scale)
+	b.Output("edges", magnitude, scale)
+	prog, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("apps: sobel: %w", err)
+	}
+	return &App{
+		Name:        "Sobel Filter Detection",
+		Program:     prog,
+		LinesOfCode: 22,
+		Paper:       PaperResult{VectorSize: 4096, LinesOfCode: 35, TimeSeconds: 0.511},
+		MakeInputs: func(rng *rand.Rand) execute.Inputs {
+			return execute.Inputs{"image": randomImage(rng, vecSize, 0.5)}
+		},
+		Plain: func(in execute.Inputs) map[string][]float64 {
+			img := in["image"]
+			ix, iy := plainSobelGradients(img, size)
+			out := make([]float64, vecSize)
+			for p := range out {
+				out[p] = sqrtApprox(ix[p]*ix[p] + iy[p]*iy[p])
+			}
+			return map[string][]float64{"edges": out}
+		},
+	}, nil
+}
+
+// boxSum3 sums a value over its 3x3 neighbourhood (cyclically) using rotations.
+func boxSum3(e builder.Expr, size int) builder.Expr {
+	acc := e
+	first := true
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == 0 && j == 0 {
+				continue
+			}
+			rot := e.RotateLeft(i*size + j)
+			if first {
+				acc = e.Add(rot)
+				first = false
+			} else {
+				acc = acc.Add(rot)
+			}
+		}
+	}
+	return acc
+}
+
+func plainBoxSum3(v []float64, size int) []float64 {
+	n := len(v)
+	out := make([]float64, n)
+	for p := 0; p < n; p++ {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				out[p] += v[(p+i*size+j)%n]
+			}
+		}
+	}
+	return out
+}
+
+// HarrisCornerDetection builds the Harris corner detector, the most complex
+// CKKS application the paper evaluates: Sobel gradients, windowed second
+// moments, and the corner response det(M) - k·trace(M)².
+func HarrisCornerDetection(size int) (*App, error) {
+	if err := checkImageSize(size); err != nil {
+		return nil, err
+	}
+	vecSize := size * size
+	const scale = 30
+	const k = 0.04
+	b := builder.New("harris", vecSize)
+	image := b.Input("image", scale)
+	ix, iy := sobelGradients(image, size, scale)
+	sxx := boxSum3(ix.Square(), size)
+	syy := boxSum3(iy.Square(), size)
+	sxy := boxSum3(ix.Mul(iy), size)
+	det := sxx.Mul(syy).Sub(sxy.Square())
+	trace := sxx.Add(syy)
+	response := det.Sub(trace.Square().MulScalar(k, scale))
+	b.Output("response", response, scale)
+	prog, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("apps: harris: %w", err)
+	}
+	return &App{
+		Name:        "Harris Corner Detection",
+		Program:     prog,
+		LinesOfCode: 30,
+		Paper:       PaperResult{VectorSize: 4096, LinesOfCode: 40, TimeSeconds: 1.004},
+		MakeInputs: func(rng *rand.Rand) execute.Inputs {
+			return execute.Inputs{"image": randomImage(rng, vecSize, 0.5)}
+		},
+		Plain: func(in execute.Inputs) map[string][]float64 {
+			img := in["image"]
+			ix, iy := plainSobelGradients(img, size)
+			ix2 := make([]float64, vecSize)
+			iy2 := make([]float64, vecSize)
+			ixy := make([]float64, vecSize)
+			for p := range img {
+				ix2[p] = ix[p] * ix[p]
+				iy2[p] = iy[p] * iy[p]
+				ixy[p] = ix[p] * iy[p]
+			}
+			sxx := plainBoxSum3(ix2, size)
+			syy := plainBoxSum3(iy2, size)
+			sxy := plainBoxSum3(ixy, size)
+			out := make([]float64, vecSize)
+			for p := range out {
+				det := sxx[p]*syy[p] - sxy[p]*sxy[p]
+				trace := sxx[p] + syy[p]
+				out[p] = det - k*trace*trace
+			}
+			return map[string][]float64{"response": out}
+		},
+	}, nil
+}
+
+// Suite describes the application set of Table 8 at a configurable scale.
+// imageSize controls the Sobel/Harris image side; vecSize controls the other
+// applications' vector length.
+func Suite(vecSize, imageSize int) ([]*App, error) {
+	var out []*App
+	makers := []func() (*App, error){
+		func() (*App, error) { return PathLength3D(vecSize) },
+		func() (*App, error) { return LinearRegression(vecSize) },
+		func() (*App, error) { return PolynomialRegression(vecSize) },
+		func() (*App, error) { return MultivariateRegression(vecSize, 4) },
+		func() (*App, error) { return SobelFilter(imageSize) },
+		func() (*App, error) { return HarrisCornerDetection(imageSize) },
+	}
+	for _, mk := range makers {
+		app, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, app)
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eva/internal/apps"
+	"eva/internal/nn"
+)
+
+// tinyOptions keeps the harness tests fast: the smallest network
+// configuration and a single trial.
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Config = nn.Config{InputSize: 4, ChannelDivisor: 64}
+	o.Workers = 2
+	return o
+}
+
+func TestRunNetworkProducesConsistentMeasurements(t *testing.T) {
+	net := nn.LeNet5Small(tinyOptions().Config)
+	res, err := RunNetwork(net, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range []*PipelineResult{res.EVA, res.CHET} {
+		if pr.CompileTime <= 0 || pr.ContextTime <= 0 || pr.RunTime <= 0 {
+			t.Errorf("%s: missing timings %+v", pr.Name, pr)
+		}
+		if pr.Primes < 2 || pr.LogQP <= 0 || pr.LogN < 10 {
+			t.Errorf("%s: implausible parameters %+v", pr.Name, pr)
+		}
+		if len(pr.Scores) != net.NumClasses {
+			t.Errorf("%s: %d scores, want %d", pr.Name, len(pr.Scores), net.NumClasses)
+		}
+		if !pr.AgreesRef {
+			t.Errorf("%s: encrypted classification disagrees with the reference (max err %g)", pr.Name, pr.MaxError)
+		}
+	}
+	// The Table 6 relationship.
+	if res.CHET.Primes < res.EVA.Primes {
+		t.Errorf("CHET primes %d < EVA primes %d", res.CHET.Primes, res.EVA.Primes)
+	}
+	if res.Speedup() <= 0 {
+		t.Error("speedup should be positive")
+	}
+}
+
+func TestRunApplicationAndScaling(t *testing.T) {
+	app, err := apps.LinearRegression(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := RunApplication(app, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.RunTime <= 0 || ares.MaxError > 1e-2 {
+		t.Errorf("implausible application result %+v", ares)
+	}
+
+	net := nn.LeNet5Small(tinyOptions().Config)
+	points, err := RunScaling(net, []int{1, 2}, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // 2 pipelines x 2 thread counts
+		t.Fatalf("expected 4 scaling points, got %d", len(points))
+	}
+	for _, p := range points {
+		if p.Latency <= 0 {
+			t.Errorf("non-positive latency for %+v", p)
+		}
+	}
+}
+
+func TestTablePrinters(t *testing.T) {
+	net := nn.LeNet5Small(tinyOptions().Config)
+	res, err := RunNetwork(net, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []*NetworkResult{res}
+
+	var buf bytes.Buffer
+	PrintTable3(&buf, tinyOptions().Config)
+	PrintTable4(&buf, results)
+	PrintTable5(&buf, results, 2)
+	PrintTable6(&buf, results)
+	PrintTable7(&buf, results)
+	out := buf.String()
+	for _, want := range []string{"Table 3", "Table 4", "Table 5", "Table 6", "Table 7", "LeNet-5-small", "Speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+
+	app, err := apps.LinearRegression(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := RunApplication(app, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	PrintTable8(&buf, []*AppResult{ares})
+	if !strings.Contains(buf.String(), "Linear Regression") {
+		t.Error("Table 8 output missing the application name")
+	}
+
+	points, err := RunScaling(net, []int{1, 2}, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	PrintFigure7(&buf, points)
+	if !strings.Contains(buf.String(), "Figure 7") || !strings.Contains(buf.String(), "EVA") {
+		t.Error("Figure 7 output incomplete")
+	}
+}
+
+func TestFigureDemoAndDescribe(t *testing.T) {
+	p := FigureDemoProgram()
+	if p.NumTerms() != 6 || len(p.Outputs()) != 1 {
+		t.Fatalf("unexpected demo program shape: %d terms", p.NumTerms())
+	}
+	var buf bytes.Buffer
+	DescribeProgram(&buf, p)
+	out := buf.String()
+	for _, want := range []string{"INPUT", "MULTIPLY", "output \"out\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("program description missing %q", want)
+		}
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	var o Options
+	n := o.normalize()
+	if n.Workers <= 0 || n.Trials != 1 || n.Config.InputSize == 0 {
+		t.Errorf("normalize produced %+v", n)
+	}
+}

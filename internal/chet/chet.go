@@ -1,0 +1,71 @@
+// Package chet models the CHET baseline the paper compares against
+// (Section 8.2). CHET compiles the same tensor kernels as EVA but differs in
+// exactly the two ways the paper attributes EVA's speedup to:
+//
+//  1. FHE-specific instructions are inserted locally, per kernel, by the
+//     expert-written kernel library: every kernel keeps its ciphertexts at a
+//     fixed working scale equal to the maximum rescale prime and
+//     unconditionally rescales after each multiplication, because a kernel
+//     compiled in isolation cannot know the scales other kernels produce.
+//     Modulus switching is likewise inserted lazily, right before the
+//     instruction that needs it. This yields one 60-bit chain prime per
+//     multiplicative level and therefore larger encryption parameters than
+//     EVA's global waterline analysis (Table 6).
+//
+//  2. Execution is bulk-synchronous per kernel (the OpenMP-style static
+//     schedule), so parallelism is limited to what is available inside a
+//     single kernel (Figure 7).
+//
+// Everything else — the kernels themselves, parameter selection, rotation-key
+// selection, and the CKKS backend — is shared with EVA, which keeps the
+// comparison apples-to-apples.
+package chet
+
+import (
+	"eva/internal/compile"
+	"eva/internal/core"
+	"eva/internal/execute"
+	"eva/internal/rewrite"
+)
+
+// WorkingScaleLog is the uniform log2 working scale CHET's kernel library
+// maintains for every ciphertext and plaintext operand.
+const WorkingScaleLog = 60
+
+// PrepareProgram clones the input program and normalizes every input and
+// constant to CHET's uniform working scale (CHET does not track fine-grained
+// per-value scales the way EVA does).
+func PrepareProgram(p *core.Program) *core.Program {
+	q := p.Clone()
+	for _, t := range q.Terms() {
+		if t.Op == core.OpInput || t.Op == core.OpConstant {
+			t.LogScale = WorkingScaleLog
+		}
+	}
+	for _, o := range q.Outputs() {
+		if o.LogScale > WorkingScaleLog {
+			o.LogScale = WorkingScaleLog
+		}
+	}
+	return q
+}
+
+// Compile compiles a program the way the CHET baseline does: uniform working
+// scale, a rescale by the maximum prime after every ciphertext
+// multiplication, and lazy modulus switching. The remaining options (security
+// level, ring-degree floor) are taken from opts.
+func Compile(p *core.Program, opts compile.Options) (*compile.Result, error) {
+	prepared := PrepareProgram(p)
+	opts.Rescale = rewrite.RescaleFixedMax
+	opts.ModSwitch = rewrite.ModSwitchLazy
+	if opts.MaxRescaleLog <= 0 {
+		opts.MaxRescaleLog = WorkingScaleLog
+	}
+	return compile.Compile(prepared, opts)
+}
+
+// RunOptions returns the executor configuration matching CHET's
+// bulk-synchronous per-kernel parallelization.
+func RunOptions(workers int) execute.RunOptions {
+	return execute.RunOptions{Workers: workers, Scheduler: execute.SchedulerBulkSynchronous}
+}

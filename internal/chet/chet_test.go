@@ -1,0 +1,88 @@
+package chet
+
+import (
+	"testing"
+
+	"eva/internal/compile"
+	"eva/internal/core"
+	"eva/internal/execute"
+)
+
+func buildProgram(t *testing.T) *core.Program {
+	t.Helper()
+	p := core.MustNewProgram("p", 8)
+	x, _ := p.NewInput("x", core.TypeCipher, 8, 25)
+	w, _ := p.NewConstant([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 15)
+	xw, _ := p.NewBinary(core.OpMultiply, x, w)
+	sq, _ := p.NewBinary(core.OpMultiply, xw, xw)
+	if err := p.AddOutput("out", sq, 30); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPrepareProgramNormalizesScales(t *testing.T) {
+	p := buildProgram(t)
+	q := PrepareProgram(p)
+	// The original is untouched.
+	if p.InputByName("x").LogScale != 25 {
+		t.Error("PrepareProgram mutated the original program")
+	}
+	for _, term := range q.Terms() {
+		if term.Op == core.OpInput || term.Op == core.OpConstant {
+			if term.LogScale != WorkingScaleLog {
+				t.Errorf("leaf %s scale 2^%g, want 2^%d", term, term.LogScale, WorkingScaleLog)
+			}
+		}
+	}
+	if q.Outputs()[0].LogScale > WorkingScaleLog {
+		t.Error("output scale not clamped to the working scale")
+	}
+}
+
+func TestCompileUsesPerKernelInsertion(t *testing.T) {
+	p := buildProgram(t)
+	opts := compile.DefaultOptions()
+	opts.AllowInsecure = true
+	res, err := Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CHET rescales after every ciphertext multiplication: two multiplies,
+	// two rescales, all by the maximum prime.
+	if got := res.CompiledStats.Instructions["RESCALE"]; got != 2 {
+		t.Errorf("RESCALE count = %d, want 2", got)
+	}
+	for _, term := range res.Program.TopoSort() {
+		if term.Op == core.OpRescale && term.LogScale != WorkingScaleLog {
+			t.Errorf("rescale divisor 2^%g, want 2^%d", term.LogScale, WorkingScaleLog)
+		}
+	}
+	// The EVA pipeline on the same program needs fewer chain primes.
+	evaRes, err := compile.Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evaRes.Plan.NumPrimes() > res.Plan.NumPrimes() {
+		t.Errorf("EVA selected more primes (%d) than the CHET baseline (%d)",
+			evaRes.Plan.NumPrimes(), res.Plan.NumPrimes())
+	}
+}
+
+func TestCompileDefaultsMaxRescale(t *testing.T) {
+	p := buildProgram(t)
+	res, err := Compile(p, compile.Options{AllowInsecure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Options.MaxRescaleLog != WorkingScaleLog {
+		t.Errorf("MaxRescaleLog defaulted to %g, want %d", res.Options.MaxRescaleLog, WorkingScaleLog)
+	}
+}
+
+func TestRunOptions(t *testing.T) {
+	ro := RunOptions(7)
+	if ro.Workers != 7 || ro.Scheduler != execute.SchedulerBulkSynchronous {
+		t.Errorf("RunOptions = %+v", ro)
+	}
+}

@@ -1,0 +1,162 @@
+package ckks
+
+import (
+	"testing"
+)
+
+// benchContext builds a realistic parameter set (N = 2^13, four 40-60 bit
+// primes) for micro-benchmarking the primitive homomorphic operations whose
+// costs drive every end-to-end number in the paper.
+func benchContext(b *testing.B) *testContext {
+	return newTestContext(b, 13, []int{60, 40, 40, 40}, 60, 1<<40, []int{1})
+}
+
+func benchVectors(tc *testContext) ([]float64, []float64) {
+	a := make([]float64, tc.params.Slots())
+	c := make([]float64, tc.params.Slots())
+	for i := range a {
+		a[i] = float64(i%17) / 17
+		c[i] = float64(i%13) / 13
+	}
+	return a, c
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tc := benchContext(b)
+	values, _ := benchVectors(tc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.enc.Encode(values, tc.params.DefaultScale(), tc.params.MaxLevel()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	tc := benchContext(b)
+	values, _ := benchVectors(tc)
+	pt, _ := tc.enc.Encode(values, tc.params.DefaultScale(), tc.params.MaxLevel())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.enc.Decode(pt)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	tc := benchContext(b)
+	values, _ := benchVectors(tc)
+	pt, _ := tc.enc.Encode(values, tc.params.DefaultScale(), tc.params.MaxLevel())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.encr.Encrypt(pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	tc := benchContext(b)
+	values, _ := benchVectors(tc)
+	ct := tc.encrypt(b, values)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.decr.Decrypt(ct)
+	}
+}
+
+func BenchmarkAddCiphertexts(b *testing.B) {
+	tc := benchContext(b)
+	va, vb := benchVectors(tc)
+	cta, ctb := tc.encrypt(b, va), tc.encrypt(b, vb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.Add(cta, ctb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulCiphertexts(b *testing.B) {
+	tc := benchContext(b)
+	va, vb := benchVectors(tc)
+	cta, ctb := tc.encrypt(b, va), tc.encrypt(b, vb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.Mul(cta, ctb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulPlain(b *testing.B) {
+	tc := benchContext(b)
+	va, vb := benchVectors(tc)
+	cta := tc.encrypt(b, va)
+	pt, _ := tc.enc.Encode(vb, tc.params.DefaultScale(), tc.params.MaxLevel())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.MulPlain(cta, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelinearize(b *testing.B) {
+	tc := benchContext(b)
+	va, vb := benchVectors(tc)
+	prod, err := tc.eval.Mul(tc.encrypt(b, va), tc.encrypt(b, vb))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.Relinearize(prod); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRescale(b *testing.B) {
+	tc := benchContext(b)
+	va, vb := benchVectors(tc)
+	prod, err := tc.eval.Mul(tc.encrypt(b, va), tc.encrypt(b, vb))
+	if err != nil {
+		b.Fatal(err)
+	}
+	relin, err := tc.eval.Relinearize(prod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.Rescale(relin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRotate(b *testing.B) {
+	tc := benchContext(b)
+	va, _ := benchVectors(tc)
+	ct := tc.encrypt(b, va)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.RotateLeft(ct, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeyGeneration(b *testing.B) {
+	params := testParams(b, 13, []int{60, 40, 40, 40}, 60, 1<<40)
+	prng := NewTestPRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kg := NewKeyGenerator(params, prng)
+		sk := kg.GenSecretKey()
+		kg.GenPublicKey(sk)
+		if _, err := kg.GenRelinearizationKey(sk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package ckks
+
+import (
+	"fmt"
+
+	"eva/internal/ring"
+)
+
+// Ciphertext is an RLWE ciphertext in NTT form. Freshly encrypted ciphertexts
+// hold two polynomials; the product of two ciphertexts holds three until it
+// is relinearized (Constraint 3 of the paper).
+type Ciphertext struct {
+	Value []*ring.Poly
+	Scale float64
+	Level int
+}
+
+// NewCiphertext allocates a zero ciphertext of the given degree+1 size at the
+// given level and scale.
+func NewCiphertext(params *Parameters, size, level int, scale float64) *Ciphertext {
+	ct := &Ciphertext{Value: make([]*ring.Poly, size), Scale: scale, Level: level}
+	for i := range ct.Value {
+		ct.Value[i] = params.RingQ().NewPoly(level)
+		ct.Value[i].IsNTT = true
+	}
+	return ct
+}
+
+// Degree returns the ciphertext degree (number of polynomials minus one).
+func (ct *Ciphertext) Degree() int { return len(ct.Value) - 1 }
+
+// CopyNew returns a deep copy of the ciphertext.
+func (ct *Ciphertext) CopyNew() *Ciphertext {
+	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value)), Scale: ct.Scale, Level: ct.Level}
+	for i := range ct.Value {
+		out.Value[i] = ct.Value[i].CopyNew()
+	}
+	return out
+}
+
+// MemoryBytes returns an estimate of the ciphertext's memory footprint, used
+// by the executor's memory accounting.
+func (ct *Ciphertext) MemoryBytes() int {
+	total := 0
+	for _, p := range ct.Value {
+		total += 8 * (p.Level() + 1) * len(p.Coeffs[0])
+	}
+	return total
+}
+
+func (ct *Ciphertext) String() string {
+	return fmt.Sprintf("Ciphertext{degree=%d, level=%d, scale=%g}", ct.Degree(), ct.Level, ct.Scale)
+}

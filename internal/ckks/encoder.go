@@ -1,0 +1,262 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/cmplx"
+
+	"eva/internal/ring"
+)
+
+// Plaintext is an unencrypted ring element carrying a scale and a level, as
+// produced by the Encoder and consumed by the Encryptor and by
+// plaintext-ciphertext operations.
+type Plaintext struct {
+	Value *ring.Poly
+	Scale float64
+	Level int
+}
+
+// CopyNew returns a deep copy of the plaintext.
+func (p *Plaintext) CopyNew() *Plaintext {
+	return &Plaintext{Value: p.Value.CopyNew(), Scale: p.Scale, Level: p.Level}
+}
+
+// Encoder maps vectors of complex (or real) numbers to and from CKKS
+// plaintexts using the canonical embedding of the 2N-th cyclotomic field
+// (the "special FFT" over the orbit of 5 modulo 2N).
+type Encoder struct {
+	params   *Parameters
+	m        int          // 2N
+	rotGroup []int        // 5^i mod 2N for i < slots
+	roots    []complex128 // exp(2*pi*i*j/m) for j <= m
+}
+
+// NewEncoder builds an encoder for the given parameters.
+func NewEncoder(params *Parameters) *Encoder {
+	slots := params.Slots()
+	m := 2 * params.N()
+	e := &Encoder{
+		params:   params,
+		m:        m,
+		rotGroup: make([]int, slots),
+		roots:    make([]complex128, m+1),
+	}
+	fivePow := 1
+	for i := 0; i < slots; i++ {
+		e.rotGroup[i] = fivePow
+		fivePow = (fivePow * 5) % m
+	}
+	for j := 0; j <= m; j++ {
+		angle := 2 * math.Pi * float64(j) / float64(m)
+		e.roots[j] = cmplx.Rect(1, angle)
+	}
+	return e
+}
+
+// Slots returns the number of plaintext slots.
+func (e *Encoder) Slots() int { return e.params.Slots() }
+
+func arrayBitReverse(vals []complex128) {
+	n := len(vals)
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			vals[i], vals[j] = vals[j], vals[i]
+		}
+	}
+}
+
+// fftSpecial evaluates the canonical embedding (coefficients -> slot values).
+func (e *Encoder) fftSpecial(vals []complex128) {
+	n := len(vals)
+	arrayBitReverse(vals)
+	for length := 2; length <= n; length <<= 1 {
+		for i := 0; i < n; i += length {
+			lenh := length >> 1
+			lenq := length << 2
+			for j := 0; j < lenh; j++ {
+				idx := (e.rotGroup[j] % lenq) * e.m / lenq
+				u := vals[i+j]
+				v := vals[i+j+lenh] * e.roots[idx]
+				vals[i+j] = u + v
+				vals[i+j+lenh] = u - v
+			}
+		}
+	}
+}
+
+// fftSpecialInv inverts fftSpecial (slot values -> coefficients).
+func (e *Encoder) fftSpecialInv(vals []complex128) {
+	n := len(vals)
+	for length := n; length >= 2; length >>= 1 {
+		for i := 0; i < n; i += length {
+			lenh := length >> 1
+			lenq := length << 2
+			for j := 0; j < lenh; j++ {
+				idx := (lenq - (e.rotGroup[j] % lenq)) * e.m / lenq
+				u := vals[i+j] + vals[i+j+lenh]
+				v := (vals[i+j] - vals[i+j+lenh]) * e.roots[idx]
+				vals[i+j] = u
+				vals[i+j+lenh] = v
+			}
+		}
+	}
+	arrayBitReverse(vals)
+	inv := complex(1/float64(n), 0)
+	for i := range vals {
+		vals[i] *= inv
+	}
+}
+
+// EncodeComplex encodes up to Slots() complex values at the given scale and
+// level. Shorter inputs are replicated to fill all slots (matching EVA's
+// treatment of inputs whose vector size divides the slot count); the input
+// length must be a power of two.
+func (e *Encoder) EncodeComplex(values []complex128, scale float64, level int) (*Plaintext, error) {
+	slots := e.params.Slots()
+	if len(values) == 0 || len(values) > slots {
+		return nil, fmt.Errorf("ckks: encoding %d values into %d slots", len(values), slots)
+	}
+	if len(values)&(len(values)-1) != 0 {
+		return nil, fmt.Errorf("ckks: input length %d is not a power of two", len(values))
+	}
+	if level < 0 || level > e.params.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d out of range [0,%d]", level, e.params.MaxLevel())
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("ckks: scale must be positive")
+	}
+	buf := make([]complex128, slots)
+	for i := 0; i < slots; i++ {
+		buf[i] = values[i%len(values)]
+	}
+	e.fftSpecialInv(buf)
+
+	r := e.params.RingQ()
+	pt := r.NewPoly(level)
+	n := e.params.N()
+	for j := 0; j < slots; j++ {
+		encodeCoefficient(real(buf[j])*scale, j, pt, r)
+		encodeCoefficient(imag(buf[j])*scale, j+slots, pt, r)
+	}
+	_ = n
+	r.NTT(pt)
+	return &Plaintext{Value: pt, Scale: scale, Level: level}, nil
+}
+
+// Encode encodes real values (see EncodeComplex for the semantics of short inputs).
+func (e *Encoder) Encode(values []float64, scale float64, level int) (*Plaintext, error) {
+	cv := make([]complex128, len(values))
+	for i, v := range values {
+		cv[i] = complex(v, 0)
+	}
+	return e.EncodeComplex(cv, scale, level)
+}
+
+// EncodeSingle encodes the same scalar in every slot.
+func (e *Encoder) EncodeSingle(value float64, scale float64, level int) (*Plaintext, error) {
+	return e.Encode([]float64{value}, scale, level)
+}
+
+// encodeCoefficient rounds x to the nearest integer and stores its residues
+// into coefficient idx of every limb of pt. Values beyond the int64 range are
+// handled exactly through big.Float.
+func encodeCoefficient(x float64, idx int, pt *ring.Poly, r *ring.Ring) {
+	if math.Abs(x) < 9.0e18 {
+		c := int64(math.Round(x))
+		for i := range pt.Coeffs {
+			pt.Coeffs[i][idx] = reduceSigned(c, r.Moduli[i].Q)
+		}
+		return
+	}
+	// Exact path for very large scaled values.
+	bf := new(big.Float).SetPrec(256).SetFloat64(x)
+	bi, _ := bf.Int(nil)
+	for i := range pt.Coeffs {
+		q := new(big.Int).SetUint64(r.Moduli[i].Q)
+		res := new(big.Int).Mod(bi, q)
+		pt.Coeffs[i][idx] = res.Uint64()
+	}
+}
+
+// DecodeComplex decodes a plaintext back into its slot values.
+func (e *Encoder) DecodeComplex(pt *Plaintext) []complex128 {
+	r := e.params.RingQ()
+	value := pt.Value
+	if value.IsNTT {
+		value = value.CopyNew()
+		r.InvNTT(value)
+	}
+	level := value.Level()
+	slots := e.params.Slots()
+
+	coeffs := e.centeredBigCoeffs(value, level)
+	buf := make([]complex128, slots)
+	scale := pt.Scale
+	for j := 0; j < slots; j++ {
+		re := bigToFloat(coeffs[j]) / scale
+		im := bigToFloat(coeffs[j+slots]) / scale
+		buf[j] = complex(re, im)
+	}
+	e.fftSpecial(buf)
+	return buf
+}
+
+// Decode decodes a plaintext and returns the real parts of its slot values.
+func (e *Encoder) Decode(pt *Plaintext) []float64 {
+	cv := e.DecodeComplex(pt)
+	out := make([]float64, len(cv))
+	for i, c := range cv {
+		out[i] = real(c)
+	}
+	return out
+}
+
+// centeredBigCoeffs CRT-reconstructs each coefficient of value as a centered
+// big integer modulo the product of the limbs at the given level.
+func (e *Encoder) centeredBigCoeffs(value *ring.Poly, level int) []*big.Int {
+	r := e.params.RingQ()
+	n := e.params.N()
+
+	bigQ := big.NewInt(1)
+	for i := 0; i <= level; i++ {
+		bigQ.Mul(bigQ, new(big.Int).SetUint64(r.Moduli[i].Q))
+	}
+	// CRT basis: for each limb, (Q/qi) * ((Q/qi)^-1 mod qi).
+	basis := make([]*big.Int, level+1)
+	for i := 0; i <= level; i++ {
+		qi := new(big.Int).SetUint64(r.Moduli[i].Q)
+		qHat := new(big.Int).Div(bigQ, qi)
+		qHatInv := new(big.Int).ModInverse(new(big.Int).Mod(qHat, qi), qi)
+		basis[i] = new(big.Int).Mul(qHat, qHatInv)
+	}
+	half := new(big.Int).Rsh(bigQ, 1)
+	out := make([]*big.Int, n)
+	acc := new(big.Int)
+	term := new(big.Int)
+	for j := 0; j < n; j++ {
+		acc.SetInt64(0)
+		for i := 0; i <= level; i++ {
+			term.Mul(basis[i], new(big.Int).SetUint64(value.Coeffs[i][j]))
+			acc.Add(acc, term)
+		}
+		acc.Mod(acc, bigQ)
+		c := new(big.Int).Set(acc)
+		if c.Cmp(half) > 0 {
+			c.Sub(c, bigQ)
+		}
+		out[j] = c
+	}
+	return out
+}
+
+func bigToFloat(x *big.Int) float64 {
+	f, _ := new(big.Float).SetInt(x).Float64()
+	return f
+}

@@ -1,0 +1,302 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"eva/internal/ring"
+)
+
+// scaleTolerance is the maximum relative difference tolerated between the
+// scales of addition operands. The EVA compiler guarantees operand scales
+// match as powers of two; at run time the true scales may differ by the
+// relative gap between a chain prime and its nearest power of two (largest
+// for small primes in large rings), exactly as in the paper's SEAL executor,
+// which records the power of two and absorbs the gap into the approximation
+// error.
+const scaleTolerance = 5e-2
+
+// Evaluator performs homomorphic operations on ciphertexts. It corresponds to
+// the per-instruction runtime the EVA executor drives; every method returns
+// an error for exactly the conditions under which SEAL would throw a runtime
+// exception, which is what the EVA compiler's validation passes must prevent.
+type Evaluator struct {
+	params *Parameters
+	rlk    *RelinearizationKey
+	rtk    *RotationKeySet
+}
+
+// EvaluationKeys bundles the public evaluation material the evaluator needs.
+type EvaluationKeys struct {
+	Rlk *RelinearizationKey
+	Rtk *RotationKeySet
+}
+
+// NewEvaluator builds an evaluator; keys may be nil when the corresponding
+// operations (relinearize, rotate) are not used.
+func NewEvaluator(params *Parameters, keys EvaluationKeys) *Evaluator {
+	return &Evaluator{params: params, rlk: keys.Rlk, rtk: keys.Rtk}
+}
+
+// Params returns the evaluator's parameter set.
+func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+func (ev *Evaluator) checkBinaryCt(a, b *Ciphertext) error {
+	if a.Level != b.Level {
+		return fmt.Errorf("ckks: operand level mismatch (%d vs %d): ciphertexts must have the same coefficient modulus", a.Level, b.Level)
+	}
+	return nil
+}
+
+func scalesMatch(a, b float64) bool {
+	return math.Abs(a-b) <= scaleTolerance*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Add returns a + b element-wise. Both operands must be at the same level and
+// scale (Constraints 1 and 2 of the paper).
+func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.checkBinaryCt(a, b); err != nil {
+		return nil, err
+	}
+	if !scalesMatch(a.Scale, b.Scale) {
+		return nil, fmt.Errorf("ckks: addition operand scale mismatch (%g vs %g)", a.Scale, b.Scale)
+	}
+	size := len(a.Value)
+	if len(b.Value) > size {
+		size = len(b.Value)
+	}
+	r := ev.params.RingQ()
+	out := NewCiphertext(ev.params, size, a.Level, a.Scale)
+	for i := 0; i < size; i++ {
+		switch {
+		case i < len(a.Value) && i < len(b.Value):
+			r.Add(a.Value[i], b.Value[i], out.Value[i])
+		case i < len(a.Value):
+			out.Value[i].Copy(a.Value[i])
+		default:
+			out.Value[i].Copy(b.Value[i])
+		}
+		out.Value[i].IsNTT = true
+	}
+	return out, nil
+}
+
+// Sub returns a - b element-wise under the same constraints as Add.
+func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.checkBinaryCt(a, b); err != nil {
+		return nil, err
+	}
+	if !scalesMatch(a.Scale, b.Scale) {
+		return nil, fmt.Errorf("ckks: subtraction operand scale mismatch (%g vs %g)", a.Scale, b.Scale)
+	}
+	size := len(a.Value)
+	if len(b.Value) > size {
+		size = len(b.Value)
+	}
+	r := ev.params.RingQ()
+	out := NewCiphertext(ev.params, size, a.Level, a.Scale)
+	for i := 0; i < size; i++ {
+		switch {
+		case i < len(a.Value) && i < len(b.Value):
+			r.Sub(a.Value[i], b.Value[i], out.Value[i])
+		case i < len(a.Value):
+			out.Value[i].Copy(a.Value[i])
+		default:
+			r.Neg(b.Value[i], out.Value[i])
+		}
+		out.Value[i].IsNTT = true
+	}
+	return out, nil
+}
+
+// Negate returns -a.
+func (ev *Evaluator) Negate(a *Ciphertext) (*Ciphertext, error) {
+	r := ev.params.RingQ()
+	out := NewCiphertext(ev.params, len(a.Value), a.Level, a.Scale)
+	for i := range a.Value {
+		r.Neg(a.Value[i], out.Value[i])
+		out.Value[i].IsNTT = true
+	}
+	return out, nil
+}
+
+func (ev *Evaluator) checkPlain(a *Ciphertext, p *Plaintext) error {
+	if p.Level < a.Level {
+		return fmt.Errorf("ckks: plaintext level %d below ciphertext level %d", p.Level, a.Level)
+	}
+	if !p.Value.IsNTT {
+		return fmt.Errorf("ckks: plaintext operand must be in NTT form")
+	}
+	return nil
+}
+
+// AddPlain returns a + p where p is a plaintext at the same scale.
+func (ev *Evaluator) AddPlain(a *Ciphertext, p *Plaintext) (*Ciphertext, error) {
+	if err := ev.checkPlain(a, p); err != nil {
+		return nil, err
+	}
+	if !scalesMatch(a.Scale, p.Scale) {
+		return nil, fmt.Errorf("ckks: plaintext addition scale mismatch (%g vs %g)", a.Scale, p.Scale)
+	}
+	r := ev.params.RingQ()
+	out := a.CopyNew()
+	r.Add(a.Value[0], p.Value, out.Value[0])
+	out.Value[0].IsNTT = true
+	return out, nil
+}
+
+// SubPlain returns a - p.
+func (ev *Evaluator) SubPlain(a *Ciphertext, p *Plaintext) (*Ciphertext, error) {
+	if err := ev.checkPlain(a, p); err != nil {
+		return nil, err
+	}
+	if !scalesMatch(a.Scale, p.Scale) {
+		return nil, fmt.Errorf("ckks: plaintext subtraction scale mismatch (%g vs %g)", a.Scale, p.Scale)
+	}
+	r := ev.params.RingQ()
+	out := a.CopyNew()
+	// out0 = a0 - p; higher components unchanged.
+	tmp := r.NewPoly(a.Level)
+	tmp.Copy(p.Value)
+	r.Sub(a.Value[0], tmp, out.Value[0])
+	out.Value[0].IsNTT = true
+	return out, nil
+}
+
+// Mul multiplies two degree-1 ciphertexts, producing a degree-2 ciphertext
+// whose scale is the product of the operand scales. Both operands must be
+// degree 1 (Constraint 3) and at the same level (Constraint 1).
+func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.checkBinaryCt(a, b); err != nil {
+		return nil, err
+	}
+	if a.Degree() != 1 || b.Degree() != 1 {
+		return nil, fmt.Errorf("ckks: ciphertext multiplication requires degree-1 operands (got %d and %d); relinearize first", a.Degree(), b.Degree())
+	}
+	r := ev.params.RingQ()
+	out := NewCiphertext(ev.params, 3, a.Level, a.Scale*b.Scale)
+	// (a0 + a1 s)(b0 + b1 s) = a0b0 + (a0b1 + a1b0) s + a1b1 s².
+	r.MulCoeffs(a.Value[0], b.Value[0], out.Value[0])
+	r.MulCoeffs(a.Value[0], b.Value[1], out.Value[1])
+	r.MulCoeffsAndAdd(a.Value[1], b.Value[0], out.Value[1])
+	r.MulCoeffs(a.Value[1], b.Value[1], out.Value[2])
+	return out, nil
+}
+
+// MulPlain multiplies a ciphertext by a plaintext; the result scale is the
+// product of both scales.
+func (ev *Evaluator) MulPlain(a *Ciphertext, p *Plaintext) (*Ciphertext, error) {
+	if err := ev.checkPlain(a, p); err != nil {
+		return nil, err
+	}
+	r := ev.params.RingQ()
+	out := NewCiphertext(ev.params, len(a.Value), a.Level, a.Scale*p.Scale)
+	for i := range a.Value {
+		r.MulCoeffs(a.Value[i], p.Value, out.Value[i])
+	}
+	return out, nil
+}
+
+// Relinearize reduces a degree-2 ciphertext back to degree 1 using the
+// relinearization key.
+func (ev *Evaluator) Relinearize(a *Ciphertext) (*Ciphertext, error) {
+	if a.Degree() == 1 {
+		return a.CopyNew(), nil
+	}
+	if a.Degree() != 2 {
+		return nil, fmt.Errorf("ckks: relinearization supports degree-2 ciphertexts, got degree %d", a.Degree())
+	}
+	if ev.rlk == nil {
+		return nil, fmt.Errorf("ckks: no relinearization key available")
+	}
+	r := ev.params.RingQ()
+	ks0, ks1, err := ev.keySwitch(a.Value[2], a.Level, ev.rlk.Key)
+	if err != nil {
+		return nil, err
+	}
+	out := NewCiphertext(ev.params, 2, a.Level, a.Scale)
+	r.Add(a.Value[0], ks0, out.Value[0])
+	r.Add(a.Value[1], ks1, out.Value[1])
+	out.Value[0].IsNTT, out.Value[1].IsNTT = true, true
+	return out, nil
+}
+
+// Rescale divides the ciphertext by the last prime of its modulus chain,
+// dropping one level and dividing the scale accordingly (the RESCALE
+// instruction). It fails at level 0, mirroring SEAL's runtime exception.
+func (ev *Evaluator) Rescale(a *Ciphertext) (*Ciphertext, error) {
+	if a.Level == 0 {
+		return nil, fmt.Errorf("ckks: cannot rescale a level-0 ciphertext (modulus chain exhausted)")
+	}
+	r := ev.params.RingQ()
+	q := ev.params.Qi()[a.Level]
+	out := &Ciphertext{Value: make([]*ring.Poly, len(a.Value)), Scale: a.Scale / float64(q), Level: a.Level - 1}
+	for i := range a.Value {
+		tmp := a.Value[i].CopyNew()
+		r.InvNTT(tmp)
+		res := r.DivideByLastModulus(tmp)
+		r.NTT(res)
+		out.Value[i] = res
+	}
+	return out, nil
+}
+
+// ModSwitch drops the last prime of the modulus chain without scaling the
+// plaintext (the MODSWITCH instruction).
+func (ev *Evaluator) ModSwitch(a *Ciphertext) (*Ciphertext, error) {
+	if a.Level == 0 {
+		return nil, fmt.Errorf("ckks: cannot modulus-switch a level-0 ciphertext")
+	}
+	r := ev.params.RingQ()
+	out := &Ciphertext{Value: make([]*ring.Poly, len(a.Value)), Scale: a.Scale, Level: a.Level - 1}
+	for i := range a.Value {
+		out.Value[i] = r.DropLastModulus(a.Value[i])
+	}
+	return out, nil
+}
+
+// RotateLeft cyclically rotates the plaintext slots left by k positions. The
+// required Galois key must have been generated for this step count.
+func (ev *Evaluator) RotateLeft(a *Ciphertext, k int) (*Ciphertext, error) {
+	if a.Degree() != 1 {
+		return nil, fmt.Errorf("ckks: rotation requires a degree-1 ciphertext; relinearize first")
+	}
+	if k%ev.params.Slots() == 0 {
+		return a.CopyNew(), nil
+	}
+	if ev.rtk == nil {
+		return nil, fmt.Errorf("ckks: no rotation keys available")
+	}
+	galEl := ev.params.GaloisElementForRotation(k)
+	swk, ok := ev.rtk.Keys[galEl]
+	if !ok {
+		return nil, fmt.Errorf("ckks: missing rotation key for step %d (Galois element %d)", k, galEl)
+	}
+	r := ev.params.RingQ()
+
+	c0 := a.Value[0].CopyNew()
+	c1 := a.Value[1].CopyNew()
+	r.InvNTT(c0)
+	r.InvNTT(c1)
+	rot0 := r.NewPoly(a.Level)
+	rot1 := r.NewPoly(a.Level)
+	r.Automorphism(c0, galEl, rot0)
+	r.Automorphism(c1, galEl, rot1)
+	r.NTT(rot0)
+	r.NTT(rot1)
+
+	ks0, ks1, err := ev.keySwitch(rot1, a.Level, swk)
+	if err != nil {
+		return nil, err
+	}
+	out := NewCiphertext(ev.params, 2, a.Level, a.Scale)
+	r.Add(rot0, ks0, out.Value[0])
+	out.Value[1].Copy(ks1)
+	out.Value[0].IsNTT, out.Value[1].IsNTT = true, true
+	return out, nil
+}
+
+// RotateRight rotates slots right by k positions.
+func (ev *Evaluator) RotateRight(a *Ciphertext, k int) (*Ciphertext, error) {
+	return ev.RotateLeft(a, -k)
+}

@@ -1,0 +1,175 @@
+package ckks
+
+import (
+	"fmt"
+
+	"eva/internal/numth"
+	"eva/internal/ring"
+)
+
+// SecretKey is the RLWE secret: a ternary polynomial stored in NTT form over
+// the full chain (Value) and over the special prime (ValueSpecial), the
+// latter being required when generating switching keys.
+type SecretKey struct {
+	Value        *ring.Poly
+	ValueSpecial []uint64
+	signed       []int64 // the raw ternary coefficients, kept to derive rotated secrets
+}
+
+// PublicKey is a (b, a) = (-a*s + e, a) RLWE sample in NTT form at the top level.
+type PublicKey struct {
+	B *ring.Poly
+	A *ring.Poly
+}
+
+// SwitchingKey re-encrypts, under the owner's secret s, a "foreign" secret s'
+// (either s² for relinearization or a rotated copy of s for rotations). It
+// holds one RLWE sample per RNS decomposition digit, over the chain primes
+// (BQ/AQ) and the special prime (BP/AP), all in NTT form.
+type SwitchingKey struct {
+	BQ []*ring.Poly
+	AQ []*ring.Poly
+	BP [][]uint64
+	AP [][]uint64
+}
+
+// RelinearizationKey holds the switching key for s².
+type RelinearizationKey struct {
+	Key *SwitchingKey
+}
+
+// RotationKeySet maps Galois elements to their switching keys. One key per
+// distinct rotation step is required, exactly as the paper describes.
+type RotationKeySet struct {
+	Keys map[uint64]*SwitchingKey
+}
+
+// KeyGenerator produces all key material for a parameter set.
+type KeyGenerator struct {
+	params  *Parameters
+	sampler *sampler
+}
+
+// NewKeyGenerator returns a key generator; prng may be nil to use a secure default.
+func NewKeyGenerator(params *Parameters, prng *PRNG) *KeyGenerator {
+	return &KeyGenerator{params: params, sampler: newSampler(params, prng)}
+}
+
+// GenSecretKey samples a fresh ternary secret key.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	signed := kg.sampler.ternarySigned()
+	return kg.secretFromSigned(signed)
+}
+
+func (kg *KeyGenerator) secretFromSigned(signed []int64) *SecretKey {
+	params := kg.params
+	r := params.RingQ()
+	sk := &SecretKey{signed: signed}
+	sk.Value = kg.sampler.signedToPolyQ(signed, params.MaxLevel())
+	r.NTT(sk.Value)
+	if sp := params.SpecialModulus(); sp != nil {
+		sk.ValueSpecial = kg.sampler.signedToSpecial(signed)
+		sp.NTT(sk.ValueSpecial)
+	}
+	return sk
+}
+
+// GenPublicKey derives a public key from the secret key.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	params := kg.params
+	r := params.RingQ()
+	level := params.MaxLevel()
+	a := kg.sampler.uniformQ(level, true)
+	e := kg.sampler.signedToPolyQ(kg.sampler.gaussianSigned(), level)
+	r.NTT(e)
+	b := r.NewPoly(level)
+	r.MulCoeffs(a, sk.Value, b)
+	r.Neg(b, b)
+	r.Add(b, e, b)
+	return &PublicKey{B: b, A: a}
+}
+
+// GenRelinearizationKey generates the switching key for s², enabling
+// RELINEARIZE of degree-2 ciphertexts back to degree 1.
+func (kg *KeyGenerator) GenRelinearizationKey(sk *SecretKey) (*RelinearizationKey, error) {
+	if kg.params.SpecialModulus() == nil {
+		return nil, fmt.Errorf("ckks: parameters have no special prime; relinearization keys unavailable")
+	}
+	r := kg.params.RingQ()
+	s2 := r.NewPoly(kg.params.MaxLevel())
+	r.MulCoeffs(sk.Value, sk.Value, s2) // NTT domain: s², consistent across limbs since s is tiny
+	swk := kg.genSwitchingKey(sk, s2)
+	return &RelinearizationKey{Key: swk}, nil
+}
+
+// GenRotationKeys generates Galois switching keys for the given rotation
+// steps (positive = left rotation, negative = right).
+func (kg *KeyGenerator) GenRotationKeys(steps []int, sk *SecretKey) (*RotationKeySet, error) {
+	if kg.params.SpecialModulus() == nil {
+		return nil, fmt.Errorf("ckks: parameters have no special prime; rotation keys unavailable")
+	}
+	params := kg.params
+	r := params.RingQ()
+	set := &RotationKeySet{Keys: make(map[uint64]*SwitchingKey, len(steps))}
+	for _, k := range steps {
+		galEl := params.GaloisElementForRotation(k)
+		if _, done := set.Keys[galEl]; done {
+			continue
+		}
+		// s' = s(X^galEl): permute the secret in coefficient domain.
+		sCoeff := sk.Value.CopyNew()
+		r.InvNTT(sCoeff)
+		sRot := r.NewPoly(params.MaxLevel())
+		r.Automorphism(sCoeff, galEl, sRot)
+		r.NTT(sRot)
+		set.Keys[galEl] = kg.genSwitchingKey(sk, sRot)
+	}
+	return set, nil
+}
+
+// genSwitchingKey builds a switching key encrypting sPrime (NTT form, full
+// level) under sk, following the SEAL-style single-special-prime RNS
+// construction: digit j carries P·s' in its j-th limb.
+func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sPrime *ring.Poly) *SwitchingKey {
+	params := kg.params
+	r := params.RingQ()
+	sp := params.SpecialModulus()
+	level := params.MaxLevel()
+	digits := level + 1
+	swk := &SwitchingKey{
+		BQ: make([]*ring.Poly, digits),
+		AQ: make([]*ring.Poly, digits),
+		BP: make([][]uint64, digits),
+		AP: make([][]uint64, digits),
+	}
+	n := params.N()
+	for j := 0; j < digits; j++ {
+		aQ := kg.sampler.uniformQ(level, true)
+		aP := kg.sampler.uniformSpecial()
+		eSigned := kg.sampler.gaussianSigned()
+		eQ := kg.sampler.signedToPolyQ(eSigned, level)
+		r.NTT(eQ)
+		eP := kg.sampler.signedToSpecial(eSigned)
+		sp.NTT(eP)
+
+		// bQ = -aQ*s + eQ over the chain primes.
+		bQ := r.NewPoly(level)
+		r.MulCoeffs(aQ, sk.Value, bQ)
+		r.Neg(bQ, bQ)
+		r.Add(bQ, eQ, bQ)
+		// bP = -aP*sP + eP over the special prime.
+		bP := make([]uint64, n)
+		p := sp.Q
+		for t := 0; t < n; t++ {
+			bP[t] = numth.AddMod(numth.NegMod(numth.MulMod(aP[t], sk.ValueSpecial[t], p), p), eP[t], p)
+		}
+		// Add P·s' into limb j only (the RNS decomposition factor).
+		qj := r.Moduli[j].Q
+		factor := p % qj
+		for t := 0; t < n; t++ {
+			bQ.Coeffs[j][t] = numth.AddMod(bQ.Coeffs[j][t], numth.MulMod(factor, sPrime.Coeffs[j][t], qj), qj)
+		}
+		swk.BQ[j], swk.AQ[j], swk.BP[j], swk.AP[j] = bQ, aQ, bP, aP
+	}
+	return swk
+}

@@ -1,0 +1,114 @@
+package ckks
+
+import (
+	"fmt"
+
+	"eva/internal/numth"
+	"eva/internal/ring"
+)
+
+// keySwitch applies the switching key swk to the polynomial d (NTT form, at
+// the given level), producing the pair (ks0, ks1) such that
+// ks0 + ks1·s ≈ d·s', where s' is the secret the switching key encodes
+// (s² for relinearization, a rotated s for rotations).
+//
+// This is the SEAL-style single-special-prime RNS key switch: d is decomposed
+// into its RNS limbs, each limb is lifted to the extended basis {q_0..q_level, P},
+// multiplied against the matching key digit, and the accumulated result is
+// scaled back down by P with rounding.
+func (ev *Evaluator) keySwitch(d *ring.Poly, level int, swk *SwitchingKey) (ks0, ks1 *ring.Poly, err error) {
+	params := ev.params
+	sp := params.SpecialModulus()
+	if sp == nil {
+		return nil, nil, fmt.Errorf("ckks: key switching requires a special prime")
+	}
+	if len(swk.BQ) < level+1 {
+		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), level+1)
+	}
+	r := params.RingQ()
+	n := params.N()
+
+	dCoeff := d.CopyNew()
+	r.InvNTT(dCoeff)
+
+	acc0Q := r.NewPoly(level)
+	acc1Q := r.NewPoly(level)
+	acc0Q.IsNTT, acc1Q.IsNTT = true, true
+	acc0P := make([]uint64, n)
+	acc1P := make([]uint64, n)
+
+	extQ := r.NewPoly(level)
+	extP := make([]uint64, n)
+	p := sp.Q
+
+	for j := 0; j <= level; j++ {
+		qj := r.Moduli[j].Q
+		limb := dCoeff.Coeffs[j]
+		// Lift limb j to every chain prime at this level and to the special prime.
+		r.ExtendBasisSmall(limb, qj, extQ)
+		reduceCentered(limb, qj, p, extP)
+		r.NTT(extQ)
+		sp.NTT(extP)
+
+		r.MulCoeffsAndAdd(extQ, swk.BQ[j], acc0Q)
+		r.MulCoeffsAndAdd(extQ, swk.AQ[j], acc1Q)
+		mulAddSpecial(extP, swk.BP[j], acc0P, p)
+		mulAddSpecial(extP, swk.AP[j], acc1P, p)
+		extQ.IsNTT = false // reset for the next iteration's ExtendBasisSmall
+	}
+
+	ks0 = ev.modDownByP(acc0Q, acc0P)
+	ks1 = ev.modDownByP(acc1Q, acc1P)
+	return ks0, ks1, nil
+}
+
+// reduceCentered reduces the residues `limb` (modulo srcQ) into dst modulo
+// dstQ using centered representatives.
+func reduceCentered(limb []uint64, srcQ, dstQ uint64, dst []uint64) {
+	srcMod := srcQ % dstQ
+	for j, v := range limb {
+		if v > srcQ/2 {
+			dst[j] = numth.SubMod(v%dstQ, srcMod, dstQ)
+		} else {
+			dst[j] = v % dstQ
+		}
+	}
+}
+
+// mulAddSpecial accumulates acc += a*b element-wise modulo the special prime.
+func mulAddSpecial(a, b, acc []uint64, p uint64) {
+	for j := range acc {
+		acc[j] = numth.AddMod(acc[j], numth.MulMod(a[j], b[j], p), p)
+	}
+}
+
+// modDownByP divides the value represented by (accQ, accP) — an RNS value over
+// the basis {q_0..q_level, P} in NTT form — by the special prime P with
+// rounding, returning the result over {q_0..q_level} in NTT form.
+func (ev *Evaluator) modDownByP(accQ *ring.Poly, accP []uint64) *ring.Poly {
+	params := ev.params
+	r := params.RingQ()
+	sp := params.SpecialModulus()
+	p := sp.Q
+	half := p >> 1
+
+	r.InvNTT(accQ)
+	sp.InvNTT(accP)
+
+	level := accQ.Level()
+	out := r.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		pInv := numth.MustInvMod(p%q, q)
+		halfMod := half % q
+		ai, oi := accQ.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			lastShift := numth.AddMod(accP[j], half, p)
+			tmp := numth.SubMod(ai[j], lastShift%q, q)
+			tmp = numth.AddMod(tmp, halfMod, q)
+			oi[j] = numth.MulMod(tmp, pInv, q)
+		}
+	}
+	r.NTT(out)
+	return out
+}

@@ -1,0 +1,262 @@
+// Package ckks implements the RNS variant of the CKKS approximate
+// homomorphic encryption scheme (Cheon-Kim-Kim-Song, with the full-RNS
+// optimizations of Cheon-Han-Kim-Kim-Song). It plays the role that Microsoft
+// SEAL plays for the EVA paper: encoding of complex/real vectors into ring
+// elements, key generation, encryption, and the homomorphic evaluation
+// operations used by the EVA executor (add, subtract, multiply, relinearize,
+// rescale, modulus switch, and slot rotation).
+//
+// The implementation is self-contained (standard library only) and favors
+// clarity over raw speed, but its cost profile matches real RNS-CKKS
+// libraries: every operation scales with the ring degree N and the number of
+// remaining RNS limbs, which is what makes the EVA compiler's
+// parameter-minimizing optimizations measurable.
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"eva/internal/numth"
+	"eva/internal/ring"
+)
+
+// MaxLogModulusBits is the largest bit size accepted for a single chain prime
+// (SEAL uses 60; see Constraint 4 in the paper).
+const MaxLogModulusBits = 60
+
+// heStandardBound maps log2(N) to the maximum total log2(Q*P) permitted for
+// 128-bit security by the HomomorphicEncryption.org security standard (the
+// table SEAL enforces). Exceeding the bound for a given N is rejected.
+var heStandardBound = map[int]int{
+	10: 27,
+	11: 54,
+	12: 109,
+	13: 218,
+	14: 438,
+	15: 881,
+	16: 1772,
+	17: 3524,
+}
+
+// MaxLogQP returns the 128-bit-security bound on the total modulus bit count
+// for ring degree 2^logN, or 0 if logN is unsupported.
+func MaxLogQP(logN int) int { return heStandardBound[logN] }
+
+// MinLogNFor returns the smallest supported log2(N) whose security bound
+// admits a total modulus of logQP bits, or an error if none does.
+func MinLogNFor(logQP int, minLogN int) (int, error) {
+	for logN := minLogN; logN <= 17; logN++ {
+		if bound, ok := heStandardBound[logN]; ok && logQP <= bound {
+			return logN, nil
+		}
+	}
+	return 0, fmt.Errorf("ckks: no supported ring degree admits a %d-bit modulus", logQP)
+}
+
+// Parameters describes a full RNS-CKKS parameter set: the ring degree, the
+// modulus chain (in consumption order: Qi[len-1] is dropped by the first
+// RESCALE), the special prime used for key switching, and the default scale.
+type Parameters struct {
+	logN     int
+	logSlots int
+	qi       []uint64
+	logQi    []int
+	p        uint64
+	logP     int
+	scale    float64
+	sigma    float64
+
+	ringQ   *ring.Ring
+	special *ring.Modulus
+}
+
+// ParametersLiteral is the user-facing description from which Parameters are
+// generated. LogQi lists the bit sizes of the chain primes with LogQi[0]
+// being the base prime (consumed last) and LogQi[len-1] consumed by the
+// first rescale. LogP is the special key-switching prime bit size.
+type ParametersLiteral struct {
+	LogN  int
+	LogQi []int
+	LogP  int
+	Scale float64
+	Sigma float64 // standard deviation of the error distribution; 0 means the default 3.2
+
+	// AllowInsecure disables the 128-bit security check on the total modulus
+	// size. It exists for unit tests and scaled-down benchmarks that use small
+	// rings; production parameter selection never sets it.
+	AllowInsecure bool
+}
+
+// DefaultSigma is the standard deviation of the RLWE error distribution.
+const DefaultSigma = 3.2
+
+// NewParameters generates concrete primes for the literal and validates the
+// result against the security standard.
+func NewParameters(lit ParametersLiteral) (*Parameters, error) {
+	if lit.LogN < 10 || lit.LogN > 17 {
+		return nil, fmt.Errorf("ckks: logN %d out of supported range [10,17]", lit.LogN)
+	}
+	if len(lit.LogQi) == 0 {
+		return nil, fmt.Errorf("ckks: at least one chain prime is required")
+	}
+	if lit.Scale <= 0 {
+		return nil, fmt.Errorf("ckks: scale must be positive")
+	}
+	totalBits := lit.LogP
+	for _, b := range lit.LogQi {
+		if b < 20 || b > MaxLogModulusBits {
+			return nil, fmt.Errorf("ckks: chain prime bit size %d out of range [20,%d]", b, MaxLogModulusBits)
+		}
+		totalBits += b
+	}
+	if lit.LogP != 0 && (lit.LogP < 20 || lit.LogP > numth.MaxModulusBits) {
+		return nil, fmt.Errorf("ckks: special prime bit size %d out of range", lit.LogP)
+	}
+	if bound, ok := heStandardBound[lit.LogN]; !lit.AllowInsecure && (!ok || totalBits > bound) {
+		return nil, fmt.Errorf("ckks: total modulus of %d bits exceeds the %d-bit security bound for logN=%d (insecure parameters)", totalBits, heStandardBound[lit.LogN], lit.LogN)
+	}
+	sigma := lit.Sigma
+	if sigma == 0 {
+		sigma = DefaultSigma
+	}
+
+	// Generate distinct primes, grouping requests by bit size so equal bit
+	// sizes yield distinct primes.
+	used := map[uint64]bool{}
+	qi := make([]uint64, len(lit.LogQi))
+	for i, b := range lit.LogQi {
+		ps, err := numth.GenerateNTTPrimes(b, lit.LogN, 1, used)
+		if err != nil {
+			return nil, err
+		}
+		qi[i] = ps[0]
+		used[ps[0]] = true
+	}
+	var p uint64
+	if lit.LogP > 0 {
+		ps, err := numth.GenerateNTTPrimes(lit.LogP, lit.LogN, 1, used)
+		if err != nil {
+			return nil, err
+		}
+		p = ps[0]
+	}
+
+	ringQ, err := ring.NewRing(lit.LogN, qi)
+	if err != nil {
+		return nil, err
+	}
+	var special *ring.Modulus
+	if p != 0 {
+		special, err = ring.NewModulus(p, lit.LogN)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Parameters{
+		logN:     lit.LogN,
+		logSlots: lit.LogN - 1,
+		qi:       qi,
+		logQi:    append([]int(nil), lit.LogQi...),
+		p:        p,
+		logP:     lit.LogP,
+		scale:    lit.Scale,
+		sigma:    sigma,
+		ringQ:    ringQ,
+		special:  special,
+	}, nil
+}
+
+// LogN returns log2 of the ring degree.
+func (p *Parameters) LogN() int { return p.logN }
+
+// N returns the ring degree.
+func (p *Parameters) N() int { return 1 << uint(p.logN) }
+
+// Slots returns the number of plaintext slots (N/2).
+func (p *Parameters) Slots() int { return 1 << uint(p.logSlots) }
+
+// LogSlots returns log2 of the slot count.
+func (p *Parameters) LogSlots() int { return p.logSlots }
+
+// MaxLevel returns the level of a fresh ciphertext (number of chain primes - 1).
+func (p *Parameters) MaxLevel() int { return len(p.qi) - 1 }
+
+// Qi returns the chain primes (consumption order: last element dropped first).
+func (p *Parameters) Qi() []uint64 { return append([]uint64(nil), p.qi...) }
+
+// LogQi returns the requested bit sizes of the chain primes.
+func (p *Parameters) LogQi() []int { return append([]int(nil), p.logQi...) }
+
+// SpecialPrime returns the key-switching special prime (0 if none).
+func (p *Parameters) SpecialPrime() uint64 { return p.p }
+
+// LogQP returns the total bit count of all chain primes plus the special prime.
+func (p *Parameters) LogQP() int {
+	total := p.logP
+	for _, b := range p.logQi {
+		total += b
+	}
+	return total
+}
+
+// LogQ returns the total bit count of the chain primes (without the special prime).
+func (p *Parameters) LogQ() int {
+	total := 0
+	for _, b := range p.logQi {
+		total += b
+	}
+	return total
+}
+
+// DefaultScale returns the default encoding scale.
+func (p *Parameters) DefaultScale() float64 { return p.scale }
+
+// Sigma returns the error distribution standard deviation.
+func (p *Parameters) Sigma() float64 { return p.sigma }
+
+// RingQ returns the RNS ring over the chain primes.
+func (p *Parameters) RingQ() *ring.Ring { return p.ringQ }
+
+// SpecialModulus returns the precomputed NTT tables of the special prime, or
+// nil if the parameter set has no special prime (and therefore cannot
+// relinearize or rotate).
+func (p *Parameters) SpecialModulus() *ring.Modulus { return p.special }
+
+// QAtLevel returns the product of the chain primes up to the given level as a
+// float64 (used for noise-budget style diagnostics only).
+func (p *Parameters) QAtLevel(level int) float64 {
+	q := 1.0
+	for i := 0; i <= level && i < len(p.qi); i++ {
+		q *= float64(p.qi[i])
+	}
+	return q
+}
+
+// GaloisElementForRotation returns the Galois automorphism exponent realizing
+// a cyclic left rotation of the plaintext slots by k positions (k may be
+// negative for right rotations).
+func (p *Parameters) GaloisElementForRotation(k int) uint64 {
+	slots := uint64(p.Slots())
+	m := uint64(2 * p.N())
+	kk := ((int64(k) % int64(slots)) + int64(slots)) % int64(slots)
+	return numth.PowMod(5, uint64(kk), m)
+}
+
+// Equal reports whether two parameter sets use identical primes, degree and scale.
+func (p *Parameters) Equal(o *Parameters) bool {
+	if p.logN != o.logN || p.p != o.p || p.scale != o.scale || len(p.qi) != len(o.qi) {
+		return false
+	}
+	for i := range p.qi {
+		if p.qi[i] != o.qi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Parameters) String() string {
+	return fmt.Sprintf("ckks.Parameters{logN=%d, logQP=%d, levels=%d, scale=2^%.0f}",
+		p.logN, p.LogQP(), len(p.qi), math.Log2(p.scale))
+}

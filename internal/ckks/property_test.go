@@ -1,0 +1,130 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests of the scheme's algebraic invariants, driven by
+// testing/quick over random seeds.
+
+func TestPropertyEncodeDecodeRoundTrip(t *testing.T) {
+	params := testParams(t, 11, []int{50}, 0, 1<<35)
+	enc := NewEncoder(params)
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, params.Slots())
+		for i := range values {
+			values[i] = rng.Float64()*8 - 4
+		}
+		pt, err := enc.Encode(values, params.DefaultScale(), 0)
+		if err != nil {
+			return false
+		}
+		decoded := enc.Decode(pt)
+		for i := range values {
+			if math.Abs(decoded[i]-values[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyHomomorphicLinearity checks Enc(a) + Enc(b) decrypts to a+b and
+// that plaintext multiplication distributes over addition, for random vectors.
+func TestPropertyHomomorphicLinearity(t *testing.T) {
+	tc := newTestContext(t, 12, []int{50, 40}, 50, 1<<40, nil)
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, tc.params.Slots())
+		b := make([]float64, tc.params.Slots())
+		c := make([]float64, tc.params.Slots())
+		for i := range a {
+			a[i] = rng.Float64()*2 - 1
+			b[i] = rng.Float64()*2 - 1
+			c[i] = rng.Float64()*2 - 1
+		}
+		cta, ctb := tc.encrypt(t, a), tc.encrypt(t, b)
+		ptc, err := tc.enc.Encode(c, tc.params.DefaultScale(), tc.params.MaxLevel())
+		if err != nil {
+			return false
+		}
+		// (a+b)*c == a*c + b*c (all with plaintext c).
+		sum, err := tc.eval.Add(cta, ctb)
+		if err != nil {
+			return false
+		}
+		lhs, err := tc.eval.MulPlain(sum, ptc)
+		if err != nil {
+			return false
+		}
+		ac, err := tc.eval.MulPlain(cta, ptc)
+		if err != nil {
+			return false
+		}
+		bc, err := tc.eval.MulPlain(ctb, ptc)
+		if err != nil {
+			return false
+		}
+		rhs, err := tc.eval.Add(ac, bc)
+		if err != nil {
+			return false
+		}
+		l := tc.decryptTo(t, lhs)
+		r := tc.decryptTo(t, rhs)
+		for i := range l {
+			want := (a[i] + b[i]) * c[i]
+			if math.Abs(l[i]-want) > 1e-4 || math.Abs(r[i]-want) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRotationComposition checks that rotating by i and then by j is
+// the same as rotating by i+j.
+func TestPropertyRotationComposition(t *testing.T) {
+	tc := newTestContext(t, 11, []int{50, 40}, 50, 1<<40, []int{1, 2, 3})
+	values := make([]float64, tc.params.Slots())
+	for i := range values {
+		values[i] = float64(i % 32)
+	}
+	ct := tc.encrypt(t, values)
+	property := func(pick uint8) bool {
+		i := int(pick%2) + 1 // 1 or 2
+		j := 3 - i           // so i+j = 3, for which a key exists
+		ri, err := tc.eval.RotateLeft(ct, i)
+		if err != nil {
+			return false
+		}
+		rij, err := tc.eval.RotateLeft(ri, j)
+		if err != nil {
+			return false
+		}
+		direct, err := tc.eval.RotateLeft(ct, i+j)
+		if err != nil {
+			return false
+		}
+		a := tc.decryptTo(t, rij)
+		b := tc.decryptTo(t, direct)
+		for k := range a {
+			if math.Abs(a[k]-b[k]) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}

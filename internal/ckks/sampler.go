@@ -1,0 +1,159 @@
+package ckks
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"math"
+	"math/rand/v2"
+
+	"eva/internal/ring"
+)
+
+// PRNG is the source of randomness used for key generation, encryption and
+// error sampling. Tests inject a deterministic instance; production code uses
+// NewPRNG, which seeds a ChaCha8 generator from crypto/rand.
+type PRNG struct {
+	rng *rand.Rand
+}
+
+// NewPRNG returns a PRNG seeded from the operating system entropy source.
+func NewPRNG() *PRNG {
+	var seed [32]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		// crypto/rand failing is unrecoverable for a cryptographic library.
+		panic("ckks: reading entropy: " + err.Error())
+	}
+	return &PRNG{rng: rand.New(rand.NewChaCha8(seed))}
+}
+
+// NewTestPRNG returns a deterministic PRNG for reproducible tests and benchmarks.
+func NewTestPRNG(seed uint64) *PRNG {
+	var s [32]byte
+	binary.LittleEndian.PutUint64(s[:8], seed)
+	binary.LittleEndian.PutUint64(s[8:16], seed^0x9e3779b97f4a7c15)
+	return &PRNG{rng: rand.New(rand.NewChaCha8(s))}
+}
+
+// Uint64 returns a uniform 64-bit value.
+func (p *PRNG) Uint64() uint64 { return p.rng.Uint64() }
+
+// NormFloat64 returns a normally distributed value with mean 0 and stddev 1.
+func (p *PRNG) NormFloat64() float64 { return p.rng.NormFloat64() }
+
+// sampler draws the polynomials needed by the scheme: uniform, ternary
+// secrets, and discrete Gaussian errors.
+type sampler struct {
+	params *Parameters
+	prng   *PRNG
+}
+
+func newSampler(params *Parameters, prng *PRNG) *sampler {
+	if prng == nil {
+		prng = NewPRNG()
+	}
+	return &sampler{params: params, prng: prng}
+}
+
+// uniformQ fills a level-`level` polynomial with uniform residues (NTT-domain
+// semantics: a uniform polynomial is uniform in either domain).
+func (s *sampler) uniformQ(level int, ntt bool) *ring.Poly {
+	r := s.params.RingQ()
+	p := r.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		bound := (^uint64(0) / q) * q
+		for j := range p.Coeffs[i] {
+			v := s.prng.Uint64()
+			for v >= bound {
+				v = s.prng.Uint64()
+			}
+			p.Coeffs[i][j] = v % q
+		}
+	}
+	p.IsNTT = ntt
+	return p
+}
+
+// uniformSpecial fills one limb over the special prime with uniform residues.
+func (s *sampler) uniformSpecial() []uint64 {
+	sp := s.params.SpecialModulus()
+	out := make([]uint64, s.params.N())
+	q := sp.Q
+	bound := (^uint64(0) / q) * q
+	for j := range out {
+		v := s.prng.Uint64()
+		for v >= bound {
+			v = s.prng.Uint64()
+		}
+		out[j] = v % q
+	}
+	return out
+}
+
+// ternarySigned samples a ternary polynomial with entries in {-1,0,1}
+// (uniform), returned as signed coefficients for later reduction across
+// bases.
+func (s *sampler) ternarySigned() []int64 {
+	n := s.params.N()
+	out := make([]int64, n)
+	for j := 0; j < n; j++ {
+		switch s.prng.Uint64() % 3 {
+		case 0:
+			out[j] = -1
+		case 1:
+			out[j] = 0
+		default:
+			out[j] = 1
+		}
+	}
+	return out
+}
+
+// gaussianSigned samples a discrete Gaussian polynomial with standard
+// deviation params.Sigma(), truncated at 6 sigma.
+func (s *sampler) gaussianSigned() []int64 {
+	n := s.params.N()
+	sigma := s.params.Sigma()
+	bound := 6 * sigma
+	out := make([]int64, n)
+	for j := 0; j < n; j++ {
+		v := s.prng.NormFloat64() * sigma
+		for math.Abs(v) > bound {
+			v = s.prng.NormFloat64() * sigma
+		}
+		out[j] = int64(math.Round(v))
+	}
+	return out
+}
+
+// signedToPolyQ reduces signed coefficients into a level-`level` polynomial
+// over the chain primes (coefficient domain).
+func (s *sampler) signedToPolyQ(coeffs []int64, level int) *ring.Poly {
+	r := s.params.RingQ()
+	p := r.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		for j, c := range coeffs {
+			p.Coeffs[i][j] = reduceSigned(c, q)
+		}
+	}
+	return p
+}
+
+// signedToSpecial reduces signed coefficients modulo the special prime.
+func (s *sampler) signedToSpecial(coeffs []int64) []uint64 {
+	q := s.params.SpecialModulus().Q
+	out := make([]uint64, len(coeffs))
+	for j, c := range coeffs {
+		out[j] = reduceSigned(c, q)
+	}
+	return out
+}
+
+// reduceSigned maps a signed integer to its residue in [0, q).
+func reduceSigned(c int64, q uint64) uint64 {
+	if c >= 0 {
+		return uint64(c) % q
+	}
+	return q - (uint64(-c) % q)
+}

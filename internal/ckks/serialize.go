@@ -1,0 +1,195 @@
+package ckks
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"eva/internal/ring"
+)
+
+// Binary serialization of ciphertexts, plaintexts and public key material.
+// In the paper's deployment model the client encrypts inputs locally and
+// ships ciphertexts (and evaluation keys) to the untrusted server, so wire
+// formats are part of the system. The format is a simple
+// length-prefixed little-endian encoding; it is versioned by a magic byte so
+// it can evolve.
+
+const (
+	magicCiphertext byte = 0xC1
+	magicPlaintext  byte = 0xA1
+	magicPublicKey  byte = 0xB1
+	magicSecretKey  byte = 0xE1
+)
+
+func writePoly(buf *bytes.Buffer, p *ring.Poly) {
+	var flags byte
+	if p.IsNTT {
+		flags = 1
+	}
+	buf.WriteByte(flags)
+	binary.Write(buf, binary.LittleEndian, uint32(len(p.Coeffs)))
+	binary.Write(buf, binary.LittleEndian, uint32(len(p.Coeffs[0])))
+	for _, limb := range p.Coeffs {
+		binary.Write(buf, binary.LittleEndian, limb)
+	}
+}
+
+func readPoly(r *bytes.Reader) (*ring.Poly, error) {
+	flags, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("ckks: reading polynomial header: %w", err)
+	}
+	var limbs, n uint32
+	if err := binary.Read(r, binary.LittleEndian, &limbs); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if limbs == 0 || limbs > 64 || n == 0 || n > (1<<18) {
+		return nil, fmt.Errorf("ckks: implausible polynomial shape %dx%d", limbs, n)
+	}
+	p := &ring.Poly{Coeffs: make([][]uint64, limbs), IsNTT: flags&1 == 1}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = make([]uint64, n)
+		if err := binary.Read(r, binary.LittleEndian, p.Coeffs[i]); err != nil {
+			return nil, fmt.Errorf("ckks: reading polynomial limb %d: %w", i, err)
+		}
+	}
+	return p, nil
+}
+
+// MarshalBinary encodes the ciphertext.
+func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
+	buf := &bytes.Buffer{}
+	buf.WriteByte(magicCiphertext)
+	binary.Write(buf, binary.LittleEndian, uint32(len(ct.Value)))
+	binary.Write(buf, binary.LittleEndian, uint32(ct.Level))
+	binary.Write(buf, binary.LittleEndian, math.Float64bits(ct.Scale))
+	for _, p := range ct.Value {
+		writePoly(buf, p)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a ciphertext produced by MarshalBinary.
+func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic, err := r.ReadByte()
+	if err != nil || magic != magicCiphertext {
+		return fmt.Errorf("ckks: not a ciphertext payload")
+	}
+	var size, level uint32
+	var scaleBits uint64
+	if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &level); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &scaleBits); err != nil {
+		return err
+	}
+	if size == 0 || size > 8 {
+		return fmt.Errorf("ckks: implausible ciphertext size %d", size)
+	}
+	ct.Value = make([]*ring.Poly, size)
+	ct.Level = int(level)
+	ct.Scale = math.Float64frombits(scaleBits)
+	for i := range ct.Value {
+		if ct.Value[i], err = readPoly(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalBinary encodes the plaintext.
+func (pt *Plaintext) MarshalBinary() ([]byte, error) {
+	buf := &bytes.Buffer{}
+	buf.WriteByte(magicPlaintext)
+	binary.Write(buf, binary.LittleEndian, uint32(pt.Level))
+	binary.Write(buf, binary.LittleEndian, math.Float64bits(pt.Scale))
+	writePoly(buf, pt.Value)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a plaintext produced by MarshalBinary.
+func (pt *Plaintext) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic, err := r.ReadByte()
+	if err != nil || magic != magicPlaintext {
+		return fmt.Errorf("ckks: not a plaintext payload")
+	}
+	var level uint32
+	var scaleBits uint64
+	if err := binary.Read(r, binary.LittleEndian, &level); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &scaleBits); err != nil {
+		return err
+	}
+	pt.Level = int(level)
+	pt.Scale = math.Float64frombits(scaleBits)
+	pt.Value, err = readPoly(r)
+	return err
+}
+
+// MarshalBinary encodes the public key.
+func (pk *PublicKey) MarshalBinary() ([]byte, error) {
+	buf := &bytes.Buffer{}
+	buf.WriteByte(magicPublicKey)
+	writePoly(buf, pk.B)
+	writePoly(buf, pk.A)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a public key produced by MarshalBinary.
+func (pk *PublicKey) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic, err := r.ReadByte()
+	if err != nil || magic != magicPublicKey {
+		return fmt.Errorf("ckks: not a public-key payload")
+	}
+	if pk.B, err = readPoly(r); err != nil {
+		return err
+	}
+	pk.A, err = readPoly(r)
+	return err
+}
+
+// MarshalBinary encodes the secret key (including its special-prime limb).
+// Handle with care: this is the decryption key.
+func (sk *SecretKey) MarshalBinary() ([]byte, error) {
+	buf := &bytes.Buffer{}
+	buf.WriteByte(magicSecretKey)
+	writePoly(buf, sk.Value)
+	binary.Write(buf, binary.LittleEndian, uint32(len(sk.ValueSpecial)))
+	binary.Write(buf, binary.LittleEndian, sk.ValueSpecial)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a secret key produced by MarshalBinary. The raw
+// ternary form used to derive rotated secrets is not serialized, so a
+// restored secret key can decrypt but cannot generate new rotation keys.
+func (sk *SecretKey) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic, err := r.ReadByte()
+	if err != nil || magic != magicSecretKey {
+		return fmt.Errorf("ckks: not a secret-key payload")
+	}
+	if sk.Value, err = readPoly(r); err != nil {
+		return err
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if n > (1 << 18) {
+		return fmt.Errorf("ckks: implausible special-limb length %d", n)
+	}
+	sk.ValueSpecial = make([]uint64, n)
+	return binary.Read(r, binary.LittleEndian, sk.ValueSpecial)
+}

@@ -1,0 +1,112 @@
+package ckks
+
+import (
+	"testing"
+)
+
+// TestCiphertextSerializationRoundTrip ships a ciphertext through the wire
+// format and checks it still decrypts to the original message.
+func TestCiphertextSerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, 12, []int{50, 40}, 50, 1<<40, nil)
+	values := tc.randomVector(21, 0)
+	ct := tc.encrypt(t, values)
+
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Ciphertext{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Level != ct.Level || restored.Scale != ct.Scale || restored.Degree() != ct.Degree() {
+		t.Fatalf("metadata changed: %v vs %v", restored, ct)
+	}
+	requireClose(t, tc.decryptTo(t, restored), values, 1e-6, "restored ciphertext")
+
+	// Restored ciphertexts participate in homomorphic operations.
+	sum, err := tc.eval.Add(restored, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, len(values))
+	for i := range want {
+		want[i] = 2 * values[i]
+	}
+	requireClose(t, tc.decryptTo(t, sum), want, 1e-6, "sum with restored ciphertext")
+}
+
+func TestPlaintextSerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, 11, []int{45}, 0, 1<<35, nil)
+	values := tc.randomVector(22, 0)
+	pt, err := tc.enc.Encode(values, tc.params.DefaultScale(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := pt.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Plaintext{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	requireClose(t, tc.enc.Decode(restored), values, 1e-6, "restored plaintext")
+}
+
+func TestKeySerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, 12, []int{50, 40}, 50, 1<<40, nil)
+
+	pkData, err := tc.pk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := &PublicKey{}
+	if err := pk.UnmarshalBinary(pkData); err != nil {
+		t.Fatal(err)
+	}
+	// Encrypt under the restored public key and decrypt with the restored
+	// secret key.
+	skData, err := tc.sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := &SecretKey{}
+	if err := sk.UnmarshalBinary(skData); err != nil {
+		t.Fatal(err)
+	}
+	values := tc.randomVector(23, 0)
+	pt, _ := tc.enc.Encode(values, tc.params.DefaultScale(), tc.params.MaxLevel())
+	enc := NewEncryptor(tc.params, pk, NewTestPRNG(77))
+	ct, err := enc.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecryptor(tc.params, sk)
+	requireClose(t, tc.enc.Decode(dec.Decrypt(ct)), values, 1e-6, "restored key pair")
+}
+
+func TestSerializationRejectsGarbage(t *testing.T) {
+	ct := &Ciphertext{}
+	if err := ct.UnmarshalBinary([]byte{0x00, 0x01}); err == nil {
+		t.Error("expected error for wrong ciphertext magic")
+	}
+	pt := &Plaintext{}
+	if err := pt.UnmarshalBinary([]byte{0xFF}); err == nil {
+		t.Error("expected error for wrong plaintext magic")
+	}
+	pk := &PublicKey{}
+	if err := pk.UnmarshalBinary(nil); err == nil {
+		t.Error("expected error for empty public key payload")
+	}
+	sk := &SecretKey{}
+	if err := sk.UnmarshalBinary([]byte{magicSecretKey}); err == nil {
+		t.Error("expected error for truncated secret key payload")
+	}
+	// Truncated but correctly tagged payload.
+	tc := newTestContext(t, 11, []int{45}, 0, 1<<35, nil)
+	good, _ := tc.encrypt(t, tc.randomVector(24, 0)).MarshalBinary()
+	if err := ct.UnmarshalBinary(good[:len(good)/2]); err == nil {
+		t.Error("expected error for truncated ciphertext payload")
+	}
+}

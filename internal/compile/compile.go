@@ -1,0 +1,189 @@
+// Package compile implements the EVA compiler driver (Algorithm 1 of the
+// paper): it transforms an input program to satisfy every constraint of the
+// target RNS-CKKS scheme, validates the result, selects encryption
+// parameters, and selects the rotation steps for which Galois keys are
+// needed. The output is everything required to generate keys and execute the
+// program against the CKKS backend.
+package compile
+
+import (
+	"fmt"
+	"math"
+
+	"eva/internal/analysis"
+	"eva/internal/ckks"
+	"eva/internal/core"
+	"eva/internal/rewrite"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// MaxRescaleLog is log2 of the maximum rescale value s_f (default 60,
+	// SEAL's limit).
+	MaxRescaleLog float64
+	// WaterlineLog overrides the waterline s_w; zero means "maximum input
+	// scale", the paper's default.
+	WaterlineLog float64
+	// Rescale and ModSwitch select the insertion strategies; the zero values
+	// are the paper's defaults (waterline + eager).
+	Rescale   rewrite.RescaleStrategy
+	ModSwitch rewrite.ModSwitchStrategy
+	// MinLogN lower-bounds the ring degree (defaults to what the program's
+	// vector size requires).
+	MinLogN int
+	// AllowInsecure permits parameter sets below the 128-bit security level.
+	// It exists for unit tests and scaled-down benchmarks only.
+	AllowInsecure bool
+	// Optimize enables the frontend optimizations (common-subexpression
+	// elimination and plain-constant folding) before the FHE-specific passes.
+	// They preserve reference semantics exactly and only reduce work.
+	Optimize bool
+}
+
+// DefaultOptions returns the paper's default compilation pipeline.
+func DefaultOptions() Options { return Options{MaxRescaleLog: 60} }
+
+// Result is a compiled EVA program: the transformed program, the encryption
+// parameter plan, the rotation steps, and the per-term analyses the executor
+// relies on.
+type Result struct {
+	// Program is the transformed, validated program (the input is not mutated).
+	Program *core.Program
+	// Plan is the encryption-parameter selection result.
+	Plan *analysis.ParameterPlan
+	// RotationSteps lists the distinct rotation step counts needing Galois keys.
+	RotationSteps []int
+	// LogN is the selected ring degree exponent.
+	LogN int
+	// Scales maps every term of Program to its log2 fixed-point scale.
+	Scales map[*core.Term]float64
+	// Chains maps every Cipher term of Program to its conforming rescale chain.
+	Chains map[*core.Term]analysis.Chain
+	// Types maps every term of Program to its inferred value type.
+	Types map[*core.Term]core.Type
+	// Options echoes the options used.
+	Options Options
+
+	// SourceStats and CompiledStats summarize the input and output programs.
+	SourceStats   core.Stats
+	CompiledStats core.Stats
+}
+
+// Compile runs the EVA compiler on the input program. The input program must
+// use only frontend instructions (Table 2, first group); it is cloned and
+// never mutated.
+func Compile(input *core.Program, opts Options) (*Result, error) {
+	if input == nil {
+		return nil, fmt.Errorf("compile: nil program")
+	}
+	if opts.MaxRescaleLog <= 0 {
+		opts.MaxRescaleLog = 60
+	}
+	if err := input.ValidateStructure(true); err != nil {
+		return nil, fmt.Errorf("compile: invalid input program: %w", err)
+	}
+
+	prog := input.Clone()
+	if opts.Optimize {
+		rewrite.Optimize(prog)
+	}
+	// Step 1: transformation.
+	if err := rewrite.Transform(prog, rewrite.Options{
+		MaxRescaleLog: opts.MaxRescaleLog,
+		WaterlineLog:  opts.WaterlineLog,
+		Rescale:       opts.Rescale,
+		ModSwitch:     opts.ModSwitch,
+	}); err != nil {
+		return nil, fmt.Errorf("compile: transformation failed: %w", err)
+	}
+	// Step 2: validation. A failure here is a compiler bug surfaced at
+	// compile time rather than an FHE-library exception at run time.
+	chains, scales, err := analysis.Validate(prog, opts.MaxRescaleLog)
+	if err != nil {
+		return nil, fmt.Errorf("compile: validation failed: %w", err)
+	}
+	// Step 3: encryption parameter selection.
+	plan, err := analysis.SelectParameters(prog, chains, scales, opts.MaxRescaleLog)
+	if err != nil {
+		return nil, fmt.Errorf("compile: parameter selection failed: %w", err)
+	}
+	// Step 4: rotation steps selection.
+	steps := analysis.SelectRotationSteps(prog)
+
+	logN, err := selectLogN(input.VecSize, plan, opts)
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+
+	return &Result{
+		Program:       prog,
+		Plan:          plan,
+		RotationSteps: steps,
+		LogN:          logN,
+		Scales:        scales,
+		Chains:        chains,
+		Types:         prog.InferTypes(),
+		Options:       opts,
+		SourceStats:   input.ComputeStats(),
+		CompiledStats: prog.ComputeStats(),
+	}, nil
+}
+
+// selectLogN picks the smallest ring degree that (a) offers at least VecSize
+// slots and (b) keeps the selected modulus within the security bound, unless
+// insecure parameters were explicitly allowed.
+func selectLogN(vecSize int, plan *analysis.ParameterPlan, opts Options) (int, error) {
+	minLogN := opts.MinLogN
+	if minLogN < 10 {
+		minLogN = 10
+	}
+	// N/2 slots must cover the program vector size.
+	slotsLogN := int(math.Ceil(math.Log2(float64(vecSize)))) + 1
+	if slotsLogN > minLogN {
+		minLogN = slotsLogN
+	}
+	if opts.AllowInsecure {
+		return minLogN, nil
+	}
+	logN, err := ckks.MinLogNFor(plan.LogQP(), minLogN)
+	if err != nil {
+		return 0, fmt.Errorf("selected modulus of %d bits does not fit any supported ring degree: %w", plan.LogQP(), err)
+	}
+	return logN, nil
+}
+
+// ParametersLiteral converts the compilation result into the CKKS parameter
+// literal needed to instantiate the backend: the plan's bit sizes are listed
+// in consumption order (first consumed first), while the backend's chain is
+// ordered with the first-consumed prime last.
+func (r *Result) ParametersLiteral() ckks.ParametersLiteral {
+	bits := r.Plan.BitSizes
+	logQi := make([]int, len(bits))
+	for i, b := range bits {
+		logQi[len(bits)-1-i] = b
+	}
+	return ckks.ParametersLiteral{
+		LogN:          r.LogN,
+		LogQi:         logQi,
+		LogP:          r.Plan.SpecialBits,
+		Scale:         math.Exp2(rewrite.Waterline(r.Program)),
+		AllowInsecure: r.Options.AllowInsecure,
+	}
+}
+
+// InputScales returns the log2 encoding scale of every program input by name.
+func (r *Result) InputScales() map[string]float64 {
+	out := map[string]float64{}
+	for _, in := range r.Program.Inputs() {
+		out[in.Name] = in.LogScale
+	}
+	return out
+}
+
+// Summary returns a human-readable report of the compilation, in the style of
+// the paper's Table 6 rows.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("program %q: log2(N)=%d, log2(Q)=%d, r=%d, rotations=%d, terms %d -> %d",
+		r.Program.Name, r.LogN, r.Plan.LogQ(), r.Plan.NumPrimes(), len(r.RotationSteps),
+		r.SourceStats.Terms, r.CompiledStats.Terms)
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Output names a term whose value the program returns, together with the
+// desired fixed-point scale (log2) of the result.
+type Output struct {
+	Name     string
+	Term     *Term
+	LogScale float64
+}
+
+// Program is an EVA program: a DAG of terms over fixed-width vectors,
+// together with its named inputs and outputs. The zero value is not usable;
+// construct programs with NewProgram.
+type Program struct {
+	Name    string
+	VecSize int // the fixed power-of-two width of every Cipher/Vector value
+
+	nextID  uint64
+	terms   []*Term
+	inputs  []*Term
+	outputs []*Output
+	byName  map[string]*Term
+}
+
+// NewProgram creates an empty program whose vectors have the given
+// power-of-two size.
+func NewProgram(name string, vecSize int) (*Program, error) {
+	if vecSize <= 0 || vecSize&(vecSize-1) != 0 {
+		return nil, fmt.Errorf("core: vector size %d is not a positive power of two", vecSize)
+	}
+	return &Program{Name: name, VecSize: vecSize, byName: map[string]*Term{}}, nil
+}
+
+// MustNewProgram is NewProgram but panics on error; intended for tests and
+// statically-known sizes.
+func MustNewProgram(name string, vecSize int) *Program {
+	p, err := NewProgram(name, vecSize)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Terms returns all terms in creation order. Creation order is a topological
+// order for programs built through the public API, but transformation passes
+// should use TopoSort, which is robust to rewrites.
+func (p *Program) Terms() []*Term { return p.terms }
+
+// Inputs returns the input terms in declaration order.
+func (p *Program) Inputs() []*Term { return p.inputs }
+
+// Outputs returns the program outputs in declaration order.
+func (p *Program) Outputs() []*Output { return p.outputs }
+
+// InputByName returns the input term with the given name, or nil.
+func (p *Program) InputByName(name string) *Term { return p.byName[name] }
+
+// NumTerms returns the number of terms in the program.
+func (p *Program) NumTerms() int { return len(p.terms) }
+
+func (p *Program) newTerm(op OpCode, parms ...*Term) *Term {
+	p.nextID++
+	t := &Term{ID: p.nextID, Op: op, parms: append([]*Term(nil), parms...)}
+	for slot, parm := range parms {
+		parm.uses = append(parm.uses, use{child: t, slot: slot})
+	}
+	p.terms = append(p.terms, t)
+	return t
+}
+
+// NewInput declares a named run-time input of the given type and vector
+// width, encoded at the given log2 scale.
+func (p *Program) NewInput(name string, typ Type, width int, logScale float64) (*Term, error) {
+	if typ == TypeInvalid {
+		return nil, fmt.Errorf("core: input %q has invalid type", name)
+	}
+	if _, dup := p.byName[name]; dup {
+		return nil, fmt.Errorf("core: duplicate input name %q", name)
+	}
+	if err := p.checkWidth(typ, width); err != nil {
+		return nil, fmt.Errorf("core: input %q: %w", name, err)
+	}
+	t := p.newTerm(OpInput)
+	t.Name = name
+	t.InType = typ
+	t.VecWidth = width
+	t.LogScale = logScale
+	p.inputs = append(p.inputs, t)
+	p.byName[name] = t
+	return t, nil
+}
+
+// NewConstant declares a compile-time constant vector encoded at the given
+// log2 scale. Constants can never be Cipher.
+func (p *Program) NewConstant(values []float64, logScale float64) (*Term, error) {
+	width := len(values)
+	typ := TypeVector
+	if width == 1 {
+		typ = TypeScalar
+	}
+	if err := p.checkWidth(typ, width); err != nil {
+		return nil, fmt.Errorf("core: constant: %w", err)
+	}
+	t := p.newTerm(OpConstant)
+	t.InType = typ
+	t.Value = append([]float64(nil), values...)
+	t.VecWidth = width
+	t.LogScale = logScale
+	return t, nil
+}
+
+// NewScalarConstant declares a constant holding a single value replicated
+// across all slots.
+func (p *Program) NewScalarConstant(value float64, logScale float64) (*Term, error) {
+	return p.NewConstant([]float64{value}, logScale)
+}
+
+func (p *Program) checkWidth(typ Type, width int) error {
+	if typ == TypeScalar {
+		if width != 1 {
+			return fmt.Errorf("scalar values must have width 1, got %d", width)
+		}
+		return nil
+	}
+	if width <= 0 || width&(width-1) != 0 {
+		return fmt.Errorf("vector width %d is not a positive power of two", width)
+	}
+	if width > p.VecSize {
+		return fmt.Errorf("vector width %d exceeds program vector size %d", width, p.VecSize)
+	}
+	return nil
+}
+
+// NewUnary appends a unary instruction (NEGATE, RELINEARIZE, MOD_SWITCH).
+func (p *Program) NewUnary(op OpCode, a *Term) (*Term, error) {
+	if op.Arity() != 1 || op.IsRotation() || op == OpRescale {
+		return nil, fmt.Errorf("core: %s is not a plain unary instruction", op)
+	}
+	if a == nil {
+		return nil, fmt.Errorf("core: nil operand for %s", op)
+	}
+	return p.newTerm(op, a), nil
+}
+
+// NewBinary appends a binary instruction (ADD, SUB, MULTIPLY).
+func (p *Program) NewBinary(op OpCode, a, b *Term) (*Term, error) {
+	if !op.IsBinary() {
+		return nil, fmt.Errorf("core: %s is not a binary instruction", op)
+	}
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("core: nil operand for %s", op)
+	}
+	return p.newTerm(op, a, b), nil
+}
+
+// NewRotation appends a rotation instruction by the given step count.
+func (p *Program) NewRotation(op OpCode, a *Term, by int) (*Term, error) {
+	if !op.IsRotation() {
+		return nil, fmt.Errorf("core: %s is not a rotation", op)
+	}
+	if a == nil {
+		return nil, fmt.Errorf("core: nil operand for %s", op)
+	}
+	t := p.newTerm(op, a)
+	t.RotateBy = by
+	return t, nil
+}
+
+// NewRescale appends a RESCALE instruction dividing the scale by 2^logScale.
+func (p *Program) NewRescale(a *Term, logScale float64) (*Term, error) {
+	if a == nil {
+		return nil, fmt.Errorf("core: nil operand for RESCALE")
+	}
+	if logScale <= 0 {
+		return nil, fmt.Errorf("core: rescale divisor 2^%g is not greater than one", logScale)
+	}
+	t := p.newTerm(OpRescale, a)
+	t.LogScale = logScale
+	return t, nil
+}
+
+// AddOutput marks a term as a program output with the desired log2 scale.
+func (p *Program) AddOutput(name string, t *Term, logScale float64) error {
+	if t == nil {
+		return fmt.Errorf("core: nil output term")
+	}
+	for _, o := range p.outputs {
+		if o.Name == name {
+			return fmt.Errorf("core: duplicate output name %q", name)
+		}
+	}
+	p.outputs = append(p.outputs, &Output{Name: name, Term: t, LogScale: logScale})
+	return nil
+}
+
+// --- Graph editing used by the rewriting framework ---
+
+// SetParm rewires parameter slot `slot` of child to point at newParm,
+// maintaining the use lists of both the old and the new parameter.
+func (p *Program) SetParm(child *Term, slot int, newParm *Term) {
+	old := child.parms[slot]
+	if old == newParm {
+		return
+	}
+	// Remove the (child, slot) use from the old parameter.
+	for i, u := range old.uses {
+		if u.child == child && u.slot == slot {
+			old.uses = append(old.uses[:i], old.uses[i+1:]...)
+			break
+		}
+	}
+	child.parms[slot] = newParm
+	newParm.uses = append(newParm.uses, use{child: child, slot: slot})
+}
+
+// InsertUnaryAfter creates a new instruction op(t) and redirects every use of
+// t selected by keep (nil means all uses, excluding the new node itself) to
+// the new instruction. It returns the inserted term. This implements the
+// common "insert node between n and its children" step of the rewrite rules.
+func (p *Program) InsertUnaryAfter(t *Term, op OpCode, keep func(child *Term, slot int) bool) *Term {
+	// Snapshot uses before adding the new node (which itself becomes a use).
+	existing := append([]use(nil), t.uses...)
+	n := p.newTerm(op, t)
+	for _, u := range existing {
+		if keep == nil || keep(u.child, u.slot) {
+			p.SetParm(u.child, u.slot, n)
+		}
+	}
+	return n
+}
+
+// RedirectOutputs makes every output currently referring to old refer to new
+// instead. Rewrite passes call this together with use rewiring when the
+// rewritten term is itself an output.
+func (p *Program) RedirectOutputs(old, new *Term) {
+	for _, o := range p.outputs {
+		if o.Term == old {
+			o.Term = new
+		}
+	}
+}
+
+// --- Traversal helpers ---
+
+// TopoSort returns the live terms of the program in topological order
+// (parameters before uses). Terms that can no longer reach an output are
+// omitted. Ready terms are emitted in creation order, which keeps pass
+// output deterministic.
+func (p *Program) TopoSort() []*Term {
+	live := p.liveTerms()
+	indeg := make(map[*Term]int, len(live))
+	var queue []*Term
+	for _, t := range p.terms {
+		if !live[t] {
+			continue
+		}
+		n := 0
+		for _, parm := range t.parms {
+			if live[parm] {
+				n++
+			}
+		}
+		indeg[t] = n
+		if n == 0 {
+			queue = append(queue, t)
+		}
+	}
+	out := make([]*Term, 0, len(live))
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		out = append(out, t)
+		seen := map[*Term]bool{}
+		for _, u := range t.uses {
+			c := u.child
+			if !live[c] || seen[c] {
+				continue
+			}
+			seen[c] = true
+			// Decrement once per distinct parameter edge from t to c.
+			for _, parm := range c.parms {
+				if parm == t {
+					indeg[c]--
+				}
+			}
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(out) != len(live) {
+		panic("core: cycle detected in program graph")
+	}
+	return out
+}
+
+// liveTerms returns the set of terms reachable from the outputs (or all
+// terms, if the program has no outputs yet).
+func (p *Program) liveTerms() map[*Term]bool {
+	live := make(map[*Term]bool, len(p.terms))
+	if len(p.outputs) == 0 {
+		for _, t := range p.terms {
+			live[t] = true
+		}
+		return live
+	}
+	var visit func(t *Term)
+	visit = func(t *Term) {
+		if live[t] {
+			return
+		}
+		live[t] = true
+		for _, parm := range t.parms {
+			visit(parm)
+		}
+	}
+	for _, o := range p.outputs {
+		visit(o.Term)
+	}
+	return live
+}
+
+// InferTypes computes the value type of every live term: a term is Cipher if
+// any of its parameters is Cipher, otherwise it keeps the plain vector type.
+func (p *Program) InferTypes() map[*Term]Type {
+	types := make(map[*Term]Type, len(p.terms))
+	for _, t := range p.TopoSort() {
+		if t.IsLeaf() {
+			types[t] = t.InType
+			continue
+		}
+		typ := TypeScalar
+		for _, parm := range t.parms {
+			switch types[parm] {
+			case TypeCipher:
+				typ = TypeCipher
+			case TypeVector:
+				if typ != TypeCipher {
+					typ = TypeVector
+				}
+			}
+		}
+		types[t] = typ
+	}
+	return types
+}
+
+// MultiplicativeDepth returns the maximum number of MULTIPLY instructions on
+// any input-to-output path of the live graph.
+func (p *Program) MultiplicativeDepth() int {
+	depth := map[*Term]int{}
+	maxDepth := 0
+	for _, t := range p.TopoSort() {
+		d := 0
+		for _, parm := range t.parms {
+			if depth[parm] > d {
+				d = depth[parm]
+			}
+		}
+		if t.Op == OpMultiply {
+			d++
+		}
+		depth[t] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return maxDepth
+}
+
+// RotationSteps returns the sorted set of distinct rotation step counts used
+// by the live graph, normalized to left-rotation steps (a right rotation by k
+// is a left rotation by -k).
+func (p *Program) RotationSteps() []int {
+	set := map[int]bool{}
+	for _, t := range p.TopoSort() {
+		switch t.Op {
+		case OpRotateLeft:
+			if t.RotateBy != 0 {
+				set[t.RotateBy] = true
+			}
+		case OpRotateRight:
+			if t.RotateBy != 0 {
+				set[-t.RotateBy] = true
+			}
+		}
+	}
+	steps := make([]int, 0, len(set))
+	for s := range set {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	return steps
+}
+
+// ValidateStructure checks the structural well-formedness of the program:
+// arities, leaf attributes, output presence, and (for input programs) the
+// absence of compiler-only instructions.
+func (p *Program) ValidateStructure(asInput bool) error {
+	if len(p.outputs) == 0 {
+		return fmt.Errorf("core: program %q has no outputs", p.Name)
+	}
+	types := p.InferTypes()
+	for _, t := range p.TopoSort() {
+		if len(t.parms) != t.Op.Arity() {
+			return fmt.Errorf("core: %s has %d parameters, want %d", t, len(t.parms), t.Op.Arity())
+		}
+		if asInput && t.Op.IsCompilerOp() {
+			return fmt.Errorf("core: input programs may not contain %s instructions", t.Op)
+		}
+		switch t.Op {
+		case OpInput:
+			if t.Name == "" {
+				return fmt.Errorf("core: input term t%d has no name", t.ID)
+			}
+		case OpConstant:
+			if t.InType == TypeCipher {
+				return fmt.Errorf("core: constant t%d cannot have Cipher type", t.ID)
+			}
+			if len(t.Value) != t.VecWidth {
+				return fmt.Errorf("core: constant t%d has %d values for width %d", t.ID, len(t.Value), t.VecWidth)
+			}
+		case OpAdd, OpSub, OpMultiply:
+			if types[t.parms[0]].IsPlain() && types[t.parms[1]].IsPlain() {
+				// Plain-plain arithmetic is allowed (it folds at run time),
+				// but at least the signature of Table 2 expects Cipher
+				// somewhere in encrypted programs; nothing to check here.
+				continue
+			}
+		case OpRescale:
+			if t.LogScale <= 0 {
+				return fmt.Errorf("core: %s has non-positive divisor", t)
+			}
+		}
+	}
+	for _, o := range p.outputs {
+		if o.Term == nil {
+			return fmt.Errorf("core: output %q has no term", o.Name)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the program. Compilation operates on a clone
+// so the caller's input program is never mutated.
+func (p *Program) Clone() *Program {
+	cp := &Program{
+		Name:    p.Name,
+		VecSize: p.VecSize,
+		nextID:  p.nextID,
+		byName:  map[string]*Term{},
+	}
+	mapping := make(map[*Term]*Term, len(p.terms))
+	for _, t := range p.terms {
+		nt := &Term{
+			ID:       t.ID,
+			Op:       t.Op,
+			Name:     t.Name,
+			Value:    append([]float64(nil), t.Value...),
+			InType:   t.InType,
+			VecWidth: t.VecWidth,
+			LogScale: t.LogScale,
+			RotateBy: t.RotateBy,
+			Kernel:   t.Kernel,
+		}
+		mapping[t] = nt
+		cp.terms = append(cp.terms, nt)
+	}
+	for _, t := range p.terms {
+		nt := mapping[t]
+		nt.parms = make([]*Term, len(t.parms))
+		for i, parm := range t.parms {
+			nt.parms[i] = mapping[parm]
+		}
+		nt.uses = make([]use, len(t.uses))
+		for i, u := range t.uses {
+			nt.uses[i] = use{child: mapping[u.child], slot: u.slot}
+		}
+	}
+	for _, in := range p.inputs {
+		cp.inputs = append(cp.inputs, mapping[in])
+		cp.byName[in.Name] = mapping[in]
+	}
+	for _, o := range p.outputs {
+		cp.outputs = append(cp.outputs, &Output{Name: o.Name, Term: mapping[o.Term], LogScale: o.LogScale})
+	}
+	return cp
+}
+
+// Stats summarizes a program for reporting.
+type Stats struct {
+	Terms         int
+	Instructions  map[string]int
+	Inputs        int
+	Outputs       int
+	MultDepth     int
+	RotationSteps int
+}
+
+// ComputeStats gathers instruction counts and depth information.
+func (p *Program) ComputeStats() Stats {
+	s := Stats{Instructions: map[string]int{}, Inputs: len(p.inputs), Outputs: len(p.outputs)}
+	for _, t := range p.TopoSort() {
+		s.Terms++
+		if !t.IsLeaf() {
+			s.Instructions[t.Op.String()]++
+		}
+	}
+	s.MultDepth = p.MultiplicativeDepth()
+	s.RotationSteps = len(p.RotationSteps())
+	return s
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The serialized program format mirrors the Protocol Buffers schema of
+// Figure 1 in the paper (Program{vec_size, constants, inputs, outputs,
+// insts}), rendered as JSON since this implementation is standard-library
+// only. Scales are serialized as log2 values, matching how the compiler
+// reasons about them.
+
+type serialInstruction struct {
+	Output   uint64   `json:"output"`
+	OpCode   string   `json:"op_code"`
+	Args     []uint64 `json:"args"`
+	RotateBy int      `json:"rotate_by,omitempty"`
+	LogScale float64  `json:"log_scale,omitempty"`
+	Kernel   string   `json:"kernel,omitempty"`
+}
+
+type serialInput struct {
+	Obj      uint64  `json:"obj"`
+	Name     string  `json:"name"`
+	Type     string  `json:"type"`
+	Width    int     `json:"width"`
+	LogScale float64 `json:"log_scale"`
+}
+
+type serialConstant struct {
+	Obj      uint64    `json:"obj"`
+	Type     string    `json:"type"`
+	Width    int       `json:"width"`
+	LogScale float64   `json:"log_scale"`
+	Values   []float64 `json:"values"`
+}
+
+type serialOutput struct {
+	Obj      uint64  `json:"obj"`
+	Name     string  `json:"name"`
+	LogScale float64 `json:"log_scale"`
+}
+
+type serialProgram struct {
+	Name      string              `json:"name"`
+	VecSize   int                 `json:"vec_size"`
+	Constants []serialConstant    `json:"constants"`
+	Inputs    []serialInput       `json:"inputs"`
+	Outputs   []serialOutput      `json:"outputs"`
+	Insts     []serialInstruction `json:"insts"`
+}
+
+// Serialize writes the program to w in the JSON program format.
+func (p *Program) Serialize(w io.Writer) error {
+	sp := serialProgram{Name: p.Name, VecSize: p.VecSize}
+	for _, t := range p.TopoSort() {
+		switch t.Op {
+		case OpInput:
+			sp.Inputs = append(sp.Inputs, serialInput{
+				Obj: t.ID, Name: t.Name, Type: t.InType.String(), Width: t.VecWidth, LogScale: t.LogScale,
+			})
+		case OpConstant:
+			sp.Constants = append(sp.Constants, serialConstant{
+				Obj: t.ID, Type: t.InType.String(), Width: t.VecWidth, LogScale: t.LogScale, Values: t.Value,
+			})
+		default:
+			inst := serialInstruction{
+				Output: t.ID, OpCode: t.Op.String(), RotateBy: t.RotateBy, LogScale: t.LogScale, Kernel: t.Kernel,
+			}
+			for _, parm := range t.Parms() {
+				inst.Args = append(inst.Args, parm.ID)
+			}
+			sp.Insts = append(sp.Insts, inst)
+		}
+	}
+	for _, o := range p.Outputs() {
+		sp.Outputs = append(sp.Outputs, serialOutput{Obj: o.Term.ID, Name: o.Name, LogScale: o.LogScale})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sp)
+}
+
+// Deserialize reads a program in the JSON program format.
+func Deserialize(r io.Reader) (*Program, error) {
+	var sp serialProgram
+	if err := json.NewDecoder(r).Decode(&sp); err != nil {
+		return nil, fmt.Errorf("core: decoding program: %w", err)
+	}
+	p, err := NewProgram(sp.Name, sp.VecSize)
+	if err != nil {
+		return nil, err
+	}
+	byID := map[uint64]*Term{}
+
+	// Leaves first (they carry their own IDs which we remap).
+	for _, in := range sp.Inputs {
+		typ, err := ParseType(in.Type)
+		if err != nil {
+			return nil, err
+		}
+		t, err := p.NewInput(in.Name, typ, in.Width, in.LogScale)
+		if err != nil {
+			return nil, err
+		}
+		byID[in.Obj] = t
+	}
+	for _, c := range sp.Constants {
+		t, err := p.NewConstant(c.Values, c.LogScale)
+		if err != nil {
+			return nil, err
+		}
+		byID[c.Obj] = t
+	}
+	// Instructions are serialized in topological order (note: not necessarily
+	// in ID order, since transformation passes create terms that earlier
+	// instructions are rewired to), so a single pass in serialized order
+	// resolves all arguments.
+	for _, inst := range sp.Insts {
+		op, err := ParseOpCode(inst.OpCode)
+		if err != nil {
+			return nil, err
+		}
+		parms := make([]*Term, len(inst.Args))
+		for i, id := range inst.Args {
+			pt, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("core: instruction %d references unknown term %d", inst.Output, id)
+			}
+			parms[i] = pt
+		}
+		var t *Term
+		switch {
+		case op.IsBinary():
+			t, err = p.NewBinary(op, parms[0], parms[1])
+		case op.IsRotation():
+			t, err = p.NewRotation(op, parms[0], inst.RotateBy)
+		case op == OpRescale:
+			t, err = p.NewRescale(parms[0], inst.LogScale)
+		default:
+			t, err = p.NewUnary(op, parms[0])
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Kernel = inst.Kernel
+		byID[inst.Output] = t
+	}
+	for _, o := range sp.Outputs {
+		t, ok := byID[o.Obj]
+		if !ok {
+			return nil, fmt.Errorf("core: output %q references unknown term %d", o.Name, o.Obj)
+		}
+		if err := p.AddOutput(o.Name, t, o.LogScale); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,168 @@
+// Package execute runs compiled EVA programs. It provides the reference
+// executor (the paper's "id scheme" semantics, used for testing and as the
+// unencrypted baseline), the CKKS executor that drives the homomorphic
+// backend, and two schedulers: the asynchronous DAG-parallel scheduler that
+// EVA uses, and a bulk-synchronous per-kernel scheduler modeling the CHET
+// baseline's intra-kernel parallelism.
+package execute
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"eva/internal/ckks"
+	"eva/internal/compile"
+	"eva/internal/core"
+)
+
+// Context bundles the CKKS backend objects needed to execute a compiled
+// program: parameters, the encoder, and an evaluator armed with the public
+// evaluation keys. Encryption and decryption additionally need the key pair,
+// which the helper functions below manage.
+type Context struct {
+	Params    *ckks.Parameters
+	Encoder   *ckks.Encoder
+	Evaluator *ckks.Evaluator
+
+	// KeyGenTime records how long key material took to generate (the paper's
+	// "encryption context" time in Table 7).
+	KeyGenTime time.Duration
+}
+
+// KeyMaterial is the full key set produced for a compiled program.
+type KeyMaterial struct {
+	Secret *ckks.SecretKey
+	Public *ckks.PublicKey
+	Relin  *ckks.RelinearizationKey
+	Rot    *ckks.RotationKeySet
+}
+
+// NewContext generates the encryption context for a compiled program: the
+// concrete encryption parameters, the key pair, the relinearization key, and
+// one Galois key per rotation step the compiler selected. prng may be nil for
+// a securely seeded default.
+func NewContext(res *compile.Result, prng *ckks.PRNG) (*Context, *KeyMaterial, error) {
+	start := time.Now()
+	params, err := ckks.NewParameters(res.ParametersLiteral())
+	if err != nil {
+		return nil, nil, fmt.Errorf("execute: building parameters: %w", err)
+	}
+	kg := ckks.NewKeyGenerator(params, prng)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk, err := kg.GenRelinearizationKey(sk)
+	if err != nil {
+		return nil, nil, fmt.Errorf("execute: relinearization key: %w", err)
+	}
+	var rtk *ckks.RotationKeySet
+	if len(res.RotationSteps) > 0 {
+		rtk, err = kg.GenRotationKeys(res.RotationSteps, sk)
+		if err != nil {
+			return nil, nil, fmt.Errorf("execute: rotation keys: %w", err)
+		}
+	}
+	ctx := &Context{
+		Params:     params,
+		Encoder:    ckks.NewEncoder(params),
+		Evaluator:  ckks.NewEvaluator(params, ckks.EvaluationKeys{Rlk: rlk, Rtk: rtk}),
+		KeyGenTime: time.Since(start),
+	}
+	return ctx, &KeyMaterial{Secret: sk, Public: pk, Relin: rlk, Rot: rtk}, nil
+}
+
+// Inputs maps program input names to their run-time values. Every value is a
+// vector of at most the program's vector size (shorter power-of-two vectors
+// are replicated, scalars may be given as single-element slices).
+type Inputs map[string][]float64
+
+// EncryptedInputs holds the client-side encrypted (or encoded) inputs.
+type EncryptedInputs struct {
+	Cipher map[string]*ckks.Ciphertext
+	Plain  map[string][]float64
+
+	EncryptTime time.Duration
+}
+
+// EncryptInputs encodes and encrypts the Cipher inputs of the program at
+// their compiled scales and leaves plain inputs as vectors, mirroring the
+// client-side step of the EVA workflow.
+func EncryptInputs(ctx *Context, res *compile.Result, keys *KeyMaterial, values Inputs, prng *ckks.PRNG) (*EncryptedInputs, error) {
+	start := time.Now()
+	enc := ckks.NewEncryptor(ctx.Params, keys.Public, prng)
+	out := &EncryptedInputs{Cipher: map[string]*ckks.Ciphertext{}, Plain: map[string][]float64{}}
+	for _, in := range res.Program.Inputs() {
+		v, ok := values[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("execute: missing value for input %q", in.Name)
+		}
+		if len(v) == 0 || len(v) > res.Program.VecSize {
+			return nil, fmt.Errorf("execute: input %q has %d values; want 1..%d", in.Name, len(v), res.Program.VecSize)
+		}
+		if in.InType == core.TypeCipher {
+			pt, err := ctx.Encoder.Encode(v, math.Exp2(in.LogScale), ctx.Params.MaxLevel())
+			if err != nil {
+				return nil, fmt.Errorf("execute: encoding input %q: %w", in.Name, err)
+			}
+			ct, err := enc.Encrypt(pt)
+			if err != nil {
+				return nil, fmt.Errorf("execute: encrypting input %q: %w", in.Name, err)
+			}
+			out.Cipher[in.Name] = ct
+		} else {
+			out.Plain[in.Name] = replicate(v, res.Program.VecSize)
+		}
+	}
+	out.EncryptTime = time.Since(start)
+	return out, nil
+}
+
+// Outputs holds the encrypted results of an execution plus any outputs that
+// turned out to be unencrypted (programs whose outputs do not depend on any
+// Cipher input), and execution statistics.
+type Outputs struct {
+	Cipher map[string]*ckks.Ciphertext
+	Plain  map[string][]float64
+	Stats  RunStats
+}
+
+// RunStats reports scheduler statistics for one execution.
+type RunStats struct {
+	Instructions   int
+	Workers        int
+	WallTime       time.Duration
+	PeakLiveValues int
+	PeakLiveBytes  int
+	ReusedValues   int
+}
+
+// DecryptOutputs decrypts and decodes every encrypted output, truncating each
+// result to the program's vector size.
+func DecryptOutputs(ctx *Context, res *compile.Result, keys *KeyMaterial, outputs *Outputs) (map[string][]float64, time.Duration) {
+	start := time.Now()
+	dec := ckks.NewDecryptor(ctx.Params, keys.Secret)
+	out := make(map[string][]float64, len(outputs.Cipher)+len(outputs.Plain))
+	for name, ct := range outputs.Cipher {
+		values := ctx.Encoder.Decode(dec.Decrypt(ct))
+		out[name] = values[:min(res.Program.VecSize, len(values))]
+	}
+	for name, v := range outputs.Plain {
+		out[name] = v[:min(res.Program.VecSize, len(v))]
+	}
+	return out, time.Since(start)
+}
+
+func replicate(v []float64, size int) []float64 {
+	out := make([]float64, size)
+	for i := range out {
+		out[i] = v[i%len(v)]
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package execute
+
+import (
+	"fmt"
+
+	"eva/internal/core"
+)
+
+// RunReference executes a program under the paper's reference semantics (the
+// identity "encryption" scheme): every value is a plain vector, and the
+// FHE-specific instructions RESCALE, MOD_SWITCH and RELINEARIZE are the
+// identity on values. It works on both input programs and compiled programs
+// and is the oracle the tests compare homomorphic results against.
+func RunReference(p *core.Program, values Inputs) (map[string][]float64, error) {
+	env := make(map[*core.Term][]float64, p.NumTerms())
+	for _, in := range p.Inputs() {
+		v, ok := values[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("execute: missing value for input %q", in.Name)
+		}
+		if len(v) == 0 || len(v) > p.VecSize {
+			return nil, fmt.Errorf("execute: input %q has %d values; want 1..%d", in.Name, len(v), p.VecSize)
+		}
+		env[in] = replicate(v, p.VecSize)
+	}
+	for _, t := range p.TopoSort() {
+		if t.Op == core.OpInput {
+			continue
+		}
+		v, err := evalReference(t, env, p.VecSize)
+		if err != nil {
+			return nil, err
+		}
+		env[t] = v
+	}
+	out := make(map[string][]float64, len(p.Outputs()))
+	for _, o := range p.Outputs() {
+		out[o.Name] = env[o.Term]
+	}
+	return out, nil
+}
+
+func evalReference(t *core.Term, env map[*core.Term][]float64, vecSize int) ([]float64, error) {
+	switch t.Op {
+	case core.OpConstant:
+		return replicate(t.Value, vecSize), nil
+	case core.OpNegate:
+		return mapVec(env[t.Parm(0)], func(x float64) float64 { return -x }), nil
+	case core.OpAdd:
+		return zipVec(env[t.Parm(0)], env[t.Parm(1)], func(a, b float64) float64 { return a + b }), nil
+	case core.OpSub:
+		return zipVec(env[t.Parm(0)], env[t.Parm(1)], func(a, b float64) float64 { return a - b }), nil
+	case core.OpMultiply:
+		return zipVec(env[t.Parm(0)], env[t.Parm(1)], func(a, b float64) float64 { return a * b }), nil
+	case core.OpRotateLeft:
+		return rotate(env[t.Parm(0)], t.RotateBy), nil
+	case core.OpRotateRight:
+		return rotate(env[t.Parm(0)], -t.RotateBy), nil
+	case core.OpRelinearize, core.OpModSwitch, core.OpRescale:
+		return env[t.Parm(0)], nil
+	default:
+		return nil, fmt.Errorf("execute: unsupported opcode %s in reference executor", t.Op)
+	}
+}
+
+func mapVec(a []float64, f func(float64) float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = f(a[i])
+	}
+	return out
+}
+
+func zipVec(a, b []float64, f func(a, b float64) float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = f(a[i], b[i])
+	}
+	return out
+}
+
+// rotate rotates v left by k positions (k may be negative for right rotations).
+func rotate(v []float64, k int) []float64 {
+	n := len(v)
+	out := make([]float64, n)
+	k = ((k % n) + n) % n
+	for i := range out {
+		out[i] = v[(i+k)%n]
+	}
+	return out
+}

@@ -1,0 +1,370 @@
+// Package hetensor is the tensor frontend for EVA: a library of homomorphic
+// tensor kernels (convolution, polynomial activations, average pooling,
+// fully-connected layers) that lower high-level neural-network layers onto
+// EVA vector instructions, playing the role of CHET's kernel library in the
+// paper (Section 7.2). Both the EVA pipeline and the CHET baseline compile
+// the exact same kernels; only the downstream instruction insertion and
+// scheduling differ, which is precisely the comparison the paper makes.
+//
+// Layout: each channel of a feature map is packed row-major into its own
+// ciphertext (the HW layout of CHET). Convolutions use one rotation per
+// kernel tap shared across output channels and one plaintext mask
+// multiplication per (input channel, output channel, tap).
+package hetensor
+
+import (
+	"fmt"
+
+	"eva/internal/builder"
+)
+
+// Tensor is an encrypted feature map: one expression per channel, each
+// holding an H×W image packed row-major.
+type Tensor struct {
+	Channels []builder.Expr
+	H, W     int
+}
+
+// NumChannels returns the channel count.
+func (t *Tensor) NumChannels() int { return len(t.Channels) }
+
+// Vector is an encrypted flat vector (e.g. the activations of a
+// fully-connected layer) packed into the first Length slots.
+type Vector struct {
+	Value  builder.Expr
+	Length int
+}
+
+// Compiler lowers tensor operations onto a program builder.
+type Compiler struct {
+	b *builder.Builder
+	// WeightScale is the log2 encoding scale for plaintext weights and masks.
+	WeightScale float64
+	// ScalarScale is the log2 encoding scale for scalar constants.
+	ScalarScale float64
+}
+
+// NewCompiler wraps a program builder. weightScale and scalarScale are the
+// log2 scales at which weights/masks and scalars are encoded (the Vector and
+// Scalar columns of the paper's Table 4).
+func NewCompiler(b *builder.Builder, weightScale, scalarScale float64) *Compiler {
+	return &Compiler{b: b, WeightScale: weightScale, ScalarScale: scalarScale}
+}
+
+// Builder returns the underlying program builder.
+func (c *Compiler) Builder() *builder.Builder { return c.b }
+
+// InputImage declares an encrypted input image of `channels` channels of size
+// h×w, one Cipher input per channel, encoded at the given log2 scale.
+func (c *Compiler) InputImage(name string, channels, h, w int, logScale float64) (*Tensor, error) {
+	if err := c.checkPlane(h, w); err != nil {
+		return nil, err
+	}
+	if channels <= 0 {
+		return nil, fmt.Errorf("hetensor: channel count must be positive")
+	}
+	t := &Tensor{H: h, W: w}
+	for ch := 0; ch < channels; ch++ {
+		t.Channels = append(t.Channels, c.b.InputWithWidth(fmt.Sprintf("%s_c%d", name, ch), h*w, logScale))
+	}
+	return t, c.b.Err()
+}
+
+func (c *Compiler) checkPlane(h, w int) error {
+	if h <= 0 || w <= 0 || h*w > c.b.VecSize() {
+		return fmt.Errorf("hetensor: plane %dx%d does not fit the %d-slot vector", h, w, c.b.VecSize())
+	}
+	if h*w&(h*w-1) != 0 {
+		return fmt.Errorf("hetensor: plane size %d must be a power of two", h*w)
+	}
+	return nil
+}
+
+// Conv2D applies a same-padded, stride-1 convolution with plaintext weights
+// weights[out][in][kh][kw] and per-output-channel bias (bias may be nil).
+func (c *Compiler) Conv2D(kernel string, in *Tensor, weights [][][][]float64, bias []float64) (*Tensor, error) {
+	if len(weights) == 0 || len(weights[0]) != in.NumChannels() {
+		return nil, fmt.Errorf("hetensor: %s: weight shape mismatch (%d input channels, got %d)", kernel, in.NumChannels(), len(weights))
+	}
+	kh := len(weights[0][0])
+	kw := len(weights[0][0][0])
+	if kh%2 == 0 || kw%2 == 0 {
+		return nil, fmt.Errorf("hetensor: %s: kernel %dx%d must have odd dimensions", kernel, kh, kw)
+	}
+	if bias != nil && len(bias) != len(weights) {
+		return nil, fmt.Errorf("hetensor: %s: bias length %d does not match %d output channels", kernel, len(bias), len(weights))
+	}
+	c.b.SetKernel(kernel)
+	ph, pw := kh/2, kw/2
+	h, w := in.H, in.W
+	outC := len(weights)
+
+	// One rotation per (input channel, tap), shared across output channels.
+	rotated := make([][]builder.Expr, in.NumChannels())
+	for i := range rotated {
+		rotated[i] = make([]builder.Expr, kh*kw)
+		for dy := -ph; dy <= ph; dy++ {
+			for dx := -pw; dx <= pw; dx++ {
+				rotated[i][(dy+ph)*kw+(dx+pw)] = in.Channels[i].RotateLeft(dy*w + dx)
+			}
+		}
+	}
+
+	out := &Tensor{H: h, W: w}
+	for o := 0; o < outC; o++ {
+		var acc builder.Expr
+		for i := 0; i < in.NumChannels(); i++ {
+			for dy := -ph; dy <= ph; dy++ {
+				for dx := -pw; dx <= pw; dx++ {
+					wv := weights[o][i][dy+ph][dx+pw]
+					if wv == 0 {
+						continue
+					}
+					mask := convMask(h, w, dy, dx, wv)
+					term := rotated[i][(dy+ph)*kw+(dx+pw)].MulVector(mask, c.WeightScale)
+					if acc.Term() == nil {
+						acc = term
+					} else {
+						acc = acc.Add(term)
+					}
+				}
+			}
+		}
+		if acc.Term() == nil {
+			acc = c.b.Scalar(0, c.WeightScale)
+		}
+		if bias != nil && bias[o] != 0 {
+			acc = acc.AddScalar(bias[o], c.ScalarScale)
+		}
+		out.Channels = append(out.Channels, acc)
+	}
+	return out, c.b.Err()
+}
+
+// convMask builds the plaintext mask for one convolution tap: the weight
+// value at every output position whose source pixel (shifted by dy, dx) is
+// inside the image, and zero where the cyclic rotation would wrap across the
+// border (realizing zero padding).
+func convMask(h, w, dy, dx int, weight float64) []float64 {
+	mask := make([]float64, h*w)
+	for r := 0; r < h; r++ {
+		for col := 0; col < w; col++ {
+			sr, sc := r+dy, col+dx
+			if sr >= 0 && sr < h && sc >= 0 && sc < w {
+				mask[r*w+col] = weight
+			}
+		}
+	}
+	return mask
+}
+
+// Square applies the x² activation channel-wise.
+func (c *Compiler) Square(kernel string, in *Tensor) *Tensor {
+	c.b.SetKernel(kernel)
+	out := &Tensor{H: in.H, W: in.W}
+	for _, ch := range in.Channels {
+		out.Channels = append(out.Channels, ch.Square())
+	}
+	return out
+}
+
+// PolyActivation applies the polynomial activation c0 + c1·x + c2·x² + ...
+// channel-wise (the FHE-compatible replacement for ReLU).
+func (c *Compiler) PolyActivation(kernel string, in *Tensor, coeffs []float64) *Tensor {
+	c.b.SetKernel(kernel)
+	out := &Tensor{H: in.H, W: in.W}
+	for _, ch := range in.Channels {
+		out.Channels = append(out.Channels, ch.Polynomial(coeffs, c.ScalarScale))
+	}
+	return out
+}
+
+// AvgPool2 performs 2×2 average pooling with stride 2 and repacks every
+// channel into an (H/2)×(W/2) row-major image.
+func (c *Compiler) AvgPool2(kernel string, in *Tensor) (*Tensor, error) {
+	h, w := in.H, in.W
+	if h%2 != 0 || w%2 != 0 || h < 2 || w < 2 {
+		return nil, fmt.Errorf("hetensor: %s: cannot 2x2-pool a %dx%d plane", kernel, h, w)
+	}
+	c.b.SetKernel(kernel)
+	oh, ow := h/2, w/2
+	out := &Tensor{H: oh, W: ow}
+	for _, ch := range in.Channels {
+		// Window sums: value at (2r,2c) becomes the average of its 2x2 window.
+		sum := ch.Add(ch.RotateLeft(1)).Add(ch.RotateLeft(w)).Add(ch.RotateLeft(w + 1))
+
+		// Phase A: compact columns. After this step the value for output
+		// column c' lives at (row, c') for even rows, still with row stride w.
+		// The 1/4 averaging factor is folded into the phase-A masks.
+		var colPacked builder.Expr
+		for cp := 0; cp < ow; cp++ {
+			mask := make([]float64, h*w)
+			for r := 0; r < h; r += 2 {
+				mask[r*w+cp] = 0.25
+			}
+			term := sum.RotateLeft(cp).MulVector(mask, c.WeightScale)
+			if colPacked.Term() == nil {
+				colPacked = term
+			} else {
+				colPacked = colPacked.Add(term)
+			}
+		}
+
+		// Phase B: compact rows into the (H/2)×(W/2) layout.
+		var packed builder.Expr
+		for rp := 0; rp < oh; rp++ {
+			src := 2 * rp * w
+			dst := rp * ow
+			mask := make([]float64, h*w)
+			for cp := 0; cp < ow; cp++ {
+				mask[dst+cp] = 1
+			}
+			term := colPacked.RotateLeft(src-dst).MulVector(mask, c.WeightScale)
+			if packed.Term() == nil {
+				packed = term
+			} else {
+				packed = packed.Add(term)
+			}
+		}
+		out.Channels = append(out.Channels, packed)
+	}
+	return out, c.b.Err()
+}
+
+// GlobalAvgPool averages each channel into a single value held in slot 0 of
+// the channel's ciphertext, returning them packed as a Vector (channel i in
+// slot i).
+func (c *Compiler) GlobalAvgPool(kernel string, in *Tensor) (*Vector, error) {
+	c.b.SetKernel(kernel)
+	n := in.H * in.W
+	var packed builder.Expr
+	for i, ch := range in.Channels {
+		avg := ch.SumSlots(n).MulScalar(1/float64(n), c.ScalarScale)
+		mask := make([]float64, i+1)
+		mask[i] = 1
+		term := avg.RotateRight(i).MulVector(padPow2(mask, len(in.Channels)), c.WeightScale)
+		if packed.Term() == nil {
+			packed = term
+		} else {
+			packed = packed.Add(term)
+		}
+	}
+	return &Vector{Value: packed, Length: len(in.Channels)}, c.b.Err()
+}
+
+// FlattenFC flattens the tensor (channel-major) and applies a fully-connected
+// layer with plaintext weights[out][in.NumChannels()*H*W] and bias (bias may
+// be nil). Output neuron j lands in slot j of the result.
+func (c *Compiler) FlattenFC(kernel string, in *Tensor, weights [][]float64, bias []float64) (*Vector, error) {
+	n := in.H * in.W
+	wantLen := in.NumChannels() * n
+	if len(weights) == 0 || len(weights[0]) != wantLen {
+		return nil, fmt.Errorf("hetensor: %s: weight row length %d, want %d", kernel, len(weights[0]), wantLen)
+	}
+	if bias != nil && len(bias) != len(weights) {
+		return nil, fmt.Errorf("hetensor: %s: bias length mismatch", kernel)
+	}
+	c.b.SetKernel(kernel)
+	outLen := len(weights)
+	var packed builder.Expr
+	for j := 0; j < outLen; j++ {
+		// Dot product of the flattened input with row j, channel by channel.
+		var dot builder.Expr
+		for i, ch := range in.Channels {
+			seg := weights[j][i*n : (i+1)*n]
+			if allZero(seg) {
+				continue
+			}
+			term := ch.DotPlain(seg, c.WeightScale, n)
+			if dot.Term() == nil {
+				dot = term
+			} else {
+				dot = dot.Add(term)
+			}
+		}
+		if dot.Term() == nil {
+			dot = c.b.Scalar(0, c.WeightScale)
+		}
+		// Place neuron j into slot j.
+		mask := make([]float64, j+1)
+		mask[j] = 1
+		placed := dot.RotateRight(j).MulVector(padPow2(mask, outLen), c.WeightScale)
+		if packed.Term() == nil {
+			packed = placed
+		} else {
+			packed = packed.Add(placed)
+		}
+	}
+	v := &Vector{Value: packed, Length: outLen}
+	if bias != nil {
+		v.Value = v.Value.Add(c.b.Constant(padPow2(bias, outLen), c.WeightScale))
+	}
+	return v, c.b.Err()
+}
+
+// FC applies a fully-connected layer to a packed vector: weights[out][in.Length].
+func (c *Compiler) FC(kernel string, in *Vector, weights [][]float64, bias []float64) (*Vector, error) {
+	if len(weights) == 0 || len(weights[0]) != in.Length {
+		return nil, fmt.Errorf("hetensor: %s: weight row length %d, want %d", kernel, len(weights[0]), in.Length)
+	}
+	if bias != nil && len(bias) != len(weights) {
+		return nil, fmt.Errorf("hetensor: %s: bias length mismatch", kernel)
+	}
+	c.b.SetKernel(kernel)
+	width := nextPow2(in.Length)
+	outLen := len(weights)
+	var packed builder.Expr
+	for j := 0; j < outLen; j++ {
+		dot := in.Value.DotPlain(padPow2(weights[j], in.Length), c.WeightScale, width)
+		mask := make([]float64, j+1)
+		mask[j] = 1
+		placed := dot.RotateRight(j).MulVector(padPow2(mask, outLen), c.WeightScale)
+		if packed.Term() == nil {
+			packed = placed
+		} else {
+			packed = packed.Add(placed)
+		}
+	}
+	v := &Vector{Value: packed, Length: outLen}
+	if bias != nil {
+		v.Value = v.Value.Add(c.b.Constant(padPow2(bias, outLen), c.WeightScale))
+	}
+	return v, c.b.Err()
+}
+
+// Output marks the packed vector as a program output.
+func (c *Compiler) Output(name string, v *Vector, logScale float64) {
+	c.b.Output(name, v.Value, logScale)
+}
+
+// padPow2 pads (or copies) values to the next power-of-two length.
+func padPow2(values []float64, atLeast int) []float64 {
+	n := nextPow2(max(len(values), atLeast))
+	out := make([]float64, n)
+	copy(out, values)
+	return out
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func allZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+package rewrite
+
+import (
+	"sort"
+
+	"eva/internal/core"
+)
+
+// Levels computes, for every live term, its rescale-chain length: the number
+// of RESCALE and MOD_SWITCH instructions on a path from a root to the term
+// (counting the term itself). The map is only meaningful once the chains are
+// conforming; before modulus-switch insertion it returns the maximum over
+// paths, which is exactly what LAZY-MODSWITCH needs.
+func Levels(p *core.Program) map[*core.Term]int {
+	levels := make(map[*core.Term]int, p.NumTerms())
+	for _, t := range p.TopoSort() {
+		l := 0
+		for _, parm := range t.Parms() {
+			if levels[parm] > l {
+				l = levels[parm]
+			}
+		}
+		if t.Op.IsModulusChanging() {
+			l++
+		}
+		levels[t] = l
+	}
+	return levels
+}
+
+// ReverseLevels computes rlevel for every live term: the number of RESCALE
+// and MOD_SWITCH instructions on a path from the term down to an output
+// (counting the term itself), maximized over paths. Program outputs count as
+// uses at rlevel zero.
+func ReverseLevels(p *core.Program) map[*core.Term]int {
+	rlevels := make(map[*core.Term]int, p.NumTerms())
+	order := p.TopoSort()
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		r := 0
+		for _, u := range t.Uses() {
+			if rlevels[u] > r {
+				r = rlevels[u]
+			}
+		}
+		if t.Op.IsModulusChanging() {
+			r++
+		}
+		rlevels[t] = r
+	}
+	return rlevels
+}
+
+// InsertModSwitchLazy applies the LAZY-MODSWITCH rule: walking forward, when
+// the operands of an ADD, SUB or MULTIPLY are at different levels, insert the
+// appropriate number of MOD_SWITCH instructions directly before the
+// instruction, on the edge of the higher-modulus (lower-level) operand.
+func InsertModSwitchLazy(p *core.Program) {
+	levels := make(map[*core.Term]int, p.NumTerms())
+	for _, t := range p.TopoSort() {
+		// Compute this term's level from its (possibly rewritten) operands.
+		l := 0
+		for _, parm := range t.Parms() {
+			if levels[parm] > l {
+				l = levels[parm]
+			}
+		}
+		if t.Op.IsModulusChanging() {
+			l++
+		}
+		levels[t] = l
+
+		if !t.Op.IsBinary() {
+			continue
+		}
+		la, lb := levels[t.Parm(0)], levels[t.Parm(1)]
+		if la == lb {
+			continue
+		}
+		lowSlot := 0
+		diff := lb - la
+		if la > lb {
+			lowSlot = 1
+			diff = la - lb
+		}
+		cur := t.Parm(lowSlot)
+		for i := 0; i < diff; i++ {
+			ms, err := p.NewUnary(core.OpModSwitch, cur)
+			if err != nil {
+				panic(err) // cannot happen: MOD_SWITCH is a valid unary op
+			}
+			levels[ms] = levels[cur] + 1
+			cur = ms
+		}
+		p.SetParm(t, lowSlot, cur)
+	}
+}
+
+// InsertModSwitchEager applies the EAGER-MODSWITCH rule: walking backward,
+// whenever the uses of a term require different rescale-chain lengths below
+// it, a shared chain of MOD_SWITCH instructions is inserted immediately after
+// the term and the lower-requirement uses are attached to it, so that every
+// use of every term sees the same chain length. Finally, Cipher roots whose
+// chains are shorter than the longest root chain are padded right below the
+// root (the paper's omitted root rule).
+func InsertModSwitchEager(p *core.Program) {
+	rlevels := make(map[*core.Term]int, p.NumTerms())
+	order := p.TopoSort()
+	types := p.InferTypes()
+
+	outputLevel := func(t *core.Term) (int, bool) {
+		isOut := false
+		for _, o := range p.Outputs() {
+			if o.Term == t {
+				isOut = true
+			}
+		}
+		return 0, isOut
+	}
+
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		equalizeUses(p, t, rlevels, outputLevel)
+		r := 0
+		for _, u := range t.Uses() {
+			if rlevels[u] > r {
+				r = rlevels[u]
+			}
+		}
+		if t.Op.IsModulusChanging() {
+			r++
+		}
+		rlevels[t] = r
+	}
+
+	// Root rule: all Cipher inputs are freshly encrypted under the same
+	// modulus, so their chains must have equal length; pad the shorter ones
+	// immediately below the root.
+	rmax := 0
+	for _, in := range p.Inputs() {
+		if types[in] == core.TypeCipher && rlevels[in] > rmax {
+			rmax = rlevels[in]
+		}
+	}
+	for _, in := range p.Inputs() {
+		if types[in] != core.TypeCipher || rlevels[in] >= rmax {
+			continue
+		}
+		needed := rmax - rlevels[in]
+		cur := in
+		for i := 0; i < needed; i++ {
+			ms := p.InsertUnaryAfter(cur, core.OpModSwitch, nil)
+			p.RedirectOutputs(cur, ms)
+			rlevels[ms] = rlevels[cur]
+			cur = ms
+		}
+		rlevels[in] = rmax
+	}
+}
+
+// equalizeUses groups the uses of t by the rescale-chain length they require
+// below t and, when they disagree, inserts a shared chain of MOD_SWITCH nodes
+// after t so that lower-requirement uses are fed through additional drops.
+func equalizeUses(p *core.Program, t *core.Term, rlevels map[*core.Term]int, outputLevel func(*core.Term) (int, bool)) {
+	edges := t.UseEdges()
+	_, isOutput := outputLevel(t)
+	if len(edges) == 0 && !isOutput {
+		return
+	}
+	// Distinct required levels among uses (outputs require level 0).
+	levelSet := map[int]bool{}
+	for _, e := range edges {
+		levelSet[rlevels[e.Child]] = true
+	}
+	if isOutput {
+		levelSet[0] = true
+	}
+	if len(levelSet) <= 1 {
+		return
+	}
+	levels := make([]int, 0, len(levelSet))
+	for l := range levelSet {
+		levels = append(levels, l)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+
+	rmax := levels[0]
+	cur := t
+	curLevel := rmax
+	for _, lv := range levels[1:] {
+		// Extend the shared chain down to level lv.
+		for curLevel > lv {
+			ms, err := p.NewUnary(core.OpModSwitch, cur)
+			if err != nil {
+				panic(err)
+			}
+			rlevels[ms] = curLevel // a drop node at requirement curLevel has rlevel curLevel
+			cur = ms
+			curLevel--
+		}
+		// Attach every use requiring exactly lv to the end of the chain.
+		for _, e := range edges {
+			if rlevels[e.Child] == lv && e.Child.Parm(e.Slot) == t {
+				p.SetParm(e.Child, e.Slot, cur)
+			}
+		}
+		if isOutput && lv == 0 {
+			p.RedirectOutputs(t, cur)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package rewrite_test
+
+import (
+	"math"
+	"testing"
+
+	"eva/internal/core"
+	"eva/internal/execute"
+	"eva/internal/rewrite"
+)
+
+func TestEliminateCommonSubexpressions(t *testing.T) {
+	p := core.MustNewProgram("cse", 8)
+	x, _ := p.NewInput("x", core.TypeCipher, 8, 30)
+	// Two structurally identical squarings and two identical constants.
+	a, _ := p.NewBinary(core.OpMultiply, x, x)
+	b, _ := p.NewBinary(core.OpMultiply, x, x)
+	c1, _ := p.NewScalarConstant(2, 20)
+	c2, _ := p.NewScalarConstant(2, 20)
+	s1, _ := p.NewBinary(core.OpMultiply, a, c1)
+	s2, _ := p.NewBinary(core.OpMultiply, b, c2)
+	sum, _ := p.NewBinary(core.OpAdd, s1, s2)
+	p.AddOutput("out", sum, 30)
+
+	before := len(p.TopoSort())
+	removed := rewrite.EliminateCommonSubexpressions(p)
+	after := len(p.TopoSort())
+	if removed == 0 || after >= before {
+		t.Fatalf("CSE removed %d terms (live %d -> %d)", removed, before, after)
+	}
+	// The two products merged, so the ADD now has identical operands.
+	if sum.Parm(0) != sum.Parm(1) {
+		t.Error("identical subexpressions were not merged")
+	}
+	out, err := execute.RunReference(p, execute.Inputs{"x": {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out["out"][0]-36) > 1e-12 {
+		t.Errorf("out = %g, want 36", out["out"][0])
+	}
+}
+
+func TestCSEDoesNotMergeInputsOrDifferentAttributes(t *testing.T) {
+	p := core.MustNewProgram("cse2", 8)
+	x, _ := p.NewInput("x", core.TypeCipher, 8, 30)
+	y, _ := p.NewInput("y", core.TypeCipher, 8, 30)
+	r1, _ := p.NewRotation(core.OpRotateLeft, x, 1)
+	r2, _ := p.NewRotation(core.OpRotateLeft, x, 2)
+	sum, _ := p.NewBinary(core.OpAdd, r1, r2)
+	sum2, _ := p.NewBinary(core.OpAdd, sum, y)
+	p.AddOutput("out", sum2, 30)
+	if removed := rewrite.EliminateCommonSubexpressions(p); removed != 0 {
+		t.Errorf("CSE merged %d terms that are not equivalent", removed)
+	}
+}
+
+func TestFoldPlainConstants(t *testing.T) {
+	p := core.MustNewProgram("fold", 8)
+	x, _ := p.NewInput("x", core.TypeCipher, 8, 30)
+	a, _ := p.NewConstant([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 20)
+	b, _ := p.NewScalarConstant(0.5, 20)
+	ab, _ := p.NewBinary(core.OpMultiply, a, b) // foldable
+	neg, _ := p.NewUnary(core.OpNegate, ab)     // foldable after the first
+	rot, _ := p.NewRotation(core.OpRotateLeft, neg, 1)
+	diff, _ := p.NewBinary(core.OpSub, rot, b) // foldable
+	final, _ := p.NewBinary(core.OpMultiply, x, diff)
+	p.AddOutput("out", final, 30)
+
+	want, err := execute.RunReference(p, execute.Inputs{"x": {1, 1, 1, 1, 1, 1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := rewrite.Optimize(p)
+	if folded == 0 {
+		t.Fatal("expected constant folding to fire")
+	}
+	// Only the input, one folded constant and the final multiply should remain live.
+	live := p.TopoSort()
+	if len(live) > 3 {
+		t.Errorf("expected at most 3 live terms after folding, got %d", len(live))
+	}
+	got, err := execute.RunReference(p, execute.Inputs{"x": {1, 1, 1, 1, 1, 1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want["out"] {
+		if math.Abs(got["out"][i]-want["out"][i]) > 1e-12 {
+			t.Fatalf("slot %d: folded %g, want %g", i, got["out"][i], want["out"][i])
+		}
+	}
+}
+
+func TestOptimizeReducesTensorProgramSize(t *testing.T) {
+	// A program with repeated rotations of the same input (as tensor kernels
+	// produce) should shrink under CSE.
+	p := core.MustNewProgram("tensorish", 64)
+	x, _ := p.NewInput("x", core.TypeCipher, 64, 30)
+	var acc *core.Term
+	for rep := 0; rep < 3; rep++ {
+		for k := 0; k < 4; k++ {
+			rot, _ := p.NewRotation(core.OpRotateLeft, x, k)
+			c, _ := p.NewScalarConstant(float64(k+1), 15)
+			term, _ := p.NewBinary(core.OpMultiply, rot, c)
+			if acc == nil {
+				acc = term
+			} else {
+				s, _ := p.NewBinary(core.OpAdd, acc, term)
+				acc = s
+			}
+		}
+	}
+	p.AddOutput("out", acc, 30)
+	before := len(p.TopoSort())
+	removed := rewrite.Optimize(p)
+	after := len(p.TopoSort())
+	if removed == 0 || after >= before {
+		t.Errorf("Optimize removed %d (live %d -> %d)", removed, before, after)
+	}
+}

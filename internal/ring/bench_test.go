@@ -1,0 +1,90 @@
+package ring
+
+import (
+	"testing"
+
+	"eva/internal/numth"
+)
+
+func benchRing(b *testing.B, logN, limbs int) *Ring {
+	b.Helper()
+	primes, err := numth.GenerateNTTPrimes(55, logN, limbs, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewRing(logN, primes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func benchPoly(r *Ring, level int) *Poly {
+	p := r.NewPoly(level)
+	for i := range p.Coeffs {
+		q := r.Moduli[i].Q
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = (uint64(j)*2862933555777941757 + 3037000493) % q
+		}
+	}
+	return p
+}
+
+func BenchmarkNTTForward(b *testing.B) {
+	for _, logN := range []int{12, 13, 14} {
+		r := benchRing(b, logN, 1)
+		p := benchPoly(r, 0)
+		b.Run(sizeName(logN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.Moduli[0].NTT(p.Coeffs[0])
+			}
+		})
+	}
+}
+
+func BenchmarkNTTInverse(b *testing.B) {
+	for _, logN := range []int{12, 13, 14} {
+		r := benchRing(b, logN, 1)
+		p := benchPoly(r, 0)
+		b.Run(sizeName(logN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.Moduli[0].InvNTT(p.Coeffs[0])
+			}
+		})
+	}
+}
+
+func BenchmarkMulCoeffs(b *testing.B) {
+	r := benchRing(b, 13, 4)
+	x := benchPoly(r, 3)
+	y := benchPoly(r, 3)
+	x.IsNTT, y.IsNTT = true, true
+	out := r.NewPoly(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.MulCoeffs(x, y, out)
+	}
+}
+
+func BenchmarkDivideByLastModulus(b *testing.B) {
+	r := benchRing(b, 13, 4)
+	x := benchPoly(r, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.DivideByLastModulus(x)
+	}
+}
+
+func BenchmarkAutomorphism(b *testing.B) {
+	r := benchRing(b, 13, 4)
+	x := benchPoly(r, 3)
+	out := r.NewPoly(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Automorphism(x, 5, out)
+	}
+}
+
+func sizeName(logN int) string {
+	return map[int]string{12: "N=4096", 13: "N=8192", 14: "N=16384"}[logN]
+}

@@ -1,0 +1,464 @@
+// Package ring implements arithmetic in the cyclotomic quotient rings
+// R_q = Z_q[X]/(X^N + 1) used by the RNS-CKKS scheme, with the coefficient
+// modulus represented in residue number system (RNS) form as a chain of
+// NTT-friendly primes. It provides the negacyclic number-theoretic transform
+// (NTT), element-wise ring operations, Galois automorphisms (used for slot
+// rotations), and RNS rescaling (division by the last chain prime).
+package ring
+
+import (
+	"fmt"
+
+	"eva/internal/numth"
+)
+
+// Modulus bundles one RNS prime together with the precomputed tables needed
+// for the negacyclic NTT of length N modulo that prime.
+type Modulus struct {
+	Q       uint64   // the prime
+	n       int      // transform length
+	logN    int      // log2(n)
+	psiPows []uint64 // psi^brv(i): powers of the 2N-th root of unity in bit-reversed order
+	psiInv  []uint64 // psiInv^brv(i)
+	nInv    uint64   // N^{-1} mod Q
+}
+
+// NewModulus precomputes the NTT tables for prime q and transform length
+// n = 2^logN. q must satisfy q ≡ 1 (mod 2n).
+func NewModulus(q uint64, logN int) (*Modulus, error) {
+	n := 1 << uint(logN)
+	if q%(2*uint64(n)) != 1 {
+		return nil, fmt.Errorf("ring: prime %d is not 1 mod 2N for N=%d", q, n)
+	}
+	psi, err := numth.MinimalPrimitiveNthRoot(2*uint64(n), q)
+	if err != nil {
+		return nil, fmt.Errorf("ring: finding 2N-th root modulo %d: %w", q, err)
+	}
+	psiInv := numth.MustInvMod(psi, q)
+	m := &Modulus{
+		Q:       q,
+		n:       n,
+		logN:    logN,
+		psiPows: make([]uint64, n),
+		psiInv:  make([]uint64, n),
+		nInv:    numth.MustInvMod(uint64(n), q),
+	}
+	// Tables in bit-reversed order, as required by the CT/GS butterflies below.
+	powsFwd := make([]uint64, n)
+	powsInv := make([]uint64, n)
+	powsFwd[0], powsInv[0] = 1, 1
+	for i := 1; i < n; i++ {
+		powsFwd[i] = numth.MulMod(powsFwd[i-1], psi, q)
+		powsInv[i] = numth.MulMod(powsInv[i-1], psiInv, q)
+	}
+	for i := 0; i < n; i++ {
+		r := numth.BitReverse(uint64(i), uint64(logN))
+		m.psiPows[i] = powsFwd[r]
+		m.psiInv[i] = powsInv[r]
+	}
+	return m, nil
+}
+
+// NTT transforms a (length N, coefficient representation, values reduced
+// modulo m.Q) into the negacyclic NTT domain in place.
+func (m *Modulus) NTT(a []uint64) {
+	q := m.Q
+	t := m.n
+	for mm := 1; mm < m.n; mm <<= 1 {
+		t >>= 1
+		for i := 0; i < mm; i++ {
+			j1 := 2 * i * t
+			j2 := j1 + t
+			s := m.psiPows[mm+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := numth.MulMod(a[j+t], s, q)
+				a[j] = numth.AddMod(u, v, q)
+				a[j+t] = numth.SubMod(u, v, q)
+			}
+		}
+	}
+}
+
+// InvNTT transforms a from the NTT domain back to coefficient representation
+// in place.
+func (m *Modulus) InvNTT(a []uint64) {
+	q := m.Q
+	t := 1
+	for mm := m.n; mm > 1; mm >>= 1 {
+		j1 := 0
+		h := mm >> 1
+		for i := 0; i < h; i++ {
+			j2 := j1 + t
+			s := m.psiInv[h+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := a[j+t]
+				a[j] = numth.AddMod(u, v, q)
+				a[j+t] = numth.MulMod(numth.SubMod(u, v, q), s, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for j := range a {
+		a[j] = numth.MulMod(a[j], m.nInv, q)
+	}
+}
+
+// Ring is the ambient ring R = Z[X]/(X^N+1) with a chain of RNS moduli. A
+// polynomial may live at any level L, meaning it carries limbs 0..L of the
+// chain (so level 0 means a single prime remains).
+type Ring struct {
+	N      int
+	LogN   int
+	Moduli []*Modulus
+}
+
+// NewRing builds a Ring of degree 2^logN over the given chain of primes.
+// The order of primes is the order in which RESCALE consumes them from the
+// end of the slice (i.e. primes[len-1] is dropped first).
+func NewRing(logN int, primes []uint64) (*Ring, error) {
+	if logN < 2 || logN > 17 {
+		return nil, fmt.Errorf("ring: logN %d out of supported range [2,17]", logN)
+	}
+	if len(primes) == 0 {
+		return nil, fmt.Errorf("ring: at least one modulus is required")
+	}
+	r := &Ring{N: 1 << uint(logN), LogN: logN, Moduli: make([]*Modulus, len(primes))}
+	seen := map[uint64]bool{}
+	for i, q := range primes {
+		if seen[q] {
+			return nil, fmt.Errorf("ring: duplicate modulus %d", q)
+		}
+		seen[q] = true
+		m, err := NewModulus(q, logN)
+		if err != nil {
+			return nil, err
+		}
+		r.Moduli[i] = m
+	}
+	return r, nil
+}
+
+// MaxLevel is the highest level a polynomial in this ring can have.
+func (r *Ring) MaxLevel() int { return len(r.Moduli) - 1 }
+
+// Poly is an RNS polynomial: Coeffs[i][j] is the j-th coefficient modulo the
+// i-th chain prime. IsNTT records the current representation.
+type Poly struct {
+	Coeffs [][]uint64
+	IsNTT  bool
+}
+
+// NewPoly allocates a zero polynomial at the given level.
+func (r *Ring) NewPoly(level int) *Poly {
+	if level < 0 || level > r.MaxLevel() {
+		panic(fmt.Sprintf("ring: level %d out of range [0,%d]", level, r.MaxLevel()))
+	}
+	coeffs := make([][]uint64, level+1)
+	backing := make([]uint64, (level+1)*r.N)
+	for i := range coeffs {
+		coeffs[i], backing = backing[:r.N], backing[r.N:]
+	}
+	return &Poly{Coeffs: coeffs}
+}
+
+// Level returns the level (number of limbs minus one) of p.
+func (p *Poly) Level() int { return len(p.Coeffs) - 1 }
+
+// CopyNew returns a deep copy of p.
+func (p *Poly) CopyNew() *Poly {
+	out := &Poly{Coeffs: make([][]uint64, len(p.Coeffs)), IsNTT: p.IsNTT}
+	for i := range p.Coeffs {
+		out.Coeffs[i] = append([]uint64(nil), p.Coeffs[i]...)
+	}
+	return out
+}
+
+// Copy copies src into p. The levels must match.
+func (p *Poly) Copy(src *Poly) {
+	if len(p.Coeffs) != len(src.Coeffs) {
+		panic("ring: level mismatch in Copy")
+	}
+	for i := range src.Coeffs {
+		copy(p.Coeffs[i], src.Coeffs[i])
+	}
+	p.IsNTT = src.IsNTT
+}
+
+// DropToLevel truncates p to the given (lower or equal) level.
+func (p *Poly) DropToLevel(level int) {
+	if level+1 > len(p.Coeffs) {
+		panic(fmt.Sprintf("ring: cannot raise level from %d to %d", p.Level(), level))
+	}
+	p.Coeffs = p.Coeffs[:level+1]
+}
+
+// Zero sets every coefficient of p to zero.
+func (p *Poly) Zero() {
+	for i := range p.Coeffs {
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = 0
+		}
+	}
+}
+
+// Equal reports whether p and o have the same level, representation flag and
+// coefficients.
+func (p *Poly) Equal(o *Poly) bool {
+	if p.IsNTT != o.IsNTT || len(p.Coeffs) != len(o.Coeffs) {
+		return false
+	}
+	for i := range p.Coeffs {
+		for j := range p.Coeffs[i] {
+			if p.Coeffs[i][j] != o.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NTT converts p to the NTT domain in place (no-op if already there).
+func (r *Ring) NTT(p *Poly) {
+	if p.IsNTT {
+		return
+	}
+	for i := range p.Coeffs {
+		r.Moduli[i].NTT(p.Coeffs[i])
+	}
+	p.IsNTT = true
+}
+
+// InvNTT converts p to coefficient representation in place.
+func (r *Ring) InvNTT(p *Poly) {
+	if !p.IsNTT {
+		return
+	}
+	for i := range p.Coeffs {
+		r.Moduli[i].InvNTT(p.Coeffs[i])
+	}
+	p.IsNTT = false
+}
+
+func sameShape(a, b, out *Poly) int {
+	l := len(a.Coeffs)
+	if len(b.Coeffs) < l {
+		l = len(b.Coeffs)
+	}
+	if len(out.Coeffs) < l {
+		l = len(out.Coeffs)
+	}
+	return l
+}
+
+// Add sets out = a + b limb-wise (down to the smallest common level).
+func (r *Ring) Add(a, b, out *Poly) {
+	l := sameShape(a, b, out)
+	for i := 0; i < l; i++ {
+		q := r.Moduli[i].Q
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = numth.AddMod(ai[j], bi[j], q)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Sub sets out = a - b limb-wise.
+func (r *Ring) Sub(a, b, out *Poly) {
+	l := sameShape(a, b, out)
+	for i := 0; i < l; i++ {
+		q := r.Moduli[i].Q
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = numth.SubMod(ai[j], bi[j], q)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Neg sets out = -a limb-wise.
+func (r *Ring) Neg(a, out *Poly) {
+	for i := range out.Coeffs {
+		q := r.Moduli[i].Q
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = numth.NegMod(ai[j], q)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulCoeffs sets out = a * b element-wise. Both operands must be in the NTT
+// domain, in which case this realizes negacyclic polynomial multiplication.
+func (r *Ring) MulCoeffs(a, b, out *Poly) {
+	if !a.IsNTT || !b.IsNTT {
+		panic("ring: MulCoeffs requires NTT-domain operands")
+	}
+	l := sameShape(a, b, out)
+	for i := 0; i < l; i++ {
+		q := r.Moduli[i].Q
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = numth.MulMod(ai[j], bi[j], q)
+		}
+	}
+	out.IsNTT = true
+}
+
+// MulCoeffsAndAdd sets out += a * b element-wise (NTT domain).
+func (r *Ring) MulCoeffsAndAdd(a, b, out *Poly) {
+	if !a.IsNTT || !b.IsNTT {
+		panic("ring: MulCoeffsAndAdd requires NTT-domain operands")
+	}
+	l := sameShape(a, b, out)
+	for i := 0; i < l; i++ {
+		q := r.Moduli[i].Q
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = numth.AddMod(oi[j], numth.MulMod(ai[j], bi[j], q), q)
+		}
+	}
+	out.IsNTT = true
+}
+
+// MulScalar sets out = a * scalar, where scalar is reduced modulo each limb.
+func (r *Ring) MulScalar(a *Poly, scalar uint64, out *Poly) {
+	for i := range out.Coeffs {
+		q := r.Moduli[i].Q
+		s := scalar % q
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = numth.MulMod(ai[j], s, q)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// AddScalar adds an integer scalar to the constant coefficient of a
+// coefficient-domain polynomial, or to every slot when in NTT domain.
+func (r *Ring) AddScalar(a *Poly, scalar uint64, out *Poly) {
+	for i := range out.Coeffs {
+		q := r.Moduli[i].Q
+		s := scalar % q
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		if a.IsNTT {
+			for j := range oi {
+				oi[j] = numth.AddMod(ai[j], s, q)
+			}
+		} else {
+			copy(oi, ai)
+			oi[0] = numth.AddMod(ai[0], s, q)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Automorphism applies the Galois automorphism X -> X^galEl to a
+// coefficient-domain polynomial. galEl must be odd (an element of (Z/2NZ)^*).
+func (r *Ring) Automorphism(a *Poly, galEl uint64, out *Poly) {
+	if a.IsNTT {
+		panic("ring: Automorphism requires coefficient-domain input")
+	}
+	if galEl%2 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	n := uint64(r.N)
+	mask := 2*n - 1
+	for i := range out.Coeffs {
+		q := r.Moduli[i].Q
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = 0
+		}
+		for j := uint64(0); j < n; j++ {
+			idx := (j * galEl) & mask
+			c := ai[j]
+			if idx < n {
+				oi[idx] = c
+			} else {
+				oi[idx-n] = numth.NegMod(c, q)
+			}
+		}
+	}
+	out.IsNTT = false
+}
+
+// DivideByLastModulus performs RNS rescaling: it interprets p (coefficient
+// domain) as an integer polynomial modulo Q = q_0*...*q_L, divides it by the
+// last prime q_L with rounding, and returns the result at level L-1. This is
+// the core of the CKKS RESCALE and of modulus-switching with scaling.
+func (r *Ring) DivideByLastModulus(p *Poly) *Poly {
+	if p.IsNTT {
+		panic("ring: DivideByLastModulus requires coefficient-domain input")
+	}
+	level := p.Level()
+	if level == 0 {
+		panic("ring: cannot rescale below level 0")
+	}
+	qL := r.Moduli[level].Q
+	out := r.NewPoly(level - 1)
+	last := p.Coeffs[level]
+	half := qL >> 1
+	for i := 0; i <= level-1; i++ {
+		q := r.Moduli[i].Q
+		qLInv := numth.MustInvMod(qL%q, q)
+		halfMod := half % q
+		pi, oi := p.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			// Rounded division: (x - [x]_{qL} + qL/2 correction) * qL^{-1}.
+			// Using the representative of the last limb shifted by qL/2
+			// implements rounding instead of flooring.
+			lastShift := numth.AddMod(last[j], half, qL) // (x mod qL) + qL/2 mod qL
+			tmp := numth.SubMod(pi[j], lastShift%q, q)
+			tmp = numth.AddMod(tmp, halfMod, q)
+			oi[j] = numth.MulMod(tmp, qLInv, q)
+		}
+	}
+	out.IsNTT = false
+	return out
+}
+
+// DropLastModulus removes the last RNS limb of p without scaling the
+// underlying plaintext. This realizes the CKKS MODSWITCH operation.
+func (r *Ring) DropLastModulus(p *Poly) *Poly {
+	level := p.Level()
+	if level == 0 {
+		panic("ring: cannot drop modulus below level 0")
+	}
+	out := r.NewPoly(level - 1)
+	for i := 0; i <= level-1; i++ {
+		copy(out.Coeffs[i], p.Coeffs[i])
+	}
+	out.IsNTT = p.IsNTT
+	return out
+}
+
+// ExtendBasisSmall takes the residues `small` of a polynomial modulo srcQ
+// (one uint64 per coefficient, values in [0, srcQ)) and reduces the centered
+// representative of each residue modulo every modulus of the target ring
+// limbs in out. This is the trivial "mod-up" used by RNS key switching where
+// the decomposed digit is a single-limb polynomial.
+func (r *Ring) ExtendBasisSmall(small []uint64, srcQ uint64, out *Poly) {
+	for i := range out.Coeffs {
+		q := r.Moduli[i].Q
+		oi := out.Coeffs[i]
+		if q == srcQ {
+			copy(oi, small)
+			continue
+		}
+		srcModQ := srcQ % q
+		for j := range oi {
+			v := small[j]
+			if v > srcQ/2 {
+				// centered lift: v - srcQ (negative), reduced mod q
+				oi[j] = numth.SubMod(v%q, srcModQ, q)
+			} else {
+				oi[j] = v % q
+			}
+		}
+	}
+	out.IsNTT = false
+}

@@ -1,0 +1,6 @@
+package eva_test
+
+import "math/rand"
+
+// newRand returns a deterministic math/rand source for benchmark inputs.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
