@@ -47,10 +47,10 @@ func main() {
 	opts := compile.DefaultOptions()
 	opts.AllowInsecure = *insecure
 	opts.WaterlineLog = *waterline
-	if opts.Rescale, err = parseRescale(*rescale); err != nil {
+	if opts.Rescale, err = rewrite.ParseRescaleStrategy(*rescale); err != nil {
 		fail(err)
 	}
-	if opts.ModSwitch, err = parseModSwitch(*modswitch); err != nil {
+	if opts.ModSwitch, err = rewrite.ParseModSwitchStrategy(*modswitch); err != nil {
 		fail(err)
 	}
 
@@ -106,32 +106,6 @@ func loadProgram(inPath, demo string) (*core.Program, error) {
 	default:
 		return nil, fmt.Errorf("either -in or -demo is required")
 	}
-}
-
-func parseRescale(s string) (rewrite.RescaleStrategy, error) {
-	switch s {
-	case "waterline":
-		return rewrite.RescaleWaterline, nil
-	case "always":
-		return rewrite.RescaleAlways, nil
-	case "fixed":
-		return rewrite.RescaleFixedMax, nil
-	case "none":
-		return rewrite.RescaleNone, nil
-	}
-	return 0, fmt.Errorf("unknown rescale strategy %q", s)
-}
-
-func parseModSwitch(s string) (rewrite.ModSwitchStrategy, error) {
-	switch s {
-	case "eager":
-		return rewrite.ModSwitchEager, nil
-	case "lazy":
-		return rewrite.ModSwitchLazy, nil
-	case "none":
-		return rewrite.ModSwitchNone, nil
-	}
-	return 0, fmt.Errorf("unknown modswitch strategy %q", s)
 }
 
 func fail(err error) {

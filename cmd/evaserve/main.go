@@ -1,0 +1,78 @@
+// Command evaserve runs the EVA compile-and-execute service: an HTTP JSON
+// API over the full pipeline. Clients POST serialized EVA programs to
+// /compile (compiled once per distinct program, cached in an LRU registry),
+// install evaluation keys with POST /contexts, and run batches of encrypted
+// inputs with POST /execute/{id}. GET /programs, /healthz and /metrics
+// expose the registry, liveness, and request/cache/latency metrics.
+//
+// Usage:
+//
+//	evaserve [-addr :8080] [-cache 128] [-workers 0] [-batches 0] [-demo]
+//
+// -demo enables server-side key generation ("keygen" contexts): the server
+// then holds secret keys and accepts plaintext values, which breaks the
+// paper's threat model but makes curl-only walkthroughs and load tests
+// possible. Without -demo, clients must generate keys locally and upload
+// only public evaluation keys — the paper's deployment model.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eva/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cache    = flag.Int("cache", 128, "compiled-program cache capacity")
+		workers  = flag.Int("workers", 0, "default executor workers per batch (0 = GOMAXPROCS)")
+		batches  = flag.Int("batches", 0, "max concurrent batches per request (0 = GOMAXPROCS)")
+		contexts = flag.Int("contexts", 256, "max retained execution contexts (LRU)")
+		demo     = flag.Bool("demo", false, "enable server-side keygen (trusted demo mode)")
+	)
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{
+		CacheCapacity:        *cache,
+		DefaultWorkers:       *workers,
+		MaxConcurrentBatches: *batches,
+		MaxContexts:          *contexts,
+		AllowServerKeygen:    *demo,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("evaserve listening on %s (demo mode: %v)\n", *addr, *demo)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "evaserve:", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		fmt.Println("evaserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "evaserve: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

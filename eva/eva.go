@@ -25,6 +25,8 @@
 package eva
 
 import (
+	"io"
+
 	"eva/internal/builder"
 	"eva/internal/ckks"
 	"eva/internal/compile"
@@ -126,4 +128,34 @@ func DecryptOutputs(ctx *Context, c *Compiled, keys *KeyMaterial, out *Outputs) 
 // semantics of the EVA language).
 func RunReference(p *Program, values Inputs) (map[string][]float64, error) {
 	return execute.RunReference(p, values)
+}
+
+// SerializeProgram writes a program to w in the JSON program format (the
+// paper's Figure 1 schema) — the wire format accepted by the evac compiler
+// driver and the evaserve /compile endpoint.
+func SerializeProgram(p *Program, w io.Writer) error { return p.Serialize(w) }
+
+// DeserializeProgram reads a program in the JSON program format.
+func DeserializeProgram(r io.Reader) (*Program, error) { return core.Deserialize(r) }
+
+// ParametersLiteral is the portable description of a CKKS parameter set, as
+// reported by Compiled.ParametersLiteral and by the evaserve /compile
+// endpoint. A client can reconstruct the server's exact parameters from it
+// and generate matching key material locally.
+type ParametersLiteral = ckks.ParametersLiteral
+
+// RelinearizationKey and RotationKeySet are the public evaluation keys a
+// client ships to an untrusted server (both implement
+// encoding.BinaryMarshaler/BinaryUnmarshaler for the wire).
+type (
+	RelinearizationKey = ckks.RelinearizationKey
+	RotationKeySet     = ckks.RotationKeySet
+)
+
+// NewEvaluationContext builds the server-side execution context from public
+// evaluation keys supplied by a client, without the secret key — the paper's
+// deployment model. rtk may be nil when the program performs no rotations,
+// and rlk may be nil when it never relinearizes.
+func NewEvaluationContext(c *Compiled, rlk *RelinearizationKey, rtk *RotationKeySet) (*Context, error) {
+	return execute.NewEvaluationContext(c, rlk, rtk)
 }

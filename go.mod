@@ -1,0 +1,3 @@
+module eva
+
+go 1.24

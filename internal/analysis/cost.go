@@ -34,8 +34,8 @@ type InstructionCost struct {
 
 // CostEstimate summarizes a program's estimated execution cost.
 type CostEstimate struct {
-	Total   float64
-	ByOp    map[string]float64
+	Total    float64
+	ByOp     map[string]float64
 	Heaviest []InstructionCost
 	// CriticalPath is the estimated cost along the most expensive
 	// dependence chain: a lower bound on parallel execution time.

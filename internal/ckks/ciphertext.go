@@ -29,6 +29,42 @@ func NewCiphertext(params *Parameters, size, level int, scale float64) *Cipherte
 // Degree returns the ciphertext degree (number of polynomials minus one).
 func (ct *Ciphertext) Degree() int { return len(ct.Value) - 1 }
 
+// Validate checks that the ciphertext is well-formed for the parameter set:
+// plausible degree, level within the modulus chain, positive scale, and
+// every polynomial in NTT form with exactly level+1 limbs of length N.
+// Deserialized ciphertexts from untrusted sources must pass this check
+// before being handed to an evaluator — the ring layer assumes well-shaped
+// NTT operands and does not re-check them.
+func (ct *Ciphertext) Validate(params *Parameters) error {
+	if len(ct.Value) < 2 || len(ct.Value) > 3 {
+		return fmt.Errorf("ckks: ciphertext has %d polynomials; want 2 or 3", len(ct.Value))
+	}
+	if ct.Level < 0 || ct.Level > params.MaxLevel() {
+		return fmt.Errorf("ckks: ciphertext level %d outside chain [0,%d]", ct.Level, params.MaxLevel())
+	}
+	if !(ct.Scale > 0) {
+		return fmt.Errorf("ckks: ciphertext scale %v is not positive", ct.Scale)
+	}
+	n := params.N()
+	for i, p := range ct.Value {
+		if p == nil {
+			return fmt.Errorf("ckks: ciphertext polynomial %d is nil", i)
+		}
+		if !p.IsNTT {
+			return fmt.Errorf("ckks: ciphertext polynomial %d is not in NTT form", i)
+		}
+		if len(p.Coeffs) != ct.Level+1 {
+			return fmt.Errorf("ckks: ciphertext polynomial %d has %d limbs; level %d needs %d", i, len(p.Coeffs), ct.Level, ct.Level+1)
+		}
+		for j, limb := range p.Coeffs {
+			if len(limb) != n {
+				return fmt.Errorf("ckks: ciphertext polynomial %d limb %d has %d coefficients; ring degree is %d", i, j, len(limb), n)
+			}
+		}
+	}
+	return nil
+}
+
 // CopyNew returns a deep copy of the ciphertext.
 func (ct *Ciphertext) CopyNew() *Ciphertext {
 	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value)), Scale: ct.Scale, Level: ct.Level}

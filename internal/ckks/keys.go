@@ -33,6 +33,36 @@ type SwitchingKey struct {
 	AP [][]uint64
 }
 
+// Validate checks that the switching key is well-shaped for the parameter
+// set: one digit per chain prime, every chain polynomial carrying a full
+// complement of limbs of length N, and special-prime limbs of length N.
+// Keys deserialized from untrusted sources must pass this check before use —
+// the key-switching kernels assume well-shaped operands.
+func (swk *SwitchingKey) Validate(params *Parameters) error {
+	digits := params.MaxLevel() + 1
+	if len(swk.BQ) != digits || len(swk.AQ) != digits || len(swk.BP) != digits || len(swk.AP) != digits {
+		return fmt.Errorf("ckks: switching key has %d/%d/%d/%d digits; want %d",
+			len(swk.BQ), len(swk.AQ), len(swk.BP), len(swk.AP), digits)
+	}
+	n := params.N()
+	for j := 0; j < digits; j++ {
+		for _, p := range []*ring.Poly{swk.BQ[j], swk.AQ[j]} {
+			if p == nil || len(p.Coeffs) != digits {
+				return fmt.Errorf("ckks: switching-key digit %d chain polynomial is malformed", j)
+			}
+			for _, limb := range p.Coeffs {
+				if len(limb) != n {
+					return fmt.Errorf("ckks: switching-key digit %d has a limb of %d coefficients; ring degree is %d", j, len(limb), n)
+				}
+			}
+		}
+		if len(swk.BP[j]) != n || len(swk.AP[j]) != n {
+			return fmt.Errorf("ckks: switching-key digit %d special limbs have %d/%d coefficients; want %d", j, len(swk.BP[j]), len(swk.AP[j]), n)
+		}
+	}
+	return nil
+}
+
 // RelinearizationKey holds the switching key for s².
 type RelinearizationKey struct {
 	Key *SwitchingKey

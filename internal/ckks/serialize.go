@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"eva/internal/ring"
 )
@@ -17,10 +18,13 @@ import (
 // it can evolve.
 
 const (
-	magicCiphertext byte = 0xC1
-	magicPlaintext  byte = 0xA1
-	magicPublicKey  byte = 0xB1
-	magicSecretKey  byte = 0xE1
+	magicCiphertext   byte = 0xC1
+	magicPlaintext    byte = 0xA1
+	magicPublicKey    byte = 0xB1
+	magicSecretKey    byte = 0xE1
+	magicSwitchingKey byte = 0xD1
+	magicRelinKey     byte = 0xD2
+	magicRotationKeys byte = 0xD3
 )
 
 func writePoly(buf *bytes.Buffer, p *ring.Poly) {
@@ -158,6 +162,158 @@ func (pk *PublicKey) UnmarshalBinary(data []byte) error {
 	}
 	pk.A, err = readPoly(r)
 	return err
+}
+
+func writeSpecialLimb(buf *bytes.Buffer, limb []uint64) {
+	binary.Write(buf, binary.LittleEndian, uint32(len(limb)))
+	binary.Write(buf, binary.LittleEndian, limb)
+}
+
+func readSpecialLimb(r *bytes.Reader) ([]uint64, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > (1 << 18) {
+		return nil, fmt.Errorf("ckks: implausible special-limb length %d", n)
+	}
+	limb := make([]uint64, n)
+	if err := binary.Read(r, binary.LittleEndian, limb); err != nil {
+		return nil, err
+	}
+	return limb, nil
+}
+
+func writeSwitchingKey(buf *bytes.Buffer, swk *SwitchingKey) {
+	binary.Write(buf, binary.LittleEndian, uint32(len(swk.BQ)))
+	for j := range swk.BQ {
+		writePoly(buf, swk.BQ[j])
+		writePoly(buf, swk.AQ[j])
+		writeSpecialLimb(buf, swk.BP[j])
+		writeSpecialLimb(buf, swk.AP[j])
+	}
+}
+
+func readSwitchingKey(r *bytes.Reader) (*SwitchingKey, error) {
+	var digits uint32
+	if err := binary.Read(r, binary.LittleEndian, &digits); err != nil {
+		return nil, err
+	}
+	if digits == 0 || digits > 64 {
+		return nil, fmt.Errorf("ckks: implausible switching-key digit count %d", digits)
+	}
+	swk := &SwitchingKey{
+		BQ: make([]*ring.Poly, digits),
+		AQ: make([]*ring.Poly, digits),
+		BP: make([][]uint64, digits),
+		AP: make([][]uint64, digits),
+	}
+	var err error
+	for j := uint32(0); j < digits; j++ {
+		if swk.BQ[j], err = readPoly(r); err != nil {
+			return nil, err
+		}
+		if swk.AQ[j], err = readPoly(r); err != nil {
+			return nil, err
+		}
+		if swk.BP[j], err = readSpecialLimb(r); err != nil {
+			return nil, err
+		}
+		if swk.AP[j], err = readSpecialLimb(r); err != nil {
+			return nil, err
+		}
+	}
+	return swk, nil
+}
+
+// MarshalBinary encodes the switching key.
+func (swk *SwitchingKey) MarshalBinary() ([]byte, error) {
+	buf := &bytes.Buffer{}
+	buf.WriteByte(magicSwitchingKey)
+	writeSwitchingKey(buf, swk)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a switching key produced by MarshalBinary.
+func (swk *SwitchingKey) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic, err := r.ReadByte()
+	if err != nil || magic != magicSwitchingKey {
+		return fmt.Errorf("ckks: not a switching-key payload")
+	}
+	decoded, err := readSwitchingKey(r)
+	if err != nil {
+		return err
+	}
+	*swk = *decoded
+	return nil
+}
+
+// MarshalBinary encodes the relinearization key. In the paper's deployment
+// model this is public evaluation material the client ships to the server
+// alongside its encrypted inputs.
+func (rlk *RelinearizationKey) MarshalBinary() ([]byte, error) {
+	buf := &bytes.Buffer{}
+	buf.WriteByte(magicRelinKey)
+	writeSwitchingKey(buf, rlk.Key)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a relinearization key produced by MarshalBinary.
+func (rlk *RelinearizationKey) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic, err := r.ReadByte()
+	if err != nil || magic != magicRelinKey {
+		return fmt.Errorf("ckks: not a relinearization-key payload")
+	}
+	rlk.Key, err = readSwitchingKey(r)
+	return err
+}
+
+// MarshalBinary encodes the rotation key set: one Galois switching key per
+// distinct rotation step the compiled program needs. Keys are written in
+// ascending Galois-element order so the encoding is deterministic.
+func (rtk *RotationKeySet) MarshalBinary() ([]byte, error) {
+	buf := &bytes.Buffer{}
+	buf.WriteByte(magicRotationKeys)
+	galEls := make([]uint64, 0, len(rtk.Keys))
+	for galEl := range rtk.Keys {
+		galEls = append(galEls, galEl)
+	}
+	sort.Slice(galEls, func(i, j int) bool { return galEls[i] < galEls[j] })
+	binary.Write(buf, binary.LittleEndian, uint32(len(galEls)))
+	for _, galEl := range galEls {
+		binary.Write(buf, binary.LittleEndian, galEl)
+		writeSwitchingKey(buf, rtk.Keys[galEl])
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a rotation key set produced by MarshalBinary.
+func (rtk *RotationKeySet) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic, err := r.ReadByte()
+	if err != nil || magic != magicRotationKeys {
+		return fmt.Errorf("ckks: not a rotation-key-set payload")
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if n > (1 << 16) {
+		return fmt.Errorf("ckks: implausible rotation-key count %d", n)
+	}
+	rtk.Keys = make(map[uint64]*SwitchingKey, n)
+	for i := uint32(0); i < n; i++ {
+		var galEl uint64
+		if err := binary.Read(r, binary.LittleEndian, &galEl); err != nil {
+			return err
+		}
+		if rtk.Keys[galEl], err = readSwitchingKey(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MarshalBinary encodes the secret key (including its special-prime limb).

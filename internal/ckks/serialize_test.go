@@ -86,6 +86,63 @@ func TestKeySerializationRoundTrip(t *testing.T) {
 	requireClose(t, tc.enc.Decode(dec.Decrypt(ct)), values, 1e-6, "restored key pair")
 }
 
+// TestEvaluationKeySerializationRoundTrip ships the public evaluation keys
+// (relinearization + rotation) through the wire format and checks that an
+// evaluator armed only with the restored keys computes correctly — the
+// client-keygen deployment model of the paper, where the server never sees
+// the secret key.
+func TestEvaluationKeySerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, 12, []int{50, 40}, 50, 1<<40, []int{1, 3})
+
+	rlkData, err := tc.rlk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlk := &RelinearizationKey{}
+	if err := rlk.UnmarshalBinary(rlkData); err != nil {
+		t.Fatal(err)
+	}
+	rtkData, err := tc.rtk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtk := &RotationKeySet{}
+	if err := rtk.UnmarshalBinary(rtkData); err != nil {
+		t.Fatal(err)
+	}
+	if len(rtk.Keys) != len(tc.rtk.Keys) {
+		t.Fatalf("rotation key count changed: got %d, want %d", len(rtk.Keys), len(tc.rtk.Keys))
+	}
+
+	eval := NewEvaluator(tc.params, EvaluationKeys{Rlk: rlk, Rtk: rtk})
+	values := tc.randomVector(25, 0)
+	ct := tc.encrypt(t, values)
+
+	prod, err := eval.Mul(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relin, err := eval.Relinearize(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	squares := make([]float64, len(values))
+	for i := range values {
+		squares[i] = values[i] * values[i]
+	}
+	requireClose(t, tc.decryptTo(t, relin), squares, 1e-4, "relinearize with restored key")
+
+	rot, err := eval.RotateLeft(ct, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated := make([]float64, len(values))
+	for i := range values {
+		rotated[i] = values[(i+3)%len(values)]
+	}
+	requireClose(t, tc.decryptTo(t, rot), rotated, 1e-4, "rotate with restored key")
+}
+
 func TestSerializationRejectsGarbage(t *testing.T) {
 	ct := &Ciphertext{}
 	if err := ct.UnmarshalBinary([]byte{0x00, 0x01}); err == nil {
@@ -102,6 +159,14 @@ func TestSerializationRejectsGarbage(t *testing.T) {
 	sk := &SecretKey{}
 	if err := sk.UnmarshalBinary([]byte{magicSecretKey}); err == nil {
 		t.Error("expected error for truncated secret key payload")
+	}
+	rlk := &RelinearizationKey{}
+	if err := rlk.UnmarshalBinary([]byte{magicCiphertext}); err == nil {
+		t.Error("expected error for wrong relinearization-key magic")
+	}
+	rtk := &RotationKeySet{}
+	if err := rtk.UnmarshalBinary([]byte{magicRotationKeys, 0xFF}); err == nil {
+		t.Error("expected error for truncated rotation-key payload")
 	}
 	// Truncated but correctly tagged payload.
 	tc := newTestContext(t, 11, []int{45}, 0, 1<<35, nil)

@@ -399,3 +399,32 @@ func TestTermString(t *testing.T) {
 		}
 	}
 }
+
+// TestDeserializeRejectsWrongArity checks that malformed instruction arg
+// counts are rejected with an error rather than an index-out-of-range panic
+// (programs arrive from untrusted clients via evaserve's /compile).
+func TestDeserializeRejectsWrongArity(t *testing.T) {
+	cases := map[string]string{
+		"binary no args": `{"name":"m","vec_size":4,
+			"inputs":[{"obj":1,"name":"x","type":"CIPHER","width":4,"log_scale":30}],
+			"outputs":[{"obj":2,"name":"o","log_scale":30}],
+			"insts":[{"output":2,"op_code":"ADD","args":[]}]}`,
+		"unary no args": `{"name":"m","vec_size":4,
+			"inputs":[{"obj":1,"name":"x","type":"CIPHER","width":4,"log_scale":30}],
+			"outputs":[{"obj":2,"name":"o","log_scale":30}],
+			"insts":[{"output":2,"op_code":"NEGATE","args":[]}]}`,
+		"rotation no args": `{"name":"m","vec_size":4,
+			"inputs":[{"obj":1,"name":"x","type":"CIPHER","width":4,"log_scale":30}],
+			"outputs":[{"obj":2,"name":"o","log_scale":30}],
+			"insts":[{"output":2,"op_code":"ROTATE_LEFT","args":[],"rotate_by":1}]}`,
+		"binary too many": `{"name":"m","vec_size":4,
+			"inputs":[{"obj":1,"name":"x","type":"CIPHER","width":4,"log_scale":30}],
+			"outputs":[{"obj":2,"name":"o","log_scale":30}],
+			"insts":[{"output":2,"op_code":"ADD","args":[1,1,1]}]}`,
+	}
+	for name, src := range cases {
+		if _, err := DeserializeBytes([]byte(src)); err == nil {
+			t.Errorf("%s: expected an error, got none", name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -83,6 +84,24 @@ func (p *Program) Serialize(w io.Writer) error {
 	return enc.Encode(sp)
 }
 
+// SerializeBytes returns the program in the JSON program format as a byte
+// slice. Because terms are written in topological order, the encoding is
+// deterministic for a given program, which makes it usable as a content-hash
+// preimage (the evaserve program registry relies on this).
+func (p *Program) SerializeBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.Serialize(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DeserializeBytes reads a program in the JSON program format from a byte
+// slice.
+func DeserializeBytes(data []byte) (*Program, error) {
+	return Deserialize(bytes.NewReader(data))
+}
+
 // Deserialize reads a program in the JSON program format.
 func Deserialize(r io.Reader) (*Program, error) {
 	var sp serialProgram
@@ -130,6 +149,13 @@ func Deserialize(r io.Reader) (*Program, error) {
 				return nil, fmt.Errorf("core: instruction %d references unknown term %d", inst.Output, id)
 			}
 			parms[i] = pt
+		}
+		want := 1
+		if op.IsBinary() {
+			want = 2
+		}
+		if len(parms) != want {
+			return nil, fmt.Errorf("core: instruction %d (%s) has %d arguments; want %d", inst.Output, op, len(parms), want)
 		}
 		var t *Term
 		switch {

@@ -71,6 +71,51 @@ func NewContext(res *compile.Result, prng *ckks.PRNG) (*Context, *KeyMaterial, e
 	return ctx, &KeyMaterial{Secret: sk, Public: pk, Relin: rlk, Rot: rtk}, nil
 }
 
+// NewEvaluationContext builds the server-side execution context from public
+// evaluation keys supplied by a client, without ever seeing the secret key —
+// the paper's deployment model, in which the client generates all key
+// material locally and ships only the relinearization and rotation keys to
+// the untrusted server. rtk may be nil when the compiled program performs no
+// rotations, and rlk may be nil when it never relinearizes.
+func NewEvaluationContext(res *compile.Result, rlk *ckks.RelinearizationKey, rtk *ckks.RotationKeySet) (*Context, error) {
+	params, err := ckks.NewParameters(res.ParametersLiteral())
+	if err != nil {
+		return nil, fmt.Errorf("execute: building parameters: %w", err)
+	}
+	if len(res.RotationSteps) > 0 {
+		if rtk == nil {
+			return nil, fmt.Errorf("execute: program needs rotation keys for steps %v but none were supplied", res.RotationSteps)
+		}
+		// Check completeness and shape now so a bad key upload fails at
+		// context creation rather than on every execution.
+		for _, step := range res.RotationSteps {
+			swk := rtk.Keys[params.GaloisElementForRotation(step)]
+			if swk == nil {
+				return nil, fmt.Errorf("execute: missing rotation key for step %d (Galois element %d)", step, params.GaloisElementForRotation(step))
+			}
+			if err := swk.Validate(params); err != nil {
+				return nil, fmt.Errorf("execute: rotation key for step %d: %w", step, err)
+			}
+		}
+	}
+	if res.CompiledStats.Instructions[core.OpRelinearize.String()] > 0 && rlk == nil {
+		return nil, fmt.Errorf("execute: program relinearizes but no relinearization key was supplied")
+	}
+	if rlk != nil {
+		if rlk.Key == nil {
+			return nil, fmt.Errorf("execute: relinearization key is empty")
+		}
+		if err := rlk.Key.Validate(params); err != nil {
+			return nil, fmt.Errorf("execute: relinearization key: %w", err)
+		}
+	}
+	return &Context{
+		Params:    params,
+		Encoder:   ckks.NewEncoder(params),
+		Evaluator: ckks.NewEvaluator(params, ckks.EvaluationKeys{Rlk: rlk, Rtk: rtk}),
+	}, nil
+}
+
 // Inputs maps program input names to their run-time values. Every value is a
 // vector of at most the program's vector size (shorter power-of-two vectors
 // are replicated, scalars may be given as single-element slices).
@@ -110,7 +155,11 @@ func EncryptInputs(ctx *Context, res *compile.Result, keys *KeyMaterial, values 
 			}
 			out.Cipher[in.Name] = ct
 		} else {
-			out.Plain[in.Name] = replicate(v, res.Program.VecSize)
+			full, err := PreparePlain(res, in.Name, v)
+			if err != nil {
+				return nil, err
+			}
+			out.Plain[in.Name] = full
 		}
 	}
 	out.EncryptTime = time.Since(start)
@@ -126,6 +175,66 @@ type Outputs struct {
 	Stats  RunStats
 }
 
+// OpLatencyBounds are the upper bounds (inclusive) of the per-opcode latency
+// histogram buckets in RunStats.PerOp. A sample larger than the last bound
+// lands in the overflow bucket, so a histogram has len(OpLatencyBounds)+1
+// buckets. The bounds span microseconds (element-wise ops on small rings) to
+// seconds (key switching on paper-scale rings).
+var OpLatencyBounds = []time.Duration{
+	time.Microsecond,
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// OpStats aggregates the latency of every instruction with one opcode during
+// an execution: a count, a total (Total/Count is the mean), the slowest
+// sample, and a histogram bucketed by OpLatencyBounds.
+type OpStats struct {
+	Count   int
+	Total   time.Duration
+	Max     time.Duration
+	Buckets []int
+}
+
+func (s *OpStats) observe(d time.Duration) {
+	if s.Buckets == nil {
+		s.Buckets = make([]int, len(OpLatencyBounds)+1)
+	}
+	s.Count++
+	s.Total += d
+	if d > s.Max {
+		s.Max = d
+	}
+	i := 0
+	for i < len(OpLatencyBounds) && d > OpLatencyBounds[i] {
+		i++
+	}
+	s.Buckets[i]++
+}
+
+// Merge folds another aggregate into s (used to combine the statistics of
+// many executions, e.g. by the evaserve /metrics endpoint).
+func (s *OpStats) Merge(o *OpStats) {
+	if o == nil || o.Count == 0 {
+		return
+	}
+	if s.Buckets == nil {
+		s.Buckets = make([]int, len(OpLatencyBounds)+1)
+	}
+	s.Count += o.Count
+	s.Total += o.Total
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range o.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
 // RunStats reports scheduler statistics for one execution.
 type RunStats struct {
 	Instructions   int
@@ -134,6 +243,11 @@ type RunStats struct {
 	PeakLiveValues int
 	PeakLiveBytes  int
 	ReusedValues   int
+
+	// PerOp maps each executed opcode to its aggregated instruction
+	// latencies. Leaf pseudo-instructions (INPUT, CONSTANT) are included so
+	// the totals account for every scheduled term.
+	PerOp map[string]*OpStats
 }
 
 // DecryptOutputs decrypts and decodes every encrypted output, truncating each
@@ -150,6 +264,17 @@ func DecryptOutputs(ctx *Context, res *compile.Result, keys *KeyMaterial, output
 		out[name] = v[:min(res.Program.VecSize, len(v))]
 	}
 	return out, time.Since(start)
+}
+
+// PreparePlain validates a plain input vector for a compiled program and
+// replicates it to the full vector size — the same semantics EncryptInputs
+// applies, exported so servers decoding wire-format inputs don't duplicate
+// them.
+func PreparePlain(res *compile.Result, name string, v []float64) ([]float64, error) {
+	if len(v) == 0 || len(v) > res.Program.VecSize {
+		return nil, fmt.Errorf("execute: input %q has %d values; want 1..%d", name, len(v), res.Program.VecSize)
+	}
+	return replicate(v, res.Program.VecSize), nil
 }
 
 func replicate(v []float64, size int) []float64 {

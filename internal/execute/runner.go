@@ -88,6 +88,7 @@ func Run(ctx *Context, res *compile.Result, in *EncryptedInputs, opts RunOptions
 		values:    make(map[*core.Term]*value, len(order)),
 		refcounts: make(map[*core.Term]int, len(order)),
 	}
+	st.stats.PerOp = make(map[string]*OpStats)
 	outputRefs := map[*core.Term]int{}
 	for _, o := range res.Program.Outputs() {
 		outputRefs[o.Term]++
@@ -131,6 +132,9 @@ func Run(ctx *Context, res *compile.Result, in *EncryptedInputs, opts RunOptions
 // runParallel is EVA's asynchronous DAG scheduler: a pool of workers consumes
 // a ready queue; finishing a term may make its uses ready.
 func runParallel(st *runState, order []*core.Term, workers int) error {
+	if workers > len(order) {
+		workers = len(order)
+	}
 	pending := make(map[*core.Term]int, len(order))
 	ready := make(chan *core.Term, len(order))
 	for _, t := range order {
@@ -318,12 +322,30 @@ func (st *runState) valuePeek(t *core.Term) (*value, bool) {
 
 // evalAndStore computes the value of t, stores it, and releases operand
 // values whose last use this was (the executor's memory reuse).
-func (st *runState) evalAndStore(t *core.Term) error {
+func (st *runState) evalAndStore(t *core.Term) (err error) {
+	// The backend assumes well-shaped operands; inputs from untrusted wire
+	// formats are validated before they get here, but a panic in a worker
+	// goroutine would otherwise kill the whole process, so convert any slip
+	// into an ordinary execution error (defense in depth for evaserve).
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("execute: panic evaluating %s: %v", t, r)
+		}
+	}()
+	start := time.Now()
 	v, err := st.eval(t)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	st.mu.Lock()
+	op := t.Op.String()
+	os := st.stats.PerOp[op]
+	if os == nil {
+		os = &OpStats{}
+		st.stats.PerOp[op] = os
+	}
+	os.observe(elapsed)
 	st.values[t] = v
 	st.liveBytes += v.bytes()
 	st.liveValues++

@@ -34,6 +34,37 @@ const (
 	RescaleFixedMax
 )
 
+// String returns the strategy's command-line/API name.
+func (s RescaleStrategy) String() string {
+	switch s {
+	case RescaleWaterline:
+		return "waterline"
+	case RescaleAlways:
+		return "always"
+	case RescaleNone:
+		return "none"
+	case RescaleFixedMax:
+		return "fixed"
+	}
+	return fmt.Sprintf("RescaleStrategy(%d)", int(s))
+}
+
+// ParseRescaleStrategy parses the command-line/API name of a rescale
+// strategy: "waterline", "always", "fixed", or "none".
+func ParseRescaleStrategy(s string) (RescaleStrategy, error) {
+	switch s {
+	case "waterline":
+		return RescaleWaterline, nil
+	case "always":
+		return RescaleAlways, nil
+	case "fixed":
+		return RescaleFixedMax, nil
+	case "none":
+		return RescaleNone, nil
+	}
+	return 0, fmt.Errorf("rewrite: unknown rescale strategy %q (want waterline, always, fixed, or none)", s)
+}
+
 // ModSwitchStrategy selects how MOD_SWITCH instructions are inserted.
 type ModSwitchStrategy int
 
@@ -47,6 +78,33 @@ const (
 	// ModSwitchNone disables modulus-switch insertion.
 	ModSwitchNone
 )
+
+// String returns the strategy's command-line/API name.
+func (s ModSwitchStrategy) String() string {
+	switch s {
+	case ModSwitchEager:
+		return "eager"
+	case ModSwitchLazy:
+		return "lazy"
+	case ModSwitchNone:
+		return "none"
+	}
+	return fmt.Sprintf("ModSwitchStrategy(%d)", int(s))
+}
+
+// ParseModSwitchStrategy parses the command-line/API name of a
+// modulus-switch strategy: "eager", "lazy", or "none".
+func ParseModSwitchStrategy(s string) (ModSwitchStrategy, error) {
+	switch s {
+	case "eager":
+		return ModSwitchEager, nil
+	case "lazy":
+		return ModSwitchLazy, nil
+	case "none":
+		return ModSwitchNone, nil
+	}
+	return 0, fmt.Errorf("rewrite: unknown modswitch strategy %q (want eager, lazy, or none)", s)
+}
 
 // Options configures the transformation pipeline.
 type Options struct {

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"eva/internal/compile"
+	"eva/internal/core"
+)
+
+// Registry is a concurrent, LRU-bounded cache of compiled programs keyed by
+// content hash. Compilation of a distinct (program, options) pair happens at
+// most once even under concurrent load: the first request compiles while
+// later requests for the same key wait for that result (singleflight-style
+// deduplication). Entries are evicted least-recently-used once the capacity
+// is exceeded; eviction only removes an entry from the cache, never
+// invalidates it — execution contexts holding the compiled result keep it
+// alive.
+type Registry struct {
+	capacity int
+
+	mu       sync.Mutex
+	byID     map[string]*list.Element // values are *Entry
+	lru      *list.List               // front = most recently used
+	inflight map[string]*flight
+
+	hits      uint64 // lookups answered from the cache
+	joins     uint64 // lookups that waited on an in-flight compilation
+	misses    uint64 // lookups that triggered a compilation
+	evictions uint64
+}
+
+// flight is one in-progress compilation that concurrent requests join.
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// Entry is one compiled program in the registry.
+type Entry struct {
+	// ID is the content hash of the canonical serialized program plus the
+	// compile options, so identical submissions map to the same entry.
+	ID string
+	// Source is the canonical serialized form of the input program.
+	Source []byte
+	// Options are the compile options the entry was built with.
+	Options compile.Options
+	// Result is the compiled program.
+	Result *compile.Result
+	// CompileTime is how long the (single) compilation took.
+	CompileTime time.Duration
+	// CreatedAt is when the compilation finished.
+	CreatedAt time.Time
+
+	mu   sync.Mutex
+	hits uint64
+}
+
+// Hits returns how many registry lookups this entry has served.
+func (e *Entry) Hits() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits
+}
+
+func (e *Entry) recordHit() {
+	e.mu.Lock()
+	e.hits++
+	e.mu.Unlock()
+}
+
+// NewRegistry returns a registry holding at most capacity compiled programs
+// (capacity <= 0 means a default of 128).
+func NewRegistry(capacity int) *Registry {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &Registry{
+		capacity: capacity,
+		byID:     map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*flight{},
+	}
+}
+
+// ProgramID returns the registry key for a program and options: a truncated
+// SHA-256 over the canonical serialized program and the options. The
+// program's serialized form is deterministic (terms are written in
+// topological order), so structurally identical submissions hash alike
+// regardless of JSON formatting.
+func ProgramID(source []byte, opts compile.Options) (string, error) {
+	optJSON, err := json.Marshal(opts)
+	if err != nil {
+		return "", fmt.Errorf("serve: hashing options: %w", err)
+	}
+	h := sha256.New()
+	h.Write(source)
+	h.Write([]byte{0})
+	h.Write(optJSON)
+	return hex.EncodeToString(h.Sum(nil))[:24], nil
+}
+
+// GetOrCompile returns the registry entry for the program, compiling it if —
+// and only if — no equivalent program is cached or already being compiled.
+// The second return value reports whether the call was served without a new
+// compilation (a cache hit or a join on an in-flight one).
+func (r *Registry) GetOrCompile(p *core.Program, opts compile.Options) (*Entry, bool, error) {
+	source, err := p.SerializeBytes()
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: canonicalizing program: %w", err)
+	}
+	id, err := ProgramID(source, opts)
+	if err != nil {
+		return nil, false, err
+	}
+
+	r.mu.Lock()
+	if elem, ok := r.byID[id]; ok {
+		r.lru.MoveToFront(elem)
+		r.hits++
+		r.mu.Unlock()
+		e := elem.Value.(*Entry)
+		e.recordHit()
+		return e, true, nil
+	}
+	if f, ok := r.inflight[id]; ok {
+		r.joins++
+		r.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		f.entry.recordHit()
+		return f.entry, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	r.inflight[id] = f
+	r.misses++
+	r.mu.Unlock()
+
+	start := time.Now()
+	res, err := compile.Compile(p, opts)
+	if err == nil {
+		f.entry = &Entry{
+			ID:          id,
+			Source:      source,
+			Options:     opts,
+			Result:      res,
+			CompileTime: time.Since(start),
+			CreatedAt:   time.Now(),
+		}
+	} else {
+		f.err = fmt.Errorf("serve: compiling %s: %w", id, err)
+	}
+
+	r.mu.Lock()
+	delete(r.inflight, id)
+	if f.err == nil {
+		r.byID[id] = r.lru.PushFront(f.entry)
+		for r.lru.Len() > r.capacity {
+			oldest := r.lru.Back()
+			r.lru.Remove(oldest)
+			delete(r.byID, oldest.Value.(*Entry).ID)
+			r.evictions++
+		}
+	}
+	r.mu.Unlock()
+	close(f.done)
+	return f.entry, false, f.err
+}
+
+// Get returns a cached entry by id, refreshing its LRU position and
+// counting the lookup against the entry's hit counter.
+func (r *Registry) Get(id string) (*Entry, bool) {
+	r.mu.Lock()
+	elem, ok := r.byID[id]
+	if ok {
+		r.lru.MoveToFront(elem)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	e := elem.Value.(*Entry)
+	e.recordHit()
+	return e, true
+}
+
+// List returns every cached entry, most recently used first.
+func (r *Registry) List() []*Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Entry, 0, r.lru.Len())
+	for elem := r.lru.Front(); elem != nil; elem = elem.Next() {
+		out = append(out, elem.Value.(*Entry))
+	}
+	return out
+}
+
+// CacheStats is a snapshot of the registry's cache counters.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Joins     uint64 `json:"joins"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRate returns the fraction of lookups served without a fresh compilation.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Joins + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Joins) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (r *Registry) Stats() CacheStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return CacheStats{
+		Size:      r.lru.Len(),
+		Capacity:  r.capacity,
+		Hits:      r.hits,
+		Joins:     r.joins,
+		Misses:    r.misses,
+		Evictions: r.evictions,
+	}
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"eva/internal/builder"
+	"eva/internal/compile"
+	"eva/internal/core"
+)
+
+// testProgram builds a small compilable program; the salt value makes
+// structurally distinct programs for cache-eviction tests.
+func testProgram(t testing.TB, name string, salt float64) *core.Program {
+	t.Helper()
+	b := builder.New(name, 8)
+	x := b.Input("x", 30)
+	y := b.Input("y", 30)
+	b.Output("out", x.Square().Add(y).MulScalar(salt, 30), 30)
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func insecureOptions() compile.Options {
+	opts := compile.DefaultOptions()
+	opts.AllowInsecure = true
+	return opts
+}
+
+// TestRegistryConcurrentDedup checks the singleflight property: N goroutines
+// racing to compile the same program trigger exactly one compilation.
+func TestRegistryConcurrentDedup(t *testing.T) {
+	reg := NewRegistry(8)
+	prog := testProgram(t, "dedup", 0.5)
+	opts := insecureOptions()
+
+	const n = 16
+	var wg sync.WaitGroup
+	entries := make([]*Entry, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			entries[i], _, errs[i] = reg.GetOrCompile(prog, opts)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if entries[i] != entries[0] {
+			t.Fatalf("goroutine %d got a different entry", i)
+		}
+	}
+	stats := reg.Stats()
+	if stats.Misses != 1 {
+		t.Errorf("got %d compilations, want exactly 1 (stats %+v)", stats.Misses, stats)
+	}
+	if stats.Hits+stats.Joins != n-1 {
+		t.Errorf("got %d deduplicated lookups, want %d (stats %+v)", stats.Hits+stats.Joins, n-1, stats)
+	}
+	if stats.Size != 1 {
+		t.Errorf("cache holds %d entries, want 1", stats.Size)
+	}
+}
+
+// TestRegistrySequentialHit checks that re-submitting a program is answered
+// from the cache and recorded as a hit.
+func TestRegistrySequentialHit(t *testing.T) {
+	reg := NewRegistry(8)
+	prog := testProgram(t, "hit", 0.5)
+	opts := insecureOptions()
+
+	e1, cached, err := reg.GetOrCompile(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first compilation reported as cached")
+	}
+	e2, cached, err := reg.GetOrCompile(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || e2 != e1 {
+		t.Errorf("second submission not served from cache (cached=%v, same=%v)", cached, e2 == e1)
+	}
+	if e2.Hits() != 1 {
+		t.Errorf("entry hits = %d, want 1", e2.Hits())
+	}
+
+	// Different options are a different entry.
+	opts2 := opts
+	opts2.Optimize = true
+	e3, cached, err := reg.GetOrCompile(prog, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || e3 == e1 {
+		t.Error("different options reused the same cache entry")
+	}
+}
+
+// TestRegistryEviction checks least-recently-used eviction at capacity.
+func TestRegistryEviction(t *testing.T) {
+	reg := NewRegistry(2)
+	opts := insecureOptions()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		prog := testProgram(t, fmt.Sprintf("evict-%d", i), float64(i+1))
+		e, _, err := reg.GetOrCompile(prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, e.ID)
+	}
+
+	stats := reg.Stats()
+	if stats.Size != 2 || stats.Evictions != 1 {
+		t.Errorf("size=%d evictions=%d, want 2 and 1", stats.Size, stats.Evictions)
+	}
+	if _, ok := reg.Get(ids[0]); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := reg.Get(id); !ok {
+			t.Errorf("entry %s missing after eviction", id)
+		}
+	}
+
+	// Recompiling the evicted program is a miss, not a hit.
+	_, cached, err := reg.GetOrCompile(testProgram(t, "evict-0", 1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("evicted program reported as cached")
+	}
+}
+
+// TestRegistryLRUTouch checks that Get refreshes recency so the least
+// recently used entry is the one evicted.
+func TestRegistryLRUTouch(t *testing.T) {
+	reg := NewRegistry(2)
+	opts := insecureOptions()
+	a, _, err := reg.GetOrCompile(testProgram(t, "a", 1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := reg.GetOrCompile(testProgram(t, "b", 2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Get(a.ID); !ok { // touch a: b becomes LRU
+		t.Fatal("entry a missing")
+	}
+	if _, _, err := reg.GetOrCompile(testProgram(t, "c", 3), opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Get(b.ID); ok {
+		t.Error("expected b (least recently used) to be evicted")
+	}
+	if _, ok := reg.Get(a.ID); !ok {
+		t.Error("expected a (recently touched) to survive")
+	}
+}
+
+// TestProgramIDCanonical checks that the registry key ignores JSON formatting
+// and depends only on program structure and options.
+func TestProgramIDCanonical(t *testing.T) {
+	p1 := testProgram(t, "canon", 0.5)
+	p2 := testProgram(t, "canon", 0.5)
+	opts := insecureOptions()
+	s1, err := p1.SerializeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p2.SerializeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := ProgramID(s1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := ProgramID(s2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Errorf("identical programs hash differently: %s vs %s", id1, id2)
+	}
+	p3 := testProgram(t, "canon", 0.25)
+	s3, _ := p3.SerializeBytes()
+	id3, _ := ProgramID(s3, opts)
+	if id3 == id1 {
+		t.Error("distinct programs hash alike")
+	}
+}

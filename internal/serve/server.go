@@ -1,0 +1,763 @@
+// Package serve implements evaserve, an HTTP JSON service exposing the full
+// EVA pipeline: POST /compile turns a serialized EVA program into a compiled
+// program plus encryption parameters (cached in a concurrent LRU registry
+// keyed by content hash, with singleflight deduplication so a distinct
+// program compiles exactly once under concurrent load), POST /contexts
+// installs evaluation keys — either client-generated, the paper's deployment
+// model, or server-generated for the trusted demo mode — and POST
+// /execute/{id} runs batches of encrypted input sets through the parallel
+// executor, fanning the batches out across the runner's worker pool.
+// GET /programs, GET /healthz and GET /metrics expose the registry contents,
+// liveness, and request/cache/per-opcode-latency metrics.
+package serve
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"eva/internal/analysis"
+	"eva/internal/ckks"
+	"eva/internal/compile"
+	"eva/internal/core"
+	"eva/internal/execute"
+	"eva/internal/rewrite"
+)
+
+// Config configures a Server.
+type Config struct {
+	// CacheCapacity bounds the compiled-program registry (0 = 128).
+	CacheCapacity int
+	// DefaultWorkers is the executor worker count when a request does not set
+	// one (0 = GOMAXPROCS).
+	DefaultWorkers int
+	// MaxConcurrentBatches bounds how many batches of one /execute request
+	// run simultaneously (0 = GOMAXPROCS). Each batch additionally
+	// parallelizes internally across the executor's workers.
+	MaxConcurrentBatches int
+	// MaxBodyBytes caps the size of any request body (0 = 256 MiB — key
+	// material for large rings runs to tens of megabytes, so the default is
+	// generous). Oversized requests are rejected mid-read.
+	MaxBodyBytes int64
+	// MaxContexts bounds how many execution contexts (evaluation-key sets)
+	// the server retains; the least recently used context is dropped when
+	// the bound is exceeded (0 = 256). Contexts hold key material, which is
+	// far heavier than compiled programs.
+	MaxContexts int
+	// AllowServerKeygen enables the trusted demo mode: POST /contexts with a
+	// "keygen" clause makes the server generate and hold all key material,
+	// including the secret key, so clients can submit plaintext values and
+	// read back decrypted results. This breaks the paper's threat model (the
+	// server can decrypt) and exists for demos and load tests only.
+	AllowServerKeygen bool
+}
+
+// Server is the evaserve HTTP service. Create one with NewServer and mount
+// Handler on an http.Server.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	metrics  *Metrics
+	mux      *http.ServeMux
+	start    time.Time
+
+	ctxMu    sync.Mutex
+	contexts map[string]*list.Element // values are *contextEntry
+	ctxLRU   *list.List               // front = most recently used
+}
+
+// contextEntry is one installed execution context: the CKKS runtime objects
+// for a compiled program plus, in demo mode only, the full key material. It
+// pins the registry entry it was created against, so a context keeps working
+// even after the compiled program is evicted from the LRU cache.
+type contextEntry struct {
+	ID        string
+	Entry     *Entry
+	Ctx       *execute.Context
+	Keys      *execute.KeyMaterial // nil unless created by server-side keygen
+	CreatedAt time.Time
+}
+
+// NewServer builds an evaserve service.
+func NewServer(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.CacheCapacity),
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		contexts: map[string]*list.Element{},
+		ctxLRU:   list.New(),
+	}
+	s.mux.HandleFunc("POST /compile", s.route("compile", s.handleCompile))
+	s.mux.HandleFunc("GET /programs", s.route("programs", s.handlePrograms))
+	s.mux.HandleFunc("GET /programs/{id}", s.route("program", s.handleProgram))
+	s.mux.HandleFunc("POST /contexts", s.route("contexts", s.handleContexts))
+	s.mux.HandleFunc("POST /execute/{id}", s.route("execute", s.handleExecute))
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the program registry (for tests and tooling).
+func (s *Server) Registry() *Registry { return s.registry }
+
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	maxBody := s.cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 256 << 20
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.RecordRequest(name)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		}
+		h(w, r)
+	}
+}
+
+// maxBatchesPerRequest caps how many input sets one /execute request may
+// carry; each batch gets a goroutine parked on the fan-out semaphore, so the
+// count must be bounded.
+const maxBatchesPerRequest = 4096
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- /compile ---
+
+// CompileOptionsJSON is the wire form of compile.Options. Zero values mean
+// the paper's defaults; Rescale and ModSwitch take the strategy names also
+// accepted by the evac command line.
+type CompileOptionsJSON struct {
+	MaxRescaleLog float64 `json:"max_rescale_log,omitempty"`
+	WaterlineLog  float64 `json:"waterline_log,omitempty"`
+	Rescale       string  `json:"rescale,omitempty"`
+	ModSwitch     string  `json:"mod_switch,omitempty"`
+	MinLogN       int     `json:"min_log_n,omitempty"`
+	AllowInsecure bool    `json:"allow_insecure,omitempty"`
+	Optimize      bool    `json:"optimize,omitempty"`
+}
+
+func (o *CompileOptionsJSON) toOptions() (compile.Options, error) {
+	opts := compile.DefaultOptions()
+	if o == nil {
+		return opts, nil
+	}
+	if o.MaxRescaleLog > 0 {
+		opts.MaxRescaleLog = o.MaxRescaleLog
+	}
+	opts.WaterlineLog = o.WaterlineLog
+	opts.MinLogN = o.MinLogN
+	opts.AllowInsecure = o.AllowInsecure
+	opts.Optimize = o.Optimize
+	var err error
+	if o.Rescale != "" {
+		if opts.Rescale, err = rewrite.ParseRescaleStrategy(o.Rescale); err != nil {
+			return opts, err
+		}
+	}
+	if o.ModSwitch != "" {
+		if opts.ModSwitch, err = rewrite.ParseModSwitchStrategy(o.ModSwitch); err != nil {
+			return opts, err
+		}
+	}
+	return opts, nil
+}
+
+// CompileRequest is the body of POST /compile: a program in the JSON program
+// format (the paper's Figure 1 schema) plus optional compile options.
+type CompileRequest struct {
+	Program json.RawMessage     `json:"program"`
+	Options *CompileOptionsJSON `json:"options,omitempty"`
+}
+
+// ParamsJSON is the wire form of the selected encryption parameters — enough
+// for a client to reconstruct ckks.ParametersLiteral and generate matching
+// keys locally.
+type ParamsJSON struct {
+	LogN          int     `json:"log_n"`
+	LogQi         []int   `json:"log_qi"`
+	LogP          int     `json:"log_p"`
+	Scale         float64 `json:"scale"`
+	AllowInsecure bool    `json:"allow_insecure,omitempty"`
+}
+
+// Literal converts the wire form back to a parameters literal.
+func (p ParamsJSON) Literal() ckks.ParametersLiteral {
+	return ckks.ParametersLiteral{
+		LogN:          p.LogN,
+		LogQi:         p.LogQi,
+		LogP:          p.LogP,
+		Scale:         p.Scale,
+		AllowInsecure: p.AllowInsecure,
+	}
+}
+
+// CompileResponse is the body returned by POST /compile.
+type CompileResponse struct {
+	ID            string             `json:"id"`
+	Cached        bool               `json:"cached"`
+	CompileMillis float64            `json:"compile_ms"`
+	Summary       string             `json:"summary"`
+	Params        ParamsJSON         `json:"params"`
+	InputScales   map[string]float64 `json:"input_scales"`
+	RotationSteps []int              `json:"rotation_steps"`
+	Instructions  int                `json:"instructions"`
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Program) == 0 {
+		writeError(w, http.StatusBadRequest, "missing \"program\"")
+		return
+	}
+	prog, err := core.DeserializeBytes(req.Program)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid program: %v", err)
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
+		return
+	}
+	entry, cached, err := s.registry.GetOrCompile(prog, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if !cached {
+		model := analysis.CostModel{LogN: entry.Result.LogN, TotalLevels: len(entry.Result.Plan.BitSizes)}
+		s.metrics.RecordPredictedCost(model.EstimateCost(entry.Result.Program).ByOp)
+	}
+	writeJSON(w, http.StatusOK, s.compileResponse(entry, cached))
+}
+
+func (s *Server) compileResponse(entry *Entry, cached bool) CompileResponse {
+	res := entry.Result
+	lit := res.ParametersLiteral()
+	return CompileResponse{
+		ID:            entry.ID,
+		Cached:        cached,
+		CompileMillis: float64(entry.CompileTime) / float64(time.Millisecond),
+		Summary:       res.Summary(),
+		Params: ParamsJSON{
+			LogN:          lit.LogN,
+			LogQi:         lit.LogQi,
+			LogP:          lit.LogP,
+			Scale:         lit.Scale,
+			AllowInsecure: lit.AllowInsecure,
+		},
+		InputScales:   res.InputScales(),
+		RotationSteps: res.RotationSteps,
+		Instructions:  res.CompiledStats.Terms,
+	}
+}
+
+// --- /programs ---
+
+// ProgramInfo is one row of GET /programs.
+type ProgramInfo struct {
+	ID           string  `json:"id"`
+	Name         string  `json:"name"`
+	VecSize      int     `json:"vec_size"`
+	Instructions int     `json:"instructions"`
+	Hits         uint64  `json:"hits"`
+	CompiledAt   string  `json:"compiled_at"`
+	CompileMS    float64 `json:"compile_ms"`
+}
+
+func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	entries := s.registry.List()
+	out := make([]ProgramInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, programInfo(e))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func programInfo(e *Entry) ProgramInfo {
+	return ProgramInfo{
+		ID:           e.ID,
+		Name:         e.Result.Program.Name,
+		VecSize:      e.Result.Program.VecSize,
+		Instructions: e.Result.CompiledStats.Terms,
+		Hits:         e.Hits(),
+		CompiledAt:   e.CreatedAt.UTC().Format(time.RFC3339),
+		CompileMS:    float64(e.CompileTime) / float64(time.Millisecond),
+	}
+}
+
+func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown program %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ProgramInfo
+		Compile CompileResponse `json:"compile"`
+	}{programInfo(entry), s.compileResponse(entry, true)})
+}
+
+// --- /contexts ---
+
+// EvalKeysJSON carries client-generated public evaluation keys: the
+// relinearization key, plus rotation keys either as one whole
+// RotationKeySet payload (RotationSet) or as one key per Galois element
+// (Rotations: decimal Galois elements mapping to SwitchingKey payloads).
+// All payloads are base64 of the ckks binary wire format.
+type EvalKeysJSON struct {
+	Relin       string            `json:"relin,omitempty"`
+	RotationSet string            `json:"rotation_set,omitempty"`
+	Rotations   map[string]string `json:"rotations,omitempty"`
+}
+
+// KeygenJSON asks the server to generate key material itself (demo mode).
+type KeygenJSON struct {
+	// Seed makes key generation deterministic when nonzero (tests only).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ContextRequest is the body of POST /contexts. Exactly one of Keys (the
+// paper's client-keygen model) or Keygen (trusted demo mode) must be set.
+type ContextRequest struct {
+	ProgramID string        `json:"program_id"`
+	Keys      *EvalKeysJSON `json:"keys,omitempty"`
+	Keygen    *KeygenJSON   `json:"keygen,omitempty"`
+}
+
+// ContextResponse is the body returned by POST /contexts.
+type ContextResponse struct {
+	ContextID    string  `json:"context_id"`
+	ProgramID    string  `json:"program_id"`
+	KeygenMillis float64 `json:"keygen_ms,omitempty"`
+}
+
+func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
+	var req ContextRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	entry, ok := s.registry.Get(req.ProgramID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown program %q; POST /compile first", req.ProgramID)
+		return
+	}
+	if (req.Keys == nil) == (req.Keygen == nil) {
+		writeError(w, http.StatusBadRequest, "exactly one of \"keys\" or \"keygen\" is required")
+		return
+	}
+
+	ce := &contextEntry{Entry: entry, CreatedAt: time.Now()}
+	switch {
+	case req.Keygen != nil:
+		if !s.cfg.AllowServerKeygen {
+			writeError(w, http.StatusForbidden, "server-side keygen is disabled; supply client-generated evaluation keys")
+			return
+		}
+		var prng *ckks.PRNG
+		if req.Keygen.Seed != 0 {
+			prng = ckks.NewTestPRNG(req.Keygen.Seed)
+		}
+		ctx, keys, err := execute.NewContext(entry.Result, prng)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "key generation: %v", err)
+			return
+		}
+		ce.Ctx, ce.Keys = ctx, keys
+	default:
+		rlk, rtk, err := decodeEvalKeys(req.Keys)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ctx, err := execute.NewEvaluationContext(entry.Result, rlk, rtk)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		ce.Ctx = ctx
+	}
+
+	id, err := randomID()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	ce.ID = id
+	maxContexts := s.cfg.MaxContexts
+	if maxContexts <= 0 {
+		maxContexts = 256
+	}
+	s.ctxMu.Lock()
+	s.contexts[id] = s.ctxLRU.PushFront(ce)
+	for s.ctxLRU.Len() > maxContexts {
+		oldest := s.ctxLRU.Back()
+		s.ctxLRU.Remove(oldest)
+		delete(s.contexts, oldest.Value.(*contextEntry).ID)
+	}
+	s.ctxMu.Unlock()
+	writeJSON(w, http.StatusOK, ContextResponse{
+		ContextID:    id,
+		ProgramID:    entry.ID,
+		KeygenMillis: float64(ce.Ctx.KeyGenTime) / float64(time.Millisecond),
+	})
+}
+
+func decodeEvalKeys(keys *EvalKeysJSON) (*ckks.RelinearizationKey, *ckks.RotationKeySet, error) {
+	var rlk *ckks.RelinearizationKey
+	var rtk *ckks.RotationKeySet
+	if keys.Relin != "" {
+		data, err := base64.StdEncoding.DecodeString(keys.Relin)
+		if err != nil {
+			return nil, nil, fmt.Errorf("relin key: %w", err)
+		}
+		rlk = &ckks.RelinearizationKey{}
+		if err := rlk.UnmarshalBinary(data); err != nil {
+			return nil, nil, fmt.Errorf("relin key: %w", err)
+		}
+	}
+	if keys.RotationSet != "" && len(keys.Rotations) > 0 {
+		return nil, nil, fmt.Errorf("supply either \"rotation_set\" or \"rotations\", not both")
+	}
+	if keys.RotationSet != "" {
+		data, err := base64.StdEncoding.DecodeString(keys.RotationSet)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rotation set: %w", err)
+		}
+		rtk = &ckks.RotationKeySet{}
+		if err := rtk.UnmarshalBinary(data); err != nil {
+			return nil, nil, fmt.Errorf("rotation set: %w", err)
+		}
+	}
+	if len(keys.Rotations) > 0 {
+		rtk = &ckks.RotationKeySet{Keys: map[uint64]*ckks.SwitchingKey{}}
+		for galStr, b64 := range keys.Rotations {
+			galEl, err := strconv.ParseUint(galStr, 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("rotation key %q: bad Galois element: %w", galStr, err)
+			}
+			data, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("rotation key %q: %w", galStr, err)
+			}
+			swk := &ckks.SwitchingKey{}
+			if err := swk.UnmarshalBinary(data); err != nil {
+				return nil, nil, fmt.Errorf("rotation key %q: %w", galStr, err)
+			}
+			rtk.Keys[galEl] = swk
+		}
+	}
+	return rlk, rtk, nil
+}
+
+func randomID() (string, error) {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("serve: generating id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// --- /execute ---
+
+// ExecuteBatch is one input set of an /execute request. Cipher carries
+// base64 ciphertexts (client-encrypted), Plain carries the program's
+// unencrypted inputs, and Values carries plaintext values for the program's
+// Cipher inputs — allowed only on demo-mode contexts, where the server
+// encrypts them (and decrypts the outputs) itself.
+type ExecuteBatch struct {
+	Cipher map[string]string    `json:"cipher,omitempty"`
+	Plain  map[string][]float64 `json:"plain,omitempty"`
+	Values map[string][]float64 `json:"values,omitempty"`
+}
+
+// ExecuteRequest is the body of POST /execute/{program-id}. Batches run
+// concurrently (bounded by the server's MaxConcurrentBatches) and each batch
+// additionally fans out across Workers executor goroutines.
+type ExecuteRequest struct {
+	ContextID string         `json:"context_id"`
+	Workers   int            `json:"workers,omitempty"`
+	Scheduler string         `json:"scheduler,omitempty"`
+	Batches   []ExecuteBatch `json:"batches"`
+}
+
+// BatchStats summarizes one batch's execution.
+type BatchStats struct {
+	Instructions int     `json:"instructions"`
+	Workers      int     `json:"workers"`
+	WallMillis   float64 `json:"wall_ms"`
+}
+
+// BatchResult is the per-batch response: base64 ciphertext outputs, plus
+// decrypted (or natively unencrypted) outputs in Values where available.
+type BatchResult struct {
+	Cipher map[string]string    `json:"cipher,omitempty"`
+	Values map[string][]float64 `json:"values,omitempty"`
+	Error  string               `json:"error,omitempty"`
+	Stats  BatchStats           `json:"stats"`
+}
+
+// ExecuteResponse is the body returned by POST /execute/{id}.
+type ExecuteResponse struct {
+	ProgramID string        `json:"program_id"`
+	Results   []BatchResult `json:"results"`
+}
+
+func parseScheduler(s string) (execute.Scheduler, error) {
+	switch s {
+	case "", "parallel":
+		return execute.SchedulerParallel, nil
+	case "bulk":
+		return execute.SchedulerBulkSynchronous, nil
+	case "sequential":
+		return execute.SchedulerSequential, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (want parallel, bulk, or sequential)", s)
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	programID := r.PathValue("id")
+	var req ExecuteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	s.ctxMu.Lock()
+	var ce *contextEntry
+	if elem, ok := s.contexts[req.ContextID]; ok {
+		s.ctxLRU.MoveToFront(elem)
+		ce = elem.Value.(*contextEntry)
+	}
+	s.ctxMu.Unlock()
+	if ce == nil {
+		writeError(w, http.StatusNotFound, "unknown context %q; POST /contexts first", req.ContextID)
+		return
+	}
+	if ce.Entry.ID != programID {
+		writeError(w, http.StatusConflict, "context %q belongs to program %q, not %q", req.ContextID, ce.Entry.ID, programID)
+		return
+	}
+	// Resolve the program through the context, not the registry: a context
+	// pins its compiled program, so LRU eviction never breaks a live context.
+	entry := ce.Entry
+	s.registry.Get(programID) // refresh recency if still cached
+	if len(req.Batches) == 0 {
+		writeError(w, http.StatusBadRequest, "no batches")
+		return
+	}
+	if len(req.Batches) > maxBatchesPerRequest {
+		writeError(w, http.StatusRequestEntityTooLarge, "%d batches exceeds the per-request limit of %d", len(req.Batches), maxBatchesPerRequest)
+		return
+	}
+	sched, err := parseScheduler(req.Scheduler)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ropts := execute.RunOptions{Workers: req.Workers, Scheduler: sched}
+	if ropts.Workers <= 0 {
+		ropts.Workers = s.cfg.DefaultWorkers
+	}
+	// Clamp the client-supplied knob: goroutines beyond the machine's
+	// parallelism only cost memory, and an unbounded value is a DoS vector.
+	if maxWorkers := 4 * runtime.GOMAXPROCS(0); ropts.Workers > maxWorkers {
+		ropts.Workers = maxWorkers
+	}
+
+	// Fan the batches out across the worker pool: each batch is one
+	// DAG-parallel execution, and up to maxConcurrent batches run at once.
+	maxConcurrent := s.cfg.MaxConcurrentBatches
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	results := make([]BatchResult, len(req.Batches))
+	sem := make(chan struct{}, maxConcurrent)
+	var wg sync.WaitGroup
+	for i := range req.Batches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = s.runBatch(entry, ce, &req.Batches[i], ropts)
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, ExecuteResponse{ProgramID: programID, Results: results})
+}
+
+func batchError(format string, args ...any) BatchResult {
+	return BatchResult{Error: fmt.Sprintf(format, args...)}
+}
+
+// runBatch executes one input set against a compiled program.
+func (s *Server) runBatch(entry *Entry, ce *contextEntry, batch *ExecuteBatch, ropts execute.RunOptions) BatchResult {
+	res := entry.Result
+	demo := len(batch.Values) > 0
+	if demo && ce.Keys == nil {
+		s.metrics.RecordExecutionError()
+		return batchError("plaintext \"values\" need a server-keygen (demo) context; this context has no keys")
+	}
+
+	var enc *execute.EncryptedInputs
+	var err error
+	if demo {
+		all := execute.Inputs{}
+		for name, v := range batch.Values {
+			all[name] = v
+		}
+		for name, v := range batch.Plain {
+			all[name] = v
+		}
+		enc, err = execute.EncryptInputs(ce.Ctx, res, ce.Keys, all, nil)
+		if err != nil {
+			s.metrics.RecordExecutionError()
+			return batchError("encrypting values: %v", err)
+		}
+	} else {
+		if enc, err = decodeBatchInputs(res, ce.Ctx.Params, batch); err != nil {
+			s.metrics.RecordExecutionError()
+			return batchError("%v", err)
+		}
+	}
+
+	out, err := execute.Run(ce.Ctx, res, enc, ropts)
+	if err != nil {
+		s.metrics.RecordExecutionError()
+		return batchError("executing: %v", err)
+	}
+	s.metrics.RecordExecution(out.Stats)
+
+	result := BatchResult{
+		Stats: BatchStats{
+			Instructions: out.Stats.Instructions,
+			Workers:      out.Stats.Workers,
+			WallMillis:   float64(out.Stats.WallTime) / float64(time.Millisecond),
+		},
+	}
+	if demo {
+		values, _ := execute.DecryptOutputs(ce.Ctx, res, ce.Keys, out)
+		result.Values = values
+		return result
+	}
+	result.Cipher = map[string]string{}
+	for name, ct := range out.Cipher {
+		data, err := ct.MarshalBinary()
+		if err != nil {
+			s.metrics.RecordExecutionError()
+			return batchError("serializing output %q: %v", name, err)
+		}
+		result.Cipher[name] = base64.StdEncoding.EncodeToString(data)
+	}
+	for name, v := range out.Plain {
+		if result.Values == nil {
+			result.Values = map[string][]float64{}
+		}
+		result.Values[name] = v[:min(res.Program.VecSize, len(v))]
+	}
+	return result
+}
+
+// decodeBatchInputs turns a client-encrypted batch into executor inputs,
+// checking that every program input is supplied with the right kind and that
+// uploaded ciphertexts are well-formed for the program's parameters.
+func decodeBatchInputs(res *compile.Result, params *ckks.Parameters, batch *ExecuteBatch) (*execute.EncryptedInputs, error) {
+	enc := &execute.EncryptedInputs{
+		Cipher: map[string]*ckks.Ciphertext{},
+		Plain:  map[string][]float64{},
+	}
+	for _, in := range res.Program.Inputs() {
+		if in.InType == core.TypeCipher {
+			b64, ok := batch.Cipher[in.Name]
+			if !ok {
+				return nil, fmt.Errorf("missing ciphertext for input %q", in.Name)
+			}
+			data, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				return nil, fmt.Errorf("input %q: %w", in.Name, err)
+			}
+			ct := &ckks.Ciphertext{}
+			if err := ct.UnmarshalBinary(data); err != nil {
+				return nil, fmt.Errorf("input %q: %w", in.Name, err)
+			}
+			// Reject malformed uploads before the executor touches them: the
+			// ring layer assumes well-shaped NTT operands.
+			if err := ct.Validate(params); err != nil {
+				return nil, fmt.Errorf("input %q: %w", in.Name, err)
+			}
+			enc.Cipher[in.Name] = ct
+		} else {
+			v, ok := batch.Plain[in.Name]
+			if !ok {
+				return nil, fmt.Errorf("missing value for plain input %q", in.Name)
+			}
+			full, err := execute.PreparePlain(res, in.Name, v)
+			if err != nil {
+				return nil, err
+			}
+			enc.Plain[in.Name] = full
+		}
+	}
+	return enc, nil
+}
+
+// --- /healthz and /metrics ---
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Programs      int     `json:"programs"`
+	Contexts      int     `json:"contexts"`
+	Goroutines    int     `json:"goroutines"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.ctxMu.Lock()
+	contexts := len(s.contexts)
+	s.ctxMu.Unlock()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Programs:      s.registry.Stats().Size,
+		Contexts:      contexts,
+		Goroutines:    runtime.NumGoroutine(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Report(s.registry.Stats()))
+}
