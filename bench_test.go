@@ -27,6 +27,7 @@ import (
 	"eva/internal/chet"
 	"eva/internal/ckks"
 	"eva/internal/compile"
+	"eva/internal/core"
 	"eva/internal/execute"
 	"eva/internal/nn"
 	"eva/internal/rewrite"
@@ -315,6 +316,54 @@ func BenchmarkAblationScheduler(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSourceFrontend measures the textual frontend (beyond the paper):
+// for each program it reports how long printing to .eva source and parsing +
+// lowering the source back take next to the backend compile time, plus the
+// frontend's share of a source-submission /compile request. This is the cost
+// a client pays for POSTing source text to evaserve instead of the JSON wire
+// format.
+func BenchmarkSourceFrontend(b *testing.B) {
+	programs := map[string]*core.Program{
+		"x2y3": bench.FigureDemoProgram(),
+	}
+	sobel, err := apps.SobelFilter(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	programs["sobel-16"] = sobel.Program
+	harris, err := apps.HarrisCornerDetection(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	programs["harris-16"] = harris.Program
+	net := nn.LeNet5Small(nn.Config{InputSize: 8, ChannelDivisor: 8})
+	lenet, err := nn.BuildProgram(net, nn.RandomWeights(net, newRand(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	programs["lenet-5-small"] = lenet
+
+	opts := compile.DefaultOptions()
+	opts.AllowInsecure = true
+	for name, prog := range programs {
+		b.Run(name, func(b *testing.B) {
+			var res *bench.FrontendResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = bench.RunFrontend(prog, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.PrintTime.Seconds()*1e3, "print-ms")
+			b.ReportMetric(res.ParseTime.Seconds()*1e3, "parse-ms")
+			b.ReportMetric(res.CompileTime.Seconds()*1e3, "compile-ms")
+			b.ReportMetric(res.FrontendShare()*100, "frontend-%")
+			b.ReportMetric(float64(res.SourceBytes), "src-bytes")
 		})
 	}
 }

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -24,22 +26,45 @@ import (
 	"eva/internal/execute"
 )
 
+// errFlagParse marks a command-line parse failure the FlagSet already
+// reported (with usage) to stderr, so main must not print it again.
+var errFlagParse = errors.New("invalid command line")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintln(os.Stderr, "evarun:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the whole tool; main only maps its error to the exit status, so
+// tests can drive the real command line in-process. Reports go to stdout,
+// flag-parse diagnostics and usage to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("evarun", flag.ContinueOnError)
 	var (
-		appName   = flag.String("app", "sobel", "application: pathlength, linear, polynomial, multivariate, sobel, harris")
-		imageSize = flag.Int("image", 16, "image side length for sobel/harris (power of two)")
-		vecSize   = flag.Int("vec", 1024, "vector size for the non-image applications (power of two)")
-		workers   = flag.Int("workers", 0, "executor worker threads (0 = GOMAXPROCS)")
-		secure    = flag.Bool("secure", false, "require 128-bit-secure encryption parameters")
-		seed      = flag.Int64("seed", 1, "random seed for inputs and keys")
+		appName   = fs.String("app", "sobel", "application: pathlength, linear, polynomial, multivariate, sobel, harris")
+		imageSize = fs.Int("image", 16, "image side length for sobel/harris (power of two)")
+		vecSize   = fs.Int("vec", 1024, "vector size for the non-image applications (power of two)")
+		workers   = fs.Int("workers", 0, "executor worker threads (0 = GOMAXPROCS)")
+		secure    = fs.Bool("secure", false, "require 128-bit-secure encryption parameters")
+		seed      = fs.Int64("seed", 1, "random seed for inputs and keys")
 	)
-	flag.Parse()
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse
+	}
 
 	app, err := makeApp(*appName, *vecSize, *imageSize)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("application: %s (vector size %d)\n", app.Name, app.Program.VecSize)
+	fmt.Fprintf(stdout, "application: %s (vector size %d)\n", app.Name, app.Program.VecSize)
 
 	rng := rand.New(rand.NewSource(*seed))
 	inputs := app.MakeInputs(rng)
@@ -50,33 +75,33 @@ func main() {
 	start := time.Now()
 	res, err := compile.Compile(app.Program, opts)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("compiled in %v: %s\n", time.Since(start).Round(time.Millisecond), res.Summary())
+	fmt.Fprintf(stdout, "compiled in %v: %s\n", time.Since(start).Round(time.Millisecond), res.Summary())
 
 	prng := ckks.NewTestPRNG(uint64(*seed))
 	ctx, keys, err := execute.NewContext(res, prng)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("encryption context (keys for %d rotations) in %v\n", len(res.RotationSteps), ctx.KeyGenTime.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "encryption context (keys for %d rotations) in %v\n", len(res.RotationSteps), ctx.KeyGenTime.Round(time.Millisecond))
 
 	enc, err := execute.EncryptInputs(ctx, res, keys, inputs, prng)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("inputs encrypted in %v\n", enc.EncryptTime.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "inputs encrypted in %v\n", enc.EncryptTime.Round(time.Millisecond))
 
 	out, err := execute.Run(ctx, res, enc, execute.RunOptions{Workers: *workers, Scheduler: execute.SchedulerParallel})
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("homomorphic execution: %v (%d instructions, %d workers, peak %d live values, %d values reused)\n",
+	fmt.Fprintf(stdout, "homomorphic execution: %v (%d instructions, %d workers, peak %d live values, %d values reused)\n",
 		out.Stats.WallTime.Round(time.Millisecond), out.Stats.Instructions, out.Stats.Workers,
 		out.Stats.PeakLiveValues, out.Stats.ReusedValues)
 
 	dec, decTime := execute.DecryptOutputs(ctx, res, keys, out)
-	fmt.Printf("outputs decrypted in %v\n", decTime.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "outputs decrypted in %v\n", decTime.Round(time.Millisecond))
 
 	maxErr := 0.0
 	for name, w := range want {
@@ -86,14 +111,15 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("maximum error vs unencrypted reference: %.3e\n", maxErr)
+	fmt.Fprintf(stdout, "maximum error vs unencrypted reference: %.3e\n", maxErr)
 	for name, values := range dec {
 		n := 4
 		if len(values) < n {
 			n = len(values)
 		}
-		fmt.Printf("output %-10s first slots: %v\n", name, round(values[:n]))
+		fmt.Fprintf(stdout, "output %-10s first slots: %v\n", name, round(values[:n]))
 	}
+	return nil
 }
 
 func makeApp(name string, vecSize, imageSize int) (*apps.App, error) {
@@ -120,9 +146,4 @@ func round(v []float64) []float64 {
 		out[i] = math.Round(v[i]*1e4) / 1e4
 	}
 	return out
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "evarun:", err)
-	os.Exit(1)
 }

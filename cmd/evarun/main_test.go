@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunLinearRegression drives the real command line end to end on the
+// smallest application: build, compile, keygen, encrypt, execute, decrypt.
+func TestRunLinearRegression(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "linear", "-vec", "16", "-workers", "2"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"application: Linear Regression",
+		"compiled in",
+		"homomorphic execution:",
+		"maximum error vs unencrypted reference:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "nonsense"}, &out, io.Discard); err == nil {
+		t.Error("unknown application accepted")
+	}
+}

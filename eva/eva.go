@@ -32,6 +32,7 @@ import (
 	"eva/internal/compile"
 	"eva/internal/core"
 	"eva/internal/execute"
+	"eva/internal/lang"
 	"eva/internal/rewrite"
 )
 
@@ -137,6 +138,19 @@ func SerializeProgram(p *Program, w io.Writer) error { return p.Serialize(w) }
 
 // DeserializeProgram reads a program in the JSON program format.
 func DeserializeProgram(r io.Reader) (*Program, error) { return core.Deserialize(r) }
+
+// ParseSource compiles textual EVA source (the .eva language — see the
+// README's Language section for the grammar) into a Program. Source text is
+// the third program representation next to the builder API and the JSON wire
+// format; all three lower to the same IR. On failure the error is a list of
+// positioned diagnostics (line, column, source snippet).
+func ParseSource(src string) (*Program, error) { return lang.ParseProgram(src) }
+
+// FormatProgram renders any Program — input or compiled — as canonical EVA
+// source text. Parsing the result reproduces the program exactly, so
+// FormatProgram/ParseSource give a lossless textual form for diffing,
+// storing, or POSTing to the evaserve /compile endpoint's "source" field.
+func FormatProgram(p *Program) (string, error) { return lang.Print(p) }
 
 // ParametersLiteral is the portable description of a CKKS parameter set, as
 // reported by Compiled.ParametersLiteral and by the evaserve /compile

@@ -59,6 +59,41 @@ func TestPublicAPIWorkflow(t *testing.T) {
 	}
 }
 
+// TestPublicAPISourceRoundTrip checks the textual language is reachable
+// through the facade: ParseSource and FormatProgram are inverse up to the
+// IR, and a source-parsed program compiles like a builder-built one.
+func TestPublicAPISourceRoundTrip(t *testing.T) {
+	program, err := eva.ParseSource(`
+program facade vec=8;
+input x @30;
+input y @30;
+output poly = (x * x + y) * 0.5@30 @30;
+output shifted = rotl(x, 2) @30;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := eva.FormatProgram(program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := eva.ParseSource(src)
+	if err != nil {
+		t.Fatalf("formatted source does not re-parse: %v\n%s", err, src)
+	}
+	if again.NumTerms() != program.NumTerms() || len(again.Outputs()) != 2 {
+		t.Fatalf("round trip changed the program: %d terms vs %d", again.NumTerms(), program.NumTerms())
+	}
+	opts := eva.DefaultCompileOptions()
+	opts.AllowInsecure = true
+	if _, err := eva.Compile(program, opts); err != nil {
+		t.Fatalf("source-parsed program does not compile: %v", err)
+	}
+	if _, err := eva.ParseSource("program broken vec=8;\noutput o = zz @30;"); err == nil {
+		t.Fatal("ParseSource accepted an undefined name")
+	}
+}
+
 // TestPublicAPISchedulers checks the exported scheduler and strategy constants
 // are usable through the facade.
 func TestPublicAPISchedulersAndStrategies(t *testing.T) {

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"eva/internal/core"
+	"eva/internal/lang"
+	"eva/internal/nn"
+)
+
+// TestSourceMatchesBuilder asserts lenet.eva lowers to exactly the tensor
+// program nn.BuildProgram produces for LeNet-5-small at the smallest
+// configuration with the fixed seed the file was generated from. The weights
+// are baked into the source as vector constants, so this also exercises the
+// frontend on a real multi-hundred-term machine-generated program.
+func TestSourceMatchesBuilder(t *testing.T) {
+	src, err := os.ReadFile("lenet.eva")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSource, err := lang.ParseProgram(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := nn.Config{InputSize: 4, ChannelDivisor: 64}
+	net := nn.LeNet5Small(cfg)
+	rng := rand.New(rand.NewSource(3))
+	weights := nn.RandomWeights(net, rng)
+	fromBuilder, err := nn.BuildProgram(net, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Equal(fromBuilder, fromSource); err != nil {
+		t.Fatalf("lenet.eva does not match the tensor-frontend program: %v", err)
+	}
+}

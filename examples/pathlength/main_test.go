@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"eva/internal/apps"
+	"eva/internal/core"
+	"eva/internal/lang"
+)
+
+// TestSourceMatchesBuilder asserts pathlength.eva lowers to exactly the
+// program apps.PathLength3D builds for the example's default 256 steps.
+func TestSourceMatchesBuilder(t *testing.T) {
+	src, err := os.ReadFile("pathlength.eva")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSource, err := lang.ParseProgram(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := apps.PathLength3D(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Equal(app.Program, fromSource); err != nil {
+		t.Fatalf("pathlength.eva does not match the builder program: %v", err)
+	}
+}

@@ -18,17 +18,24 @@ import (
 	"eva/eva"
 )
 
-func main() {
-	const vecSize = 8
+const vecSize = 8
 
-	// Step 1: write the program with the builder frontend. Scales are given
-	// as log2 values: the inputs are encoded with 30 fractional bits.
+// buildProgram writes the program with the builder frontend. Scales are
+// given as log2 values: the inputs are encoded with 30 fractional bits.
+// The same program in the textual EVA language is quickstart.eva next to
+// this file (compile it with `evac -src quickstart.eva`).
+func buildProgram() (*eva.Program, error) {
 	b := eva.NewBuilder("quickstart", vecSize)
 	x := b.Input("x", 30)
 	y := b.Input("y", 30)
 	result := x.Square().Add(y).MulScalar(0.5, 30)
 	b.Output("result", result, 30)
-	program, err := b.Program()
+	return b.Program()
+}
+
+func main() {
+	// Step 1: build the program.
+	program, err := buildProgram()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"eva/internal/core"
+	"eva/internal/lang"
+)
+
+// TestSourceMatchesBuilder asserts quickstart.eva lowers to exactly the
+// program main.go builds through the builder frontend, so the two
+// representations can never drift apart.
+func TestSourceMatchesBuilder(t *testing.T) {
+	src, err := os.ReadFile("quickstart.eva")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSource, err := lang.ParseProgram(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBuilder, err := buildProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Equal(fromBuilder, fromSource); err != nil {
+		t.Fatalf("quickstart.eva does not match the builder program: %v", err)
+	}
+}

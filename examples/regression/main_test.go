@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"eva/internal/apps"
+	"eva/internal/core"
+	"eva/internal/lang"
+)
+
+// TestSourcesMatchBuilders asserts each regression .eva file lowers to
+// exactly the program the corresponding apps constructor builds at the
+// example's default 512 samples.
+func TestSourcesMatchBuilders(t *testing.T) {
+	cases := []struct {
+		file  string
+		build func() (*apps.App, error)
+	}{
+		{"linear.eva", func() (*apps.App, error) { return apps.LinearRegression(512) }},
+		{"polynomial.eva", func() (*apps.App, error) { return apps.PolynomialRegression(512) }},
+		{"multivariate.eva", func() (*apps.App, error) { return apps.MultivariateRegression(512, 4) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			src, err := os.ReadFile(tc.file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromSource, err := lang.ParseProgram(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			app, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := core.Equal(app.Program, fromSource); err != nil {
+				t.Fatalf("%s does not match the builder program: %v", tc.file, err)
+			}
+		})
+	}
+}

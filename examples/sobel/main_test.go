@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"eva/internal/apps"
+	"eva/internal/core"
+	"eva/internal/lang"
+)
+
+// TestSourceMatchesBuilder asserts sobel.eva lowers to exactly the program
+// apps.SobelFilter builds for the example's default 16×16 image.
+func TestSourceMatchesBuilder(t *testing.T) {
+	src, err := os.ReadFile("sobel.eva")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSource, err := lang.ParseProgram(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := apps.SobelFilter(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Equal(app.Program, fromSource); err != nil {
+		t.Fatalf("sobel.eva does not match the builder program: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"eva/internal/apps"
+	"eva/internal/compile"
 	"eva/internal/nn"
 )
 
@@ -133,6 +134,28 @@ func TestFigureDemoAndDescribe(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("program description missing %q", want)
 		}
+	}
+}
+
+func TestRunFrontend(t *testing.T) {
+	app, err := apps.SobelFilter(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := compile.DefaultOptions()
+	opts.AllowInsecure = true
+	r, err := RunFrontend(app.Program, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SourceBytes == 0 || r.Terms != app.Program.NumTerms() {
+		t.Errorf("implausible frontend result %+v", r)
+	}
+	if r.PrintTime <= 0 || r.ParseTime <= 0 || r.CompileTime <= 0 {
+		t.Errorf("missing timings %+v", r)
+	}
+	if s := r.FrontendShare(); s <= 0 || s >= 1 {
+		t.Errorf("frontend share %v out of range", s)
 	}
 }
 

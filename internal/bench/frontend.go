@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"eva/internal/compile"
+	"eva/internal/core"
+	"eva/internal/lang"
+)
+
+// FrontendResult measures the textual frontend on one program: rendering it
+// to .eva source, parsing + checking + lowering that source back to the IR,
+// and the backend compilation of the same program for comparison — so the
+// benchmark output tracks frontend cost alongside backend cost. evaserve's
+// /compile accepts source directly, which makes parse latency part of the
+// request path.
+type FrontendResult struct {
+	Program     string
+	Terms       int
+	SourceBytes int
+	PrintTime   time.Duration // core.Program -> source text
+	ParseTime   time.Duration // source text -> core.Program (lex+parse+check+lower)
+	CompileTime time.Duration // core.Program -> compiled program + parameters
+}
+
+// FrontendShare returns parse time as a fraction of parse + compile: the
+// share of a source-submission compile request spent in the frontend.
+func (r *FrontendResult) FrontendShare() float64 {
+	total := r.ParseTime + r.CompileTime
+	if total <= 0 {
+		return 0
+	}
+	return float64(r.ParseTime) / float64(total)
+}
+
+// RunFrontend measures the textual frontend round trip and the backend
+// compile for one program. The lowered program is verified equal to the
+// original, so the numbers can never come from a frontend that silently
+// diverged.
+func RunFrontend(p *core.Program, opts compile.Options) (*FrontendResult, error) {
+	r := &FrontendResult{Program: p.Name, Terms: p.NumTerms()}
+
+	start := time.Now()
+	src, err := lang.Print(p)
+	if err != nil {
+		return nil, fmt.Errorf("bench: printing %s: %w", p.Name, err)
+	}
+	r.PrintTime = time.Since(start)
+	r.SourceBytes = len(src)
+
+	start = time.Now()
+	parsed, err := lang.ParseProgram(src)
+	if err != nil {
+		return nil, fmt.Errorf("bench: re-parsing %s: %w", p.Name, err)
+	}
+	r.ParseTime = time.Since(start)
+	if err := core.Equal(p, parsed); err != nil {
+		return nil, fmt.Errorf("bench: frontend round trip diverged for %s: %w", p.Name, err)
+	}
+
+	start = time.Now()
+	if _, err := compile.Compile(parsed, opts); err != nil {
+		return nil, fmt.Errorf("bench: compiling %s: %w", p.Name, err)
+	}
+	r.CompileTime = time.Since(start)
+	return r, nil
+}

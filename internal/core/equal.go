@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Equal reports whether two programs are structurally identical: same name,
+// vector size, input signature (declaration order, names, types, widths,
+// scales), output list (order, names, scales), and — for every output — an
+// isomorphic term DAG, where sharing is preserved exactly (a term reused in
+// one program must correspond to a single reused term in the other, never to
+// two duplicated ones). Terms that cannot reach an output are not compared;
+// they are dead code with no observable behavior. Kernel labels are
+// scheduling metadata, not program semantics, and are ignored.
+//
+// A nil error means the programs are equal; otherwise the error describes the
+// first difference found.
+func Equal(a, b *Program) error {
+	if a == nil || b == nil {
+		if a == b {
+			return nil
+		}
+		return fmt.Errorf("core: comparing a nil program")
+	}
+	if a.Name != b.Name {
+		return fmt.Errorf("core: program names differ: %q vs %q", a.Name, b.Name)
+	}
+	if a.VecSize != b.VecSize {
+		return fmt.Errorf("core: vector sizes differ: %d vs %d", a.VecSize, b.VecSize)
+	}
+	if len(a.inputs) != len(b.inputs) {
+		return fmt.Errorf("core: input counts differ: %d vs %d", len(a.inputs), len(b.inputs))
+	}
+	eq := &equalizer{aToB: map[*Term]*Term{}, bToA: map[*Term]*Term{}}
+	for i, ain := range a.inputs {
+		bin := b.inputs[i]
+		if err := eq.terms(ain, bin); err != nil {
+			return fmt.Errorf("core: input %d (%q): %w", i, ain.Name, err)
+		}
+	}
+	if len(a.outputs) != len(b.outputs) {
+		return fmt.Errorf("core: output counts differ: %d vs %d", len(a.outputs), len(b.outputs))
+	}
+	for i, ao := range a.outputs {
+		bo := b.outputs[i]
+		if ao.Name != bo.Name {
+			return fmt.Errorf("core: output %d names differ: %q vs %q", i, ao.Name, bo.Name)
+		}
+		if !floatEqual(ao.LogScale, bo.LogScale) {
+			return fmt.Errorf("core: output %q scales differ: 2^%g vs 2^%g", ao.Name, ao.LogScale, bo.LogScale)
+		}
+		if err := eq.terms(ao.Term, bo.Term); err != nil {
+			return fmt.Errorf("core: output %q: %w", ao.Name, err)
+		}
+	}
+	return nil
+}
+
+// equalizer performs the pairwise DAG walk, maintaining a bijection between
+// the two programs' terms so DAG sharing must match exactly.
+type equalizer struct {
+	aToB map[*Term]*Term
+	bToA map[*Term]*Term
+}
+
+func (eq *equalizer) terms(x, y *Term) error {
+	if mapped, ok := eq.aToB[x]; ok {
+		if mapped != y {
+			return fmt.Errorf("shared term %s corresponds to two distinct terms", x)
+		}
+		return nil // already compared
+	}
+	if _, ok := eq.bToA[y]; ok {
+		return fmt.Errorf("term %s maps a second time (sharing differs)", y)
+	}
+	eq.aToB[x] = y
+	eq.bToA[y] = x
+
+	if x.Op != y.Op {
+		return fmt.Errorf("ops differ: %s vs %s", x, y)
+	}
+	switch x.Op {
+	case OpInput:
+		if x.Name != y.Name {
+			return fmt.Errorf("input names differ: %q vs %q", x.Name, y.Name)
+		}
+		if x.InType != y.InType {
+			return fmt.Errorf("input %q types differ: %s vs %s", x.Name, x.InType, y.InType)
+		}
+		if x.VecWidth != y.VecWidth {
+			return fmt.Errorf("input %q widths differ: %d vs %d", x.Name, x.VecWidth, y.VecWidth)
+		}
+		if !floatEqual(x.LogScale, y.LogScale) {
+			return fmt.Errorf("input %q scales differ: 2^%g vs 2^%g", x.Name, x.LogScale, y.LogScale)
+		}
+	case OpConstant:
+		if x.InType != y.InType {
+			return fmt.Errorf("constant types differ: %s vs %s", x.InType, y.InType)
+		}
+		if len(x.Value) != len(y.Value) || x.VecWidth != y.VecWidth {
+			return fmt.Errorf("constant widths differ: %d vs %d", x.VecWidth, y.VecWidth)
+		}
+		for i := range x.Value {
+			if !floatEqual(x.Value[i], y.Value[i]) {
+				return fmt.Errorf("constant values differ at slot %d: %v vs %v", i, x.Value[i], y.Value[i])
+			}
+		}
+		if !floatEqual(x.LogScale, y.LogScale) {
+			return fmt.Errorf("constant scales differ: 2^%g vs 2^%g", x.LogScale, y.LogScale)
+		}
+	case OpRotateLeft, OpRotateRight:
+		if x.RotateBy != y.RotateBy {
+			return fmt.Errorf("rotation steps differ: %d vs %d", x.RotateBy, y.RotateBy)
+		}
+	case OpRescale:
+		if !floatEqual(x.LogScale, y.LogScale) {
+			return fmt.Errorf("rescale divisors differ: 2^%g vs 2^%g", x.LogScale, y.LogScale)
+		}
+	}
+	if len(x.parms) != len(y.parms) {
+		return fmt.Errorf("%s parameter counts differ: %d vs %d", x.Op, len(x.parms), len(y.parms))
+	}
+	for i := range x.parms {
+		if err := eq.terms(x.parms[i], y.parms[i]); err != nil {
+			return fmt.Errorf("%s parameter %d: %w", x.Op, i, err)
+		}
+	}
+	return nil
+}
+
+// floatEqual compares attribute floats. NaN is considered equal to itself so
+// a program compares equal to its own clone even with poisoned attributes.
+func floatEqual(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}

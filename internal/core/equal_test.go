@@ -1,0 +1,204 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// equalTestProgram builds a small program exercising sharing, rotations and
+// constants: out = (x*x + rotl(x,2)) * c, with x*x used twice.
+func equalTestProgram(t *testing.T) *Program {
+	t.Helper()
+	p := MustNewProgram("eq", 8)
+	x, err := p.NewInput("x", TypeCipher, 8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, _ := p.NewBinary(OpMultiply, x, x)
+	r, _ := p.NewRotation(OpRotateLeft, x, 2)
+	sum, _ := p.NewBinary(OpAdd, x2, r)
+	c, _ := p.NewScalarConstant(0.5, 30)
+	prod, _ := p.NewBinary(OpMultiply, sum, c)
+	reuse, _ := p.NewBinary(OpAdd, prod, x2) // x2 shared
+	if err := p.AddOutput("out", reuse, 30); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEqualCloneAndSerializeRoundTrip(t *testing.T) {
+	p := equalTestProgram(t)
+	if err := Equal(p, p); err != nil {
+		t.Fatalf("program not equal to itself: %v", err)
+	}
+	if err := Equal(p, p.Clone()); err != nil {
+		t.Fatalf("program not equal to its clone: %v", err)
+	}
+	data, err := p.SerializeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := DeserializeBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(p, rt); err != nil {
+		t.Fatalf("program not equal to its serialized round trip: %v", err)
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	base := func() *Program { return equalTestProgram(t) }
+
+	cases := []struct {
+		name   string
+		mutate func(p *Program)
+		want   string
+	}{
+		{"name", func(p *Program) { p.Name = "other" }, "names differ"},
+		{"output-scale", func(p *Program) { p.Outputs()[0].LogScale = 31 }, "scales differ"},
+		{"rotation", func(p *Program) {
+			for _, t := range p.Terms() {
+				if t.Op == OpRotateLeft {
+					t.RotateBy = 3
+				}
+			}
+		}, "rotation steps differ"},
+		{"constant", func(p *Program) {
+			for _, t := range p.Terms() {
+				if t.Op == OpConstant {
+					t.Value[0] = 0.25
+				}
+			}
+		}, "values differ"},
+		{"input-scale", func(p *Program) { p.Inputs()[0].LogScale = 20 }, "scales differ"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := base(), base()
+			tc.mutate(b)
+			err := Equal(a, b)
+			if err == nil {
+				t.Fatal("mutated program compared equal")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEqualSharingMatters checks that a shared term is not considered equal
+// to two structurally identical but duplicated terms: the DAG shape is part
+// of the IR (it determines instruction count and cost).
+func TestEqualSharingMatters(t *testing.T) {
+	shared := MustNewProgram("p", 8)
+	x, _ := shared.NewInput("x", TypeCipher, 8, 30)
+	sq, _ := shared.NewBinary(OpMultiply, x, x)
+	sum, _ := shared.NewBinary(OpAdd, sq, sq) // one x*x, used twice
+	_ = shared.AddOutput("out", sum, 30)
+
+	dup := MustNewProgram("p", 8)
+	dx, _ := dup.NewInput("x", TypeCipher, 8, 30)
+	sq1, _ := dup.NewBinary(OpMultiply, dx, dx)
+	sq2, _ := dup.NewBinary(OpMultiply, dx, dx) // two separate x*x terms
+	dsum, _ := dup.NewBinary(OpAdd, sq1, sq2)
+	_ = dup.AddOutput("out", dsum, 30)
+
+	if err := Equal(shared, dup); err == nil {
+		t.Fatal("shared and duplicated DAGs compared equal")
+	}
+	if err := Equal(dup, shared); err == nil {
+		t.Fatal("duplicated and shared DAGs compared equal (reversed)")
+	}
+}
+
+// TestSerializeIsConstructionOrderIndependent: two structurally identical
+// programs whose terms were created in different orders serialize to the
+// same bytes. The evaserve registry hashes the serialized form, so programs
+// submitted via the builder, the JSON wire format, or .eva source must all
+// map to one cache entry.
+func TestSerializeIsConstructionOrderIndependent(t *testing.T) {
+	early := MustNewProgram("p", 8)
+	ex, _ := early.NewInput("x", TypeCipher, 8, 30)
+	ec, _ := early.NewScalarConstant(0.5, 30) // constant created before the arithmetic
+	esq, _ := early.NewBinary(OpMultiply, ex, ex)
+	eout, _ := early.NewBinary(OpMultiply, esq, ec)
+	_ = early.AddOutput("out", eout, 30)
+
+	late := MustNewProgram("p", 8)
+	lx, _ := late.NewInput("x", TypeCipher, 8, 30)
+	lsq, _ := late.NewBinary(OpMultiply, lx, lx)
+	lc, _ := late.NewScalarConstant(0.5, 30) // constant created after
+	lout, _ := late.NewBinary(OpMultiply, lsq, lc)
+	_ = late.AddOutput("out", lout, 30)
+
+	a, err := early.SerializeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := late.SerializeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("serialized forms differ:\n%s\nvs:\n%s", a, b)
+	}
+
+	// Independent sibling instructions created in opposite orders must also
+	// serialize identically (creation order is not structure).
+	sib1 := MustNewProgram("s", 8)
+	sx, _ := sib1.NewInput("x", TypeCipher, 8, 30)
+	sr1, _ := sib1.NewRotation(OpRotateLeft, sx, 1)
+	sr2, _ := sib1.NewRotation(OpRotateLeft, sx, 2)
+	ssum, _ := sib1.NewBinary(OpAdd, sr1, sr2)
+	_ = sib1.AddOutput("out", ssum, 30)
+
+	sib2 := MustNewProgram("s", 8)
+	tx, _ := sib2.NewInput("x", TypeCipher, 8, 30)
+	tr2, _ := sib2.NewRotation(OpRotateLeft, tx, 2) // created first this time
+	tr1, _ := sib2.NewRotation(OpRotateLeft, tx, 1)
+	tsum, _ := sib2.NewBinary(OpAdd, tr1, tr2)
+	_ = sib2.AddOutput("out", tsum, 30)
+
+	s1, err := sib1.SerializeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sib2.SerializeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s1) != string(s2) {
+		t.Errorf("sibling creation order leaked into the serialization:\n%s\nvs:\n%s", s1, s2)
+	}
+	// And a deserialization round trip is also byte-stable.
+	rt, err := DeserializeBytes(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rt.SerializeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(c) {
+		t.Errorf("serialization not stable across a deserialize round trip:\n%s\nvs:\n%s", a, c)
+	}
+}
+
+// TestEqualIgnoresDeadCodeAndKernels: terms unreachable from any output and
+// kernel labels do not affect equality.
+func TestEqualIgnoresDeadCodeAndKernels(t *testing.T) {
+	a := equalTestProgram(t)
+	b := equalTestProgram(t)
+	// Dead term in b only.
+	dead, _ := b.NewBinary(OpAdd, b.Inputs()[0], b.Inputs()[0])
+	_ = dead
+	// Kernel labels in b only.
+	for _, t := range b.Terms() {
+		t.Kernel = "conv1"
+	}
+	if err := Equal(a, b); err != nil {
+		t.Fatalf("dead code or kernel labels broke equality: %v", err)
+	}
+}

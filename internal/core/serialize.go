@@ -53,35 +53,86 @@ type serialProgram struct {
 	Insts     []serialInstruction `json:"insts"`
 }
 
-// Serialize writes the program to w in the JSON program format.
+// Serialize writes the program to w in the JSON program format. Terms are
+// written in a canonical order — inputs in declaration order, then a
+// post-order depth-first walk from the outputs in declaration order — and
+// renumbered sequentially along it. That order is fully determined by the
+// program's structure (the same structure Equal compares, plus kernel
+// labels), never by the order terms happened to be created in, so a program
+// built through the builder, lowered from source, or deserialized from JSON
+// serializes to the same bytes — the content-hash property evaserve's
+// registry relies on to compile each distinct program once per format mix.
 func (p *Program) Serialize(w io.Writer) error {
 	sp := serialProgram{Name: p.Name, VecSize: p.VecSize}
-	for _, t := range p.TopoSort() {
+	order := p.CanonicalOrder()
+	renum := make(map[*Term]uint64, len(order))
+	for _, t := range order {
+		renum[t] = uint64(len(renum) + 1)
+	}
+	for _, t := range order {
 		switch t.Op {
 		case OpInput:
 			sp.Inputs = append(sp.Inputs, serialInput{
-				Obj: t.ID, Name: t.Name, Type: t.InType.String(), Width: t.VecWidth, LogScale: t.LogScale,
+				Obj: renum[t], Name: t.Name, Type: t.InType.String(), Width: t.VecWidth, LogScale: t.LogScale,
 			})
 		case OpConstant:
 			sp.Constants = append(sp.Constants, serialConstant{
-				Obj: t.ID, Type: t.InType.String(), Width: t.VecWidth, LogScale: t.LogScale, Values: t.Value,
+				Obj: renum[t], Type: t.InType.String(), Width: t.VecWidth, LogScale: t.LogScale, Values: t.Value,
 			})
 		default:
 			inst := serialInstruction{
-				Output: t.ID, OpCode: t.Op.String(), RotateBy: t.RotateBy, LogScale: t.LogScale, Kernel: t.Kernel,
+				Output: renum[t], OpCode: t.Op.String(), RotateBy: t.RotateBy, LogScale: t.LogScale, Kernel: t.Kernel,
 			}
 			for _, parm := range t.Parms() {
-				inst.Args = append(inst.Args, parm.ID)
+				inst.Args = append(inst.Args, renum[parm])
 			}
 			sp.Insts = append(sp.Insts, inst)
 		}
 	}
 	for _, o := range p.Outputs() {
-		sp.Outputs = append(sp.Outputs, serialOutput{Obj: o.Term.ID, Name: o.Name, LogScale: o.LogScale})
+		sp.Outputs = append(sp.Outputs, serialOutput{Obj: renum[o.Term], Name: o.Name, LogScale: o.LogScale})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(sp)
+}
+
+// CanonicalOrder returns the program's terms in a topological order that
+// depends only on program structure: all inputs first, in declaration order
+// (they are the program's signature, even when unused), then every remaining
+// output-reachable term in post-order of a depth-first walk that visits
+// outputs in declaration order and parameters left to right. Post-order
+// emits parameters before their uses, so a single forward pass resolves all
+// references on deserialization. A program with no outputs (never valid, but
+// serializable mid-construction) falls back to TopoSort.
+//
+// Serialize and the lang pretty-printer both emit terms in this order; that
+// shared order is what makes both representations canonical.
+func (p *Program) CanonicalOrder() []*Term {
+	if len(p.outputs) == 0 {
+		return p.TopoSort()
+	}
+	seen := make(map[*Term]bool, len(p.terms))
+	order := make([]*Term, 0, len(p.terms))
+	var visit func(t *Term)
+	visit = func(t *Term) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		for _, parm := range t.parms {
+			visit(parm)
+		}
+		order = append(order, t)
+	}
+	for _, in := range p.inputs {
+		seen[in] = true
+		order = append(order, in)
+	}
+	for _, o := range p.outputs {
+		visit(o.Term)
+	}
+	return order
 }
 
 // SerializeBytes returns the program in the JSON program format as a byte

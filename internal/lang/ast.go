@@ -1,0 +1,113 @@
+package lang
+
+import (
+	"strings"
+
+	"eva/internal/core"
+)
+
+// The AST mirrors the surface grammar (see the package documentation in
+// lang.go for the EBNF). Every node carries the position of its first token
+// so the checker and lowerer can report positioned diagnostics.
+
+// File is one parsed .eva source file.
+type File struct {
+	NamePos Position
+	Name    string // program name (identifier or string literal)
+	VecPos  Position
+	VecSize int
+	Stmts   []Stmt
+
+	lines []string // source lines, for error snippets (set by ParseFile)
+}
+
+// snippet returns the source line (1-based) for error messages, or "" when
+// the file was built without source text.
+func (f *File) snippet(line int) string {
+	if line < 1 || line > len(f.lines) {
+		return ""
+	}
+	return strings.TrimSuffix(f.lines[line-1], "\r")
+}
+
+// Stmt is one program statement: an input declaration, a let binding, or an
+// output declaration.
+type Stmt interface{ stmtNode() }
+
+// InputStmt declares a run-time input: `input x: cipher width=4 @30;`.
+// The type defaults to cipher, the width to the program vector size (1 for
+// scalars).
+type InputStmt struct {
+	Pos      Position // of the `input` keyword
+	NamePos  Position
+	Name     string
+	Type     core.Type // TypeCipher when not spelled out
+	Width    int       // 0 = default
+	WidthPos Position
+	Scale    float64
+	ScalePos Position
+}
+
+// LetStmt binds a name to an expression: `y = x * x + rotl(x, 2);`.
+type LetStmt struct {
+	NamePos Position
+	Name    string
+	Expr    Expr
+}
+
+// OutputStmt declares a program output: `output y @30;` (referring to a
+// bound name) or `output y = x * x @30;` (binding inline).
+type OutputStmt struct {
+	Pos      Position // of the `output` keyword
+	NamePos  Position
+	Name     string
+	Expr     Expr // nil for the bare-reference form
+	Scale    float64
+	ScalePos Position
+}
+
+func (*InputStmt) stmtNode()  {}
+func (*LetStmt) stmtNode()    {}
+func (*OutputStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprPos() Position }
+
+// Ident references a bound name.
+type Ident struct {
+	Pos  Position
+	Name string
+}
+
+// Const is a constant literal with its encoding scale: `0.5@30` (scalar) or
+// `[1, 2, 3, 4]@30` (vector).
+type Const struct {
+	Pos      Position
+	Values   []float64
+	IsVector bool // spelled with brackets (length may still be 1)
+	Scale    float64
+	ScalePos Position
+}
+
+// Binary is `x + y`, `x - y`, or `x * y`.
+type Binary struct {
+	OpPos Position
+	Op    core.OpCode // OpAdd, OpSub, OpMultiply
+	X, Y  Expr
+}
+
+// Call is one of the built-in instruction forms: neg(x), rotl(x, k),
+// rotr(x, k), relin(x), modswitch(x), rescale(x, s).
+type Call struct {
+	Pos      Position
+	Op       core.OpCode
+	X        Expr
+	By       int     // rotation step (rotl/rotr)
+	Scale    float64 // rescale divisor (log2)
+	ScalePos Position
+}
+
+func (e *Ident) exprPos() Position  { return e.Pos }
+func (e *Const) exprPos() Position  { return e.Pos }
+func (e *Binary) exprPos() Position { return e.X.exprPos() }
+func (e *Call) exprPos() Position   { return e.Pos }

@@ -1,0 +1,137 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+
+	"eva/internal/core"
+)
+
+// checker performs the semantic pass over a parsed file: name resolution
+// (definition before use, no duplicates), vector-width validation, and scale
+// validation. It collects every problem it finds rather than stopping at the
+// first one.
+type checker struct {
+	file *File
+	errs ErrorList
+
+	defined map[string]Position // input and let bindings
+	outputs map[string]Position
+}
+
+// Check runs the semantic checker over a parsed file. The returned ErrorList
+// is nil when the program is well-formed and safe to lower.
+func Check(f *File) ErrorList {
+	c := &checker{file: f, defined: map[string]Position{}, outputs: map[string]Position{}}
+	c.run()
+	return c.errs
+}
+
+func (c *checker) errorf(pos Position, format string, args ...any) {
+	if len(c.errs) < maxErrors {
+		c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...), Snippet: c.file.snippet(pos.Line)})
+	}
+}
+
+func isPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func (c *checker) run() {
+	f := c.file
+	if !isPowerOfTwo(f.VecSize) {
+		c.errorf(f.VecPos, "vector size %d is not a positive power of two", f.VecSize)
+	}
+	outputs := 0
+	for _, stmt := range f.Stmts {
+		switch s := stmt.(type) {
+		case *InputStmt:
+			c.checkInput(s)
+		case *LetStmt:
+			c.checkLet(s)
+		case *OutputStmt:
+			c.checkOutput(s)
+			outputs++
+		}
+	}
+	if outputs == 0 && len(c.errs) == 0 {
+		pos := Position{Line: 1, Col: 1}
+		c.errorf(pos, "program has no outputs; declare at least one with output <name> @<scale>;")
+	}
+}
+
+func (c *checker) declare(name string, pos Position) {
+	if prev, dup := c.defined[name]; dup {
+		c.errorf(pos, "duplicate name %q (first defined at %s)", name, prev)
+		return
+	}
+	c.defined[name] = pos
+}
+
+func (c *checker) checkInput(s *InputStmt) {
+	c.declare(s.Name, s.NamePos)
+	vecSize := c.file.VecSize
+	width := s.Width
+	if width == 0 {
+		return // defaulted widths are valid by construction
+	}
+	if s.Type == core.TypeScalar {
+		if width != 1 {
+			c.errorf(s.WidthPos, "scalar input %q must have width 1, got %d", s.Name, width)
+		}
+		return
+	}
+	if !isPowerOfTwo(width) {
+		c.errorf(s.WidthPos, "input %q width %d is not a positive power of two", s.Name, width)
+	} else if isPowerOfTwo(vecSize) && width > vecSize {
+		c.errorf(s.WidthPos, "input %q width %d exceeds the program vector size %d", s.Name, width, vecSize)
+	}
+}
+
+func (c *checker) checkLet(s *LetStmt) {
+	c.checkExpr(s.Expr)
+	c.declare(s.Name, s.NamePos)
+}
+
+func (c *checker) checkOutput(s *OutputStmt) {
+	if prev, dup := c.outputs[s.Name]; dup {
+		c.errorf(s.NamePos, "duplicate output %q (first declared at %s)", s.Name, prev)
+	} else {
+		c.outputs[s.Name] = s.NamePos
+	}
+	if s.Expr == nil {
+		if _, ok := c.defined[s.Name]; !ok {
+			c.errorf(s.NamePos, "output %q does not refer to a defined name; bind it first or use output %s = <expr> @...;", s.Name, s.Name)
+		}
+		return
+	}
+	c.checkExpr(s.Expr)
+}
+
+func (c *checker) checkExpr(e Expr) {
+	switch x := e.(type) {
+	case *Ident:
+		if _, ok := c.defined[x.Name]; !ok {
+			c.errorf(x.Pos, "undefined name %q (names must be defined before use)", x.Name)
+		}
+	case *Const:
+		c.checkConst(x)
+	case *Binary:
+		c.checkExpr(x.X)
+		c.checkExpr(x.Y)
+	case *Call:
+		c.checkExpr(x.X)
+		if x.Op == core.OpRescale && (x.Scale <= 0 || math.IsNaN(x.Scale)) {
+			c.errorf(x.ScalePos, "rescale divisor 2^%g is not greater than one", x.Scale)
+		}
+	}
+}
+
+func (c *checker) checkConst(x *Const) {
+	width := len(x.Values)
+	if width > 1 {
+		if !isPowerOfTwo(width) {
+			c.errorf(x.Pos, "vector constant has %d elements; the width must be a power of two", width)
+		} else if isPowerOfTwo(c.file.VecSize) && width > c.file.VecSize {
+			c.errorf(x.Pos, "vector constant has %d elements, exceeding the program vector size %d", width, c.file.VecSize)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package lang implements the textual EVA source language: a small DSL for
+// writing encrypted-vector-arithmetic programs as .eva files instead of
+// through the Go builder API or the serialized JSON program format.
+//
+// The pipeline is lexer → parser → semantic checker → lowering, producing
+// the same core.Program term graphs the builder frontend produces, plus a
+// pretty-printer that renders any core.Program back to canonical source.
+// Parse ∘ Print is the identity on the IR (checked by core.Equal), so source
+// text, builder calls, and the JSON wire format are interchangeable program
+// representations.
+//
+// The grammar (EBNF; // and # start line comments, ";" terminates
+// statements, whitespace is insignificant):
+//
+//	Program   = "program" (ident | string) "vec" "=" int ";" { Stmt } .
+//	Stmt      = Input | Let | Output .
+//	Input     = "input" ident [ ":" Type ] [ "width" "=" int ] Scale ";" .
+//	Type      = "cipher" | "vector" | "scalar" .
+//	Let       = ident "=" Expr ";" .
+//	Output    = "output" ident [ "=" Expr ] Scale ";" .
+//	Expr      = Term { ("+" | "-") Term } .
+//	Term      = Unary { "*" Unary } .
+//	Unary     = "-" Unary | Primary .
+//	Primary   = Call | Const | ident | "(" Expr ")" .
+//	Call      = ("neg" | "relin" | "modswitch") "(" Expr ")"
+//	          | ("rotl" | "rotr") "(" Expr "," int ")"
+//	          | "rescale" "(" Expr "," number ")" .
+//	Const     = (number | Vector) Scale .
+//	Vector    = "[" number { "," number } "]" .
+//	Scale     = "@" number .
+//
+// Inputs default to encrypted ("cipher") full-width vectors; widths and
+// log2-scales follow the core IR semantics. Constants always carry their
+// encoding scale (`0.5@30`, `[1, 2, 3, 4]@30`). The relin/modswitch/rescale
+// forms exist so compiled programs can round-trip through source; input
+// programs normally use only the arithmetic and rotation forms.
+//
+// A typical program:
+//
+//	program quickstart vec=8;
+//	input x @30;
+//	input y @30;
+//	result = (x * x + y) * 0.5@30;
+//	output result @30;
+package lang
+
+import "eva/internal/core"
+
+// ParseProgram parses, checks, and lowers EVA source text into a
+// core.Program in one call — the entry point used by cmd/evac and the
+// evaserve /compile endpoint. The returned error, when non-nil, is an
+// ErrorList of positioned diagnostics (line, column, snippet).
+func ParseProgram(src string) (*core.Program, error) {
+	f, errs := ParseFile(src)
+	if len(errs) > 0 {
+		return nil, errs
+	}
+	prog, errs := Lower(f)
+	if len(errs) > 0 {
+		return nil, errs
+	}
+	return prog, nil
+}

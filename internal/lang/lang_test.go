@@ -1,0 +1,303 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"eva/internal/builder"
+	"eva/internal/core"
+)
+
+const quickstartSrc = `
+program quickstart vec=8;
+input x @30;
+input y @30;
+result = (x * x + y) * 0.5@30;
+output result @30;
+`
+
+func TestParseProgramMatchesBuilder(t *testing.T) {
+	prog, err := ParseProgram(quickstartSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := builder.New("quickstart", 8)
+	x := b.Input("x", 30)
+	y := b.Input("y", 30)
+	b.Output("result", x.Square().Add(y).MulScalar(0.5, 30), 30)
+	want, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Equal(want, prog); err != nil {
+		t.Fatalf("lowered program differs from builder program: %v", err)
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	src := `
+program "forms test" vec=16;
+input x @30;                      // cipher, full width
+input narrow width=4 @30;         # cipher, narrower
+input m: vector @20;
+input s: scalar @10;
+v = [1, -2.5, 3e2, 0.125]@25;
+r = rotl(x, 2) + rotr(x, -1);
+n = neg(x) - -2@30;
+mixed = (x + m) * s * v;
+deep = rescale(modswitch(relin(x * x)), 30);
+output r @30;
+output n @30;
+output mixed @30;
+output final = deep + r @30;
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "forms test" || prog.VecSize != 16 {
+		t.Fatalf("header mismatch: %q vec %d", prog.Name, prog.VecSize)
+	}
+	if got := len(prog.Inputs()); got != 4 {
+		t.Fatalf("got %d inputs, want 4", got)
+	}
+	if got := len(prog.Outputs()); got != 4 {
+		t.Fatalf("got %d outputs, want 4", got)
+	}
+	ops := map[string]int{}
+	for _, term := range prog.Terms() {
+		ops[term.Op.String()]++
+	}
+	for op, want := range map[string]int{
+		"ROTATE_LEFT": 1, "ROTATE_RIGHT": 1, "NEGATE": 1,
+		"RELINEARIZE": 1, "MOD_SWITCH": 1, "RESCALE": 1,
+		"SUB": 1, "ADD": 3, "MULTIPLY": 3,
+	} {
+		if ops[op] != want {
+			t.Errorf("%s count = %d, want %d (all: %v)", op, ops[op], want, ops)
+		}
+	}
+	// -2@30 must fold into a constant, not become NEGATE(2@30).
+	if ops["CONSTANT"] != 2 { // the vector v and the folded -2
+		t.Errorf("CONSTANT count = %d, want 2", ops["CONSTANT"])
+	}
+	narrow := prog.InputByName("narrow")
+	if narrow == nil || narrow.VecWidth != 4 {
+		t.Errorf("narrow input width not honored: %+v", narrow)
+	}
+	if s := prog.InputByName("s"); s == nil || s.InType != core.TypeScalar || s.VecWidth != 1 {
+		t.Errorf("scalar input wrong: %+v", s)
+	}
+	if m := prog.InputByName("m"); m == nil || m.InType != core.TypeVector || m.VecWidth != 16 {
+		t.Errorf("vector input wrong: %+v", m)
+	}
+}
+
+// TestPrecedenceShapesTree checks that * binds tighter than +/- and that
+// parentheses control the tree shape.
+func TestPrecedenceShapesTree(t *testing.T) {
+	flat, err := ParseProgram("program p vec=4; input a @30; input b @30; input c @30; output o = a - b + c @30;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := ParseProgram("program p vec=4; input a @30; input b @30; input c @30; output o = a - (b + c) @30;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Equal(flat, grouped); err == nil {
+		t.Fatal("a - b + c parsed the same as a - (b + c)")
+	}
+	// (a - b) + c explicitly must equal the flat form.
+	explicit, err := ParseProgram("program p vec=4; input a @30; input b @30; input c @30; output o = (a - b) + c @30;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Equal(flat, explicit); err != nil {
+		t.Fatalf("left associativity broken: %v", err)
+	}
+
+	mul, err := ParseProgram("program p vec=4; input a @30; input b @30; input c @30; output o = a + b * c @30;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := mul.Outputs()[0].Term
+	if root.Op != core.OpAdd || root.Parm(1).Op != core.OpMultiply {
+		t.Fatalf("precedence broken: root %s, right %s", root.Op, root.Parm(1).Op)
+	}
+}
+
+// TestSharingVsInline: referencing a binding twice shares one term;
+// spelling the expression twice creates two terms.
+func TestSharingVsInline(t *testing.T) {
+	shared, err := ParseProgram("program p vec=4; input x @30; sq = x * x; output o = sq + sq @30;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline, err := ParseProgram("program p vec=4; input x @30; output o = x * x + x * x @30;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.NumTerms() != 3 { // x, sq, add
+		t.Errorf("shared form has %d terms, want 3", shared.NumTerms())
+	}
+	if inline.NumTerms() != 4 { // x, two muls, add
+		t.Errorf("inline form has %d terms, want 4", inline.NumTerms())
+	}
+	if err := core.Equal(shared, inline); err == nil {
+		t.Error("shared and inline forms compared equal; sharing must be part of the IR")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the first diagnostic
+		line int
+		col  int
+	}{
+		{"missing-header", "input x @30;", "program header", 1, 1},
+		{"bad-vec-size", "program p vec=7;\ninput x @30;\noutput x @30;", "power of two", 1, 15},
+		{"lex-bad-char", "program p vec=4;\ninput x @30;\noutput o = x ? x @30;", "unexpected character", 3, 14},
+		{"syntax-missing-semi", "program p vec=4;\ninput x @30\noutput x @30;", "expected \";\"", 3, 1},
+		{"undefined-name", "program p vec=4;\ninput x @30;\noutput o = x + z @30;", "undefined name \"z\"", 3, 16},
+		{"use-before-def", "program p vec=4;\ninput x @30;\ny = z * x;\nz = x + x;\noutput y @30;", "undefined name \"z\"", 3, 5},
+		{"duplicate-name", "program p vec=4;\ninput x @30;\nx = x + x;\noutput x @30;", "duplicate name \"x\"", 3, 1},
+		{"duplicate-output", "program p vec=4;\ninput x @30;\noutput x @30;\noutput x @31;", "duplicate output", 4, 8},
+		{"reserved-name", "program p vec=4;\ninput rescale @30;\noutput rescale @30;", "reserved word", 2, 7},
+		{"bad-width", "program p vec=4;\ninput x width=3 @30;\noutput x @30;", "power of two", 2, 15},
+		{"width-too-large", "program p vec=4;\ninput x width=8 @30;\noutput x @30;", "exceeds the program vector size", 2, 15},
+		{"missing-scale", "program p vec=4;\ninput x @30;\noutput o = x * 0.5 + x @30;", "scale", 3, 20},
+		{"empty-vector", "program p vec=4;\ninput x @30;\noutput o = x * []@30 @30;", "empty", 3, 17},
+		{"vector-too-wide", "program p vec=2;\ninput x @30;\noutput o = x * [1,2,3,4]@30 @30;", "exceeding the program vector size", 3, 16},
+		{"bad-rescale", "program p vec=4;\ninput x @30;\noutput o = rescale(x, 0) @30;", "rescale divisor", 3, 23},
+		{"no-outputs", "program p vec=4;\ninput x @30;", "no outputs", 1, 1},
+		{"unknown-function", "program p vec=4;\ninput x @30;\noutput o = rot(x, 1) @30;", "unknown function", 3, 12},
+		{"unterminated-string", "program \"p vec=4;", "not terminated", 1, 9},
+		{"huge-number", "program p vec=4;\ninput x @30;\noutput o = x * 1e999@30 @30;", "finite", 3, 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseProgram(tc.src)
+			if err == nil {
+				t.Fatalf("source parsed without error:\n%s", tc.src)
+			}
+			errs, ok := AsErrorList(err)
+			if !ok || len(errs) == 0 {
+				t.Fatalf("error is not an ErrorList: %v", err)
+			}
+			first := errs[0]
+			if !strings.Contains(first.Msg, tc.want) {
+				t.Errorf("first diagnostic %q does not contain %q", first.Msg, tc.want)
+			}
+			if first.Pos.Line != tc.line || first.Pos.Col != tc.col {
+				t.Errorf("diagnostic at %s, want %d:%d (msg: %s)", first.Pos, tc.line, tc.col, first.Msg)
+			}
+		})
+	}
+}
+
+// TestMultipleDiagnostics: independent problems are all reported in one pass.
+func TestMultipleDiagnostics(t *testing.T) {
+	src := "program p vec=4;\ninput x @30\ninput y @\noutput o = x + q @30;"
+	_, err := ParseProgram(src)
+	errs, ok := AsErrorList(err)
+	if !ok {
+		t.Fatalf("expected an ErrorList, got %v", err)
+	}
+	if len(errs) < 2 {
+		t.Fatalf("expected at least 2 diagnostics, got %d: %v", len(errs), err)
+	}
+}
+
+func TestErrorRenderingIncludesSnippetAndCaret(t *testing.T) {
+	_, err := ParseProgram("program p vec=4;\ninput x @30;\noutput o = x + zz @30;")
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "output o = x + zz @30;") {
+		t.Errorf("error output missing source snippet:\n%s", msg)
+	}
+	if !strings.Contains(msg, "^") {
+		t.Errorf("error output missing caret:\n%s", msg)
+	}
+	if !strings.Contains(msg, "3:16") {
+		t.Errorf("error output missing position:\n%s", msg)
+	}
+}
+
+// TestDeepNestingFailsGracefully: pathological nesting must produce a
+// diagnostic, not a stack overflow.
+func TestDeepNestingFailsGracefully(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("program p vec=4; input x @30; output o = ")
+	b.WriteString(strings.Repeat("(", 20000))
+	b.WriteString("x")
+	b.WriteString(strings.Repeat(")", 20000))
+	b.WriteString(" @30;")
+	_, err := ParseProgram(b.String())
+	if err == nil {
+		t.Fatal("deeply nested source parsed without error")
+	}
+	if !strings.Contains(err.Error(), "nested too deeply") {
+		t.Errorf("unexpected error for deep nesting: %v", err)
+	}
+}
+
+// TestFlatChainsAreDepthLimited: a long flat operator chain builds a
+// left-leaning AST whose depth is the chain length, so it must hit the same
+// guard — the recursive checker and lowerer would otherwise overflow the
+// stack on a multi-megabyte hostile /compile body. Chains of a realistic
+// size (the tensor frontend emits reductions of a few thousand operators)
+// must still parse.
+func TestFlatChainsAreDepthLimited(t *testing.T) {
+	chain := func(ops int) string {
+		var b strings.Builder
+		b.WriteString("program p vec=4; input x @30; output o = x")
+		for i := 0; i < ops; i++ {
+			b.WriteString(" + x")
+		}
+		b.WriteString(" @30;")
+		return b.String()
+	}
+	if _, err := ParseProgram(chain(50000)); err == nil {
+		t.Fatal("50000-operator chain parsed without error")
+	} else if !strings.Contains(err.Error(), "nested too deeply") {
+		t.Errorf("unexpected error for a flat chain: %v", err)
+	}
+	prog, err := ParseProgram(chain(2000))
+	if err != nil {
+		t.Fatalf("2000-operator chain rejected: %v", err)
+	}
+	if prog.NumTerms() != 2001 { // x plus 2000 adds
+		t.Errorf("chain lowered to %d terms, want 2001", prog.NumTerms())
+	}
+	// Multiplicative chains hit the same guard.
+	mul := strings.Replace(chain(50000), "+", "*", -1)
+	if _, err := ParseProgram(mul); err == nil {
+		t.Fatal("50000-operator multiply chain parsed without error")
+	}
+}
+
+func TestOutputInlineAndReferenceForms(t *testing.T) {
+	ref, err := ParseProgram("program p vec=4; input x @30; y = x * x; output y @30;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline, err := ParseProgram("program p vec=4; input x @30; output y = x * x @30;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Equal(ref, inline); err != nil {
+		t.Fatalf("sugar and inline output forms differ: %v", err)
+	}
+	// Output can also reference an input directly.
+	direct, err := ParseProgram("program p vec=4; input x @30; output out = x @30;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Outputs()[0].Term != direct.InputByName("x") {
+		t.Error("output does not share the input term")
+	}
+}

@@ -1,0 +1,197 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // one of ; = @ ( ) [ ] , + - * :
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of source"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	default:
+		return "punctuation"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	lit  string // the literal text; for tokString, still quoted
+	pos  Position
+}
+
+func (t token) describe() string {
+	if t.kind == tokEOF {
+		return "end of source"
+	}
+	return fmt.Sprintf("%q", t.lit)
+}
+
+// lexer scans EVA source into tokens. It never fails hard: invalid input
+// produces diagnostics and scanning continues, so the parser can report
+// several problems in one pass.
+type lexer struct {
+	src   string
+	lines []string
+	off   int
+	line  int // 1-based
+	col   int // 1-based byte column
+	errs  ErrorList
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, lines: strings.Split(src, "\n"), line: 1, col: 1}
+}
+
+func (l *lexer) pos() Position { return Position{Line: l.line, Col: l.col} }
+
+func (l *lexer) snippet(line int) string {
+	if line < 1 || line > len(l.lines) {
+		return ""
+	}
+	return strings.TrimSuffix(l.lines[line-1], "\r")
+}
+
+func (l *lexer) errorf(pos Position, format string, args ...any) {
+	if len(l.errs) < maxErrors {
+		l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...), Snippet: l.snippet(pos.Line)})
+	}
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekAt(k int) byte {
+	if l.off+k >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+k]
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// tokens scans the whole source. The returned slice always ends with a
+// tokEOF token.
+func (l *lexer) tokens() []token {
+	var out []token
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/', c == '#':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case isIdentStart(c):
+			pos := l.pos()
+			start := l.off
+			for l.off < len(l.src) && isIdentPart(l.peek()) {
+				l.advance()
+			}
+			out = append(out, token{kind: tokIdent, lit: l.src[start:l.off], pos: pos})
+		case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+			out = append(out, l.scanNumber())
+		case c == '"':
+			out = append(out, l.scanString())
+		case strings.IndexByte(";=@()[],+-*:", c) >= 0:
+			pos := l.pos()
+			l.advance()
+			out = append(out, token{kind: tokPunct, lit: string(c), pos: pos})
+		default:
+			l.errorf(l.pos(), "unexpected character %q", string(rune(c)))
+			l.advance()
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: l.pos()})
+	return out
+}
+
+// scanNumber scans an unsigned float literal: digits, optional fraction,
+// optional exponent. Signs are operators handled by the parser.
+func (l *lexer) scanNumber() token {
+	pos := l.pos()
+	start := l.off
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peekAt(1)) {
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		next := l.peekAt(1)
+		if isDigit(next) || ((next == '+' || next == '-') && isDigit(l.peekAt(2))) {
+			l.advance() // e
+			l.advance() // sign or first digit
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+	}
+	return token{kind: tokNumber, lit: l.src[start:l.off], pos: pos}
+}
+
+// scanString scans a double-quoted string literal (Go escape rules; decoded
+// by the parser with strconv.Unquote).
+func (l *lexer) scanString() token {
+	pos := l.pos()
+	start := l.off
+	l.advance() // opening quote
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == '\n' {
+			break
+		}
+		l.advance()
+		if c == '\\' && l.off < len(l.src) && l.peek() != '\n' {
+			l.advance() // the escaped character, so \" does not close
+			continue
+		}
+		if c == '"' {
+			return token{kind: tokString, lit: l.src[start:l.off], pos: pos}
+		}
+	}
+	l.errorf(pos, "string literal not terminated")
+	return token{kind: tokString, lit: l.src[start:l.off], pos: pos}
+}

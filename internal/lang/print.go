@@ -1,0 +1,280 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"eva/internal/core"
+)
+
+// Print renders a program as canonical EVA source: header, inputs in
+// declaration order, one let binding per named term, outputs in declaration
+// order. A term gets a name when it is an input, is referenced more than
+// once (so DAG sharing survives the round trip), or is an output; everything
+// else is inlined into its single use. Lowering the printed source
+// reproduces the program exactly (checked by core.Equal), modulo dead
+// non-input terms, which have no source representation.
+//
+// The output is canonical in the strong sense: bindings are emitted in a
+// deterministic structural order (a post-order depth-first walk from the
+// outputs, mirroring core.Serialize) and generated names are sequential
+// along it, so two structurally equal programs print to identical text no
+// matter how or in what order their terms were built.
+//
+// Print fails when the program cannot be expressed: a non-identifier input
+// or output name, or a non-finite constant or scale.
+func Print(p *core.Program) (string, error) {
+	pr := &printer{prog: p, names: map[*core.Term]string{}, taken: map[string]bool{}}
+	return pr.print()
+}
+
+type printer struct {
+	prog  *core.Program
+	names map[*core.Term]string
+	taken map[string]bool
+	buf   strings.Builder
+}
+
+func (pr *printer) print() (string, error) {
+	p := pr.prog
+	if p.VecSize <= 0 {
+		return "", fmt.Errorf("lang: program %q has invalid vector size %d", p.Name, p.VecSize)
+	}
+	live := p.CanonicalOrder()
+
+	// Count uses within the live graph so shared terms get a binding.
+	uses := map[*core.Term]int{}
+	for _, t := range live {
+		for _, parm := range t.Parms() {
+			uses[parm]++
+		}
+	}
+	for _, o := range p.Outputs() {
+		uses[o.Term]++
+	}
+
+	// Naming: inputs keep their names; output terms take the output's name
+	// when it is free; remaining shared terms get fresh t<ID> names.
+	for _, in := range p.Inputs() {
+		if !IsIdent(in.Name) {
+			return "", fmt.Errorf("lang: input name %q is not a valid identifier", in.Name)
+		}
+		if pr.taken[in.Name] {
+			return "", fmt.Errorf("lang: duplicate input name %q", in.Name)
+		}
+		pr.names[in], pr.taken[in.Name] = in.Name, true
+	}
+	for _, o := range p.Outputs() {
+		if !IsIdent(o.Name) {
+			return "", fmt.Errorf("lang: output name %q is not a valid identifier", o.Name)
+		}
+		if pr.taken[o.Name] {
+			continue // shares a name with an input or an earlier output
+		}
+		// Reserve the name even when the term is already bound elsewhere, so
+		// generated names can never shadow an output.
+		pr.taken[o.Name] = true
+		if _, named := pr.names[o.Term]; !named {
+			pr.names[o.Term] = o.Name
+		}
+	}
+	fresh := 0
+	for _, t := range live {
+		if _, named := pr.names[t]; named || uses[t] < 2 || t.Op == core.OpInput {
+			continue
+		}
+		// Sequential names along the structural order keep the text
+		// identical across structurally equal programs.
+		fresh++
+		name := fmt.Sprintf("t%d", fresh)
+		for pr.taken[name] {
+			name += "_"
+		}
+		pr.names[t] = name
+		pr.taken[name] = true
+	}
+
+	// Emit.
+	fmt.Fprintf(&pr.buf, "program %s vec=%d;\n", formatProgramName(p.Name), p.VecSize)
+	for _, in := range p.Inputs() {
+		if err := pr.inputStmt(in); err != nil {
+			return "", err
+		}
+	}
+	for _, t := range live {
+		if t.Op == core.OpInput {
+			continue
+		}
+		if _, named := pr.names[t]; !named {
+			continue
+		}
+		expr, err := pr.render(t, 0, true)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&pr.buf, "%s = %s;\n", pr.names[t], expr)
+	}
+	for _, o := range p.Outputs() {
+		scale, err := formatFloat(o.LogScale, "output scale")
+		if err != nil {
+			return "", err
+		}
+		if pr.names[o.Term] == o.Name {
+			fmt.Fprintf(&pr.buf, "output %s @%s;\n", o.Name, scale)
+			continue
+		}
+		expr, err := pr.render(o.Term, 0, false)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&pr.buf, "output %s = %s @%s;\n", o.Name, expr, scale)
+	}
+	return pr.buf.String(), nil
+}
+
+func formatProgramName(name string) string {
+	if IsIdent(name) {
+		return name
+	}
+	return strconv.Quote(name)
+}
+
+func formatFloat(v float64, what string) (string, error) {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return "", fmt.Errorf("lang: %s %g cannot be written as source", what, v)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64), nil
+}
+
+func (pr *printer) inputStmt(in *core.Term) error {
+	scale, err := formatFloat(in.LogScale, fmt.Sprintf("input %q scale", in.Name))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&pr.buf, "input %s", in.Name)
+	defaultWidth := pr.prog.VecSize
+	switch in.InType {
+	case core.TypeCipher:
+	case core.TypeVector:
+		pr.buf.WriteString(": vector")
+	case core.TypeScalar:
+		pr.buf.WriteString(": scalar")
+		defaultWidth = 1
+	default:
+		return fmt.Errorf("lang: input %q has invalid type", in.Name)
+	}
+	if in.VecWidth != defaultWidth {
+		fmt.Fprintf(&pr.buf, " width=%d", in.VecWidth)
+	}
+	fmt.Fprintf(&pr.buf, " @%s;\n", scale)
+	return nil
+}
+
+// Operator precedence levels used when rendering: additive 1, multiplicative
+// 2, atoms 3. Equal-precedence right operands are parenthesized so the tree
+// shape survives re-parsing ((a+b)+c prints without parens, a+(b+c) keeps
+// them).
+func opPrec(op core.OpCode) int {
+	switch op {
+	case core.OpAdd, core.OpSub:
+		return 1
+	case core.OpMultiply:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// render produces the expression for t. minPrec is the lowest precedence
+// that may appear unparenthesized in this position; defining is true when
+// rendering the right-hand side of t's own binding (so t's name must not be
+// used).
+func (pr *printer) render(t *core.Term, minPrec int, defining bool) (string, error) {
+	if !defining {
+		if name, ok := pr.names[t]; ok {
+			return name, nil
+		}
+	}
+	switch t.Op {
+	case core.OpInput:
+		return t.Name, nil // inputs are always named; only reachable via defining=false
+	case core.OpConstant:
+		return pr.renderConstant(t)
+	case core.OpAdd, core.OpSub, core.OpMultiply:
+		prec := opPrec(t.Op)
+		left, err := pr.render(t.Parm(0), prec, false)
+		if err != nil {
+			return "", err
+		}
+		right, err := pr.render(t.Parm(1), prec+1, false)
+		if err != nil {
+			return "", err
+		}
+		var op string
+		switch t.Op {
+		case core.OpAdd:
+			op = "+"
+		case core.OpSub:
+			op = "-"
+		default:
+			op = "*"
+		}
+		expr := fmt.Sprintf("%s %s %s", left, op, right)
+		if prec < minPrec {
+			return "(" + expr + ")", nil
+		}
+		return expr, nil
+	case core.OpNegate:
+		return pr.renderCall("neg", t, "")
+	case core.OpRelinearize:
+		return pr.renderCall("relin", t, "")
+	case core.OpModSwitch:
+		return pr.renderCall("modswitch", t, "")
+	case core.OpRotateLeft:
+		return pr.renderCall("rotl", t, strconv.Itoa(t.RotateBy))
+	case core.OpRotateRight:
+		return pr.renderCall("rotr", t, strconv.Itoa(t.RotateBy))
+	case core.OpRescale:
+		scale, err := formatFloat(t.LogScale, "rescale divisor")
+		if err != nil {
+			return "", err
+		}
+		return pr.renderCall("rescale", t, scale)
+	default:
+		return "", fmt.Errorf("lang: cannot print term %s", t)
+	}
+}
+
+func (pr *printer) renderCall(name string, t *core.Term, extra string) (string, error) {
+	arg, err := pr.render(t.Parm(0), 0, false)
+	if err != nil {
+		return "", err
+	}
+	if extra == "" {
+		return fmt.Sprintf("%s(%s)", name, arg), nil
+	}
+	return fmt.Sprintf("%s(%s, %s)", name, arg, extra), nil
+}
+
+func (pr *printer) renderConstant(t *core.Term) (string, error) {
+	scale, err := formatFloat(t.LogScale, "constant scale")
+	if err != nil {
+		return "", err
+	}
+	if len(t.Value) == 1 {
+		v, err := formatFloat(t.Value[0], "constant value")
+		if err != nil {
+			return "", err
+		}
+		return v + "@" + scale, nil
+	}
+	parts := make([]string, len(t.Value))
+	for i, val := range t.Value {
+		if parts[i], err = formatFloat(val, "constant value"); err != nil {
+			return "", err
+		}
+	}
+	return "[" + strings.Join(parts, ", ") + "]@" + scale, nil
+}

@@ -1,8 +1,10 @@
 // Package serve implements evaserve, an HTTP JSON service exposing the full
-// EVA pipeline: POST /compile turns a serialized EVA program into a compiled
-// program plus encryption parameters (cached in a concurrent LRU registry
-// keyed by content hash, with singleflight deduplication so a distinct
-// program compiles exactly once under concurrent load), POST /contexts
+// EVA pipeline: POST /compile turns an EVA program — either the serialized
+// JSON program format or .eva source text — into a compiled program plus
+// encryption parameters (cached in a concurrent LRU registry keyed by
+// content hash, with singleflight deduplication so a distinct program
+// compiles exactly once under concurrent load; both submission formats of
+// the same program share one cache entry), POST /contexts
 // installs evaluation keys — either client-generated, the paper's deployment
 // model, or server-generated for the trusted demo mode — and POST
 // /execute/{id} runs batches of encrypted input sets through the parallel
@@ -29,6 +31,7 @@ import (
 	"eva/internal/compile"
 	"eva/internal/core"
 	"eva/internal/execute"
+	"eva/internal/lang"
 	"eva/internal/rewrite"
 )
 
@@ -132,9 +135,21 @@ func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 // count must be bounded.
 const maxBatchesPerRequest = 4096
 
-// apiError is the uniform error body.
+// SourceError is one positioned diagnostic from compiling the "source" form
+// of a program: where in the source text the problem is, what went wrong,
+// and the offending line.
+type SourceError struct {
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	Snippet string `json:"snippet,omitempty"`
+}
+
+// apiError is the uniform error body. SourceErrors is populated only when a
+// "source" program fails to parse or check.
 type apiError struct {
-	Error string `json:"error"`
+	Error        string        `json:"error"`
+	SourceErrors []SourceError `json:"source_errors,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -147,6 +162,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeSourceError renders a lang diagnostic list as a structured error so
+// clients can point at the offending line and column.
+func writeSourceError(w http.ResponseWriter, err error) {
+	body := apiError{Error: fmt.Sprintf("invalid source: %v", err)}
+	if list, ok := lang.AsErrorList(err); ok {
+		body.Error = fmt.Sprintf("invalid source: %d error(s)", len(list))
+		for _, e := range list {
+			body.SourceErrors = append(body.SourceErrors, SourceError{
+				Line: e.Pos.Line, Col: e.Pos.Col, Message: e.Msg, Snippet: e.Snippet,
+			})
+		}
+	}
+	writeJSON(w, http.StatusBadRequest, body)
 }
 
 // --- /compile ---
@@ -190,10 +220,15 @@ func (o *CompileOptionsJSON) toOptions() (compile.Options, error) {
 	return opts, nil
 }
 
-// CompileRequest is the body of POST /compile: a program in the JSON program
-// format (the paper's Figure 1 schema) plus optional compile options.
+// CompileRequest is the body of POST /compile: a program in exactly one of
+// two forms — Program, the JSON program format (the paper's Figure 1
+// schema), or Source, textual .eva source — plus optional compile options.
+// Both forms lower to the same IR and are cached under the same content
+// hash, so submitting a program as source and then as JSON (or vice versa)
+// compiles it once.
 type CompileRequest struct {
-	Program json.RawMessage     `json:"program"`
+	Program json.RawMessage     `json:"program,omitempty"`
+	Source  string              `json:"source,omitempty"`
 	Options *CompileOptionsJSON `json:"options,omitempty"`
 }
 
@@ -237,12 +272,18 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	if len(req.Program) == 0 {
-		writeError(w, http.StatusBadRequest, "missing \"program\"")
+	if (len(req.Program) == 0) == (req.Source == "") {
+		writeError(w, http.StatusBadRequest, "exactly one of \"program\" or \"source\" is required")
 		return
 	}
-	prog, err := core.DeserializeBytes(req.Program)
-	if err != nil {
+	var prog *core.Program
+	var err error
+	if req.Source != "" {
+		if prog, err = lang.ParseProgram(req.Source); err != nil {
+			writeSourceError(w, err)
+			return
+		}
+	} else if prog, err = core.DeserializeBytes(req.Program); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid program: %v", err)
 		return
 	}
