@@ -1,0 +1,51 @@
+package lang
+
+import (
+	"testing"
+
+	"eva/internal/core"
+)
+
+func rt(t *testing.T, src string) {
+	t.Helper()
+	p1, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out, err := Print(p1)
+	if err != nil {
+		t.Fatalf("print: %v", err)
+	}
+	p2, err := ParseProgram(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\nprinted:\n%s", err, out)
+	}
+	if err := core.Equal(p1, p2); err != nil {
+		t.Fatalf("not equal: %v\nprinted:\n%s", err, out)
+	}
+	out2, err := Print(p2)
+	if err != nil {
+		t.Fatalf("print2: %v", err)
+	}
+	if out != out2 {
+		t.Fatalf("not canonical:\n%s\nvs\n%s", out, out2)
+	}
+}
+
+func TestRTExtra(t *testing.T) {
+	rt(t, "program p vec=4; input x @30; output y = x - (x - x) @30;")
+	rt(t, "program p vec=4; input x @30; output y = x - (x + x) @30;")
+	rt(t, "program p vec=4; input x @30; output y = x * (x + x) * x @30;")
+	rt(t, "program p vec=4; input x @30; a = x*x; output y = a + a @30; output z = a @25;")
+	rt(t, "program p vec=4; input x @30; output x @30;")
+	rt(t, "program p vec=4; input x @30; t1 = x + 1@30; s = t1 * t1; q = s - s; output y = q * q @30;")
+	rt(t, "program p vec=4; input x @30; output y = -x @30;")
+	rt(t, "program p vec=4; input x @30; output y = x * -2@30 @30;")
+	rt(t, "program p vec=4; input x @30; output y = [1, -2.5, 3e2, 0.25]@30 + x @30;")
+	rt(t, "program p vec=4; input s: scalar @30; input v: vector width=2 @30; input x width=2 @20; output y = x * s + v @30;")
+	rt(t, "program p vec=4; input x @30; output y = rescale(relin(x * x), 30) + modswitch(x) + rotl(x, 1) - rotr(x, 2) + neg(x) @30;")
+	rt(t, "program \"odd name\" vec=4; input x @30; output y = x @30;")
+	rt(t, "program p vec=4; input x @30; output y = (x + x) - x @30;")
+	rt(t, "program p vec=4; input x @30; output y = x - x - x @30;")
+	rt(t, "program p vec=4; input x @30; shared = x + x; output a = shared * shared @30; output b = shared @30;")
+}
