@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: eva/internal/ring
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNTTForward/N=4096-8         	     100	     83491 ns/op
+BenchmarkDivideByLastModulus-8       	      50	    156352 ns/op	  262330 B/op	       5 allocs/op
+PASS
+ok  	eva/internal/ring	0.129s
+pkg: eva/internal/ckks
+BenchmarkRotate-8                    	      10	  12441150 ns/op	  705111 B/op	      14 allocs/op
+BenchmarkTable5-ish/LeNet-5-small-8  	       1	 123456789 ns/op	     0.5 eva-s	     1.2 chet-s
+PASS
+`
+
+func TestParse(t *testing.T) {
+	report, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" {
+		t.Errorf("platform = %s/%s", report.Goos, report.Goarch)
+	}
+	if len(report.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(report.Benchmarks))
+	}
+	b0 := report.Benchmarks[0]
+	if b0.Name != "BenchmarkNTTForward/N=4096" {
+		t.Errorf("name %q (GOMAXPROCS suffix not stripped?)", b0.Name)
+	}
+	if b0.Pkg != "eva/internal/ring" || b0.Iterations != 100 || b0.Metrics["ns/op"] != 83491 {
+		t.Errorf("bad first benchmark: %+v", b0)
+	}
+	b1 := report.Benchmarks[1]
+	if b1.Metrics["allocs/op"] != 5 || b1.Metrics["B/op"] != 262330 {
+		t.Errorf("memory metrics not parsed: %+v", b1)
+	}
+	b2 := report.Benchmarks[2]
+	if b2.Pkg != "eva/internal/ckks" {
+		t.Errorf("pkg not tracked across sections: %+v", b2)
+	}
+	b3 := report.Benchmarks[3]
+	if b3.Name != "BenchmarkTable5-ish/LeNet-5-small" {
+		t.Errorf("sub-benchmark name with dashes mangled: %q", b3.Name)
+	}
+	if b3.Metrics["eva-s"] != 0.5 || b3.Metrics["chet-s"] != 1.2 {
+		t.Errorf("custom ReportMetric units not parsed: %+v", b3)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	report, err := Parse(strings.NewReader("BenchmarkBroken only-two\nnot a bench line\nBenchmarkNoMetrics-8 12\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from garbage", len(report.Benchmarks))
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-o", path}, strings.NewReader(sampleOutput), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("emitted file is not valid JSON: %v", err)
+	}
+	if report.Schema != "eva-bench/v1" || len(report.Benchmarks) != 4 {
+		t.Errorf("round-tripped report: schema=%q benchmarks=%d", report.Schema, len(report.Benchmarks))
+	}
+}
+
+func TestRunEmptyInputErrors(t *testing.T) {
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), io.Discard, io.Discard); err == nil {
+		t.Error("expected an error for input with no benchmark lines")
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -24,23 +25,40 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			return // -h is a successful invocation
+		}
+		fmt.Fprintln(os.Stderr, "evabench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the evabench command line. It is the testable core of main:
+// all output goes to the supplied writers and every failure is returned
+// rather than exiting the process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("evabench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		table    = flag.Int("table", 0, "regenerate one table (3-8)")
-		figure   = flag.Int("figure", 0, "regenerate one figure (7)")
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		full     = flag.Bool("full", false, "use the paper-scale network configuration (slow)")
-		secure   = flag.Bool("secure", false, "require 128-bit-secure parameters (paper setting; slower)")
-		workers  = flag.Int("workers", 0, "executor threads (0 = GOMAXPROCS)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		networks = flag.String("networks", "", "comma-separated subset of networks to evaluate")
-		vecSize  = flag.Int("vec", 1024, "vector size for the Table 8 applications")
-		imgSize  = flag.Int("image", 16, "image side for the Table 8 Sobel/Harris applications")
-		threads  = flag.String("threads", "", "comma-separated thread counts for Figure 7 (default 1,2,4,GOMAXPROCS)")
+		table    = fs.Int("table", 0, "regenerate one table (3-8)")
+		figure   = fs.Int("figure", 0, "regenerate one figure (7)")
+		all      = fs.Bool("all", false, "regenerate every table and figure")
+		full     = fs.Bool("full", false, "use the paper-scale network configuration (slow)")
+		secure   = fs.Bool("secure", false, "require 128-bit-secure parameters (paper setting; slower)")
+		workers  = fs.Int("workers", 0, "executor threads (0 = GOMAXPROCS)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		networks = fs.String("networks", "", "comma-separated subset of networks to evaluate")
+		vecSize  = fs.Int("vec", 1024, "vector size for the Table 8 applications")
+		imgSize  = fs.Int("image", 16, "image side for the Table 8 Sobel/Harris applications")
+		threads  = fs.String("threads", "", "comma-separated thread counts for Figure 7 (default 1,2,4,GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !*all && *table == 0 && *figure == 0 {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -all, -table, or -figure")
 	}
 
 	opts := bench.DefaultOptions()
@@ -51,64 +69,70 @@ func main() {
 		opts.Config = nn.FullConfig()
 	}
 
-	nets := selectNetworks(opts.Config, *networks)
+	nets, err := selectNetworks(opts.Config, *networks)
+	if err != nil {
+		return err
+	}
 
 	needNetworkRuns := *all || *table == 4 || *table == 5 || *table == 6 || *table == 7
 	var results []*bench.NetworkResult
 	if needNetworkRuns {
 		for _, n := range nets {
-			fmt.Fprintf(os.Stderr, "running %s (EVA + CHET pipelines)...\n", n.Name)
+			fmt.Fprintf(stderr, "running %s (EVA + CHET pipelines)...\n", n.Name)
 			r, err := bench.RunNetwork(n, opts)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			results = append(results, r)
 		}
 	}
 
 	if *all || *table == 3 {
-		bench.PrintTable3(os.Stdout, opts.Config)
-		fmt.Println()
+		bench.PrintTable3(stdout, opts.Config)
+		fmt.Fprintln(stdout)
 	}
 	if *all || *table == 4 {
-		bench.PrintTable4(os.Stdout, results)
-		fmt.Println()
+		bench.PrintTable4(stdout, results)
+		fmt.Fprintln(stdout)
 	}
 	if *all || *table == 5 {
 		w := opts.Workers
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
 		}
-		bench.PrintTable5(os.Stdout, results, w)
-		fmt.Println()
+		bench.PrintTable5(stdout, results, w)
+		fmt.Fprintln(stdout)
 	}
 	if *all || *table == 6 {
-		bench.PrintTable6(os.Stdout, results)
-		fmt.Println()
+		bench.PrintTable6(stdout, results)
+		fmt.Fprintln(stdout)
 	}
 	if *all || *table == 7 {
-		bench.PrintTable7(os.Stdout, results)
-		fmt.Println()
+		bench.PrintTable7(stdout, results)
+		fmt.Fprintln(stdout)
 	}
 	if *all || *table == 8 {
 		suite, err := apps.Suite(*vecSize, *imgSize)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		var appResults []*bench.AppResult
 		for _, app := range suite {
-			fmt.Fprintf(os.Stderr, "running %s...\n", app.Name)
+			fmt.Fprintf(stderr, "running %s...\n", app.Name)
 			r, err := bench.RunApplication(app, opts)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			appResults = append(appResults, r)
 		}
-		bench.PrintTable8(os.Stdout, appResults)
-		fmt.Println()
+		bench.PrintTable8(stdout, appResults)
+		fmt.Fprintln(stdout)
 	}
 	if *all || *figure == 7 {
-		counts := parseThreads(*threads)
+		counts, err := parseThreads(*threads)
+		if err != nil {
+			return err
+		}
 		var points []bench.ScalingPoint
 		scalingNets := nets
 		if *networks == "" {
@@ -121,21 +145,22 @@ func main() {
 			}
 		}
 		for _, n := range scalingNets {
-			fmt.Fprintf(os.Stderr, "scaling %s over threads %v...\n", n.Name, counts)
+			fmt.Fprintf(stderr, "scaling %s over threads %v...\n", n.Name, counts)
 			p, err := bench.RunScaling(n, counts, opts)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			points = append(points, p...)
 		}
-		bench.PrintFigure7(os.Stdout, points)
+		bench.PrintFigure7(stdout, points)
 	}
+	return nil
 }
 
-func selectNetworks(cfg nn.Config, filter string) []*nn.Network {
+func selectNetworks(cfg nn.Config, filter string) ([]*nn.Network, error) {
 	all := nn.All(cfg)
 	if filter == "" {
-		return all
+		return all, nil
 	}
 	want := map[string]bool{}
 	for _, name := range strings.Split(filter, ",") {
@@ -148,32 +173,27 @@ func selectNetworks(cfg nn.Config, filter string) []*nn.Network {
 		}
 	}
 	if len(out) == 0 {
-		fail(fmt.Errorf("no networks match %q", filter))
+		return nil, fmt.Errorf("no networks match %q", filter)
 	}
-	return out
+	return out, nil
 }
 
-func parseThreads(s string) []int {
+func parseThreads(s string) ([]int, error) {
 	if s == "" {
 		maxThreads := runtime.GOMAXPROCS(0)
 		counts := []int{1, 2, 4}
 		if maxThreads > 4 {
 			counts = append(counts, maxThreads)
 		}
-		return counts
+		return counts, nil
 	}
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		var v int
 		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err != nil || v <= 0 {
-			fail(fmt.Errorf("bad thread count %q", part))
+			return nil, fmt.Errorf("bad thread count %q", part)
 		}
 		out = append(out, v)
 	}
-	return out
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "evabench:", err)
-	os.Exit(1)
+	return out, nil
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunTable3 is the smoke test for the cheapest table: the network
+// inventory needs no encrypted execution, so it exercises the full
+// flag-parsing and printing path in milliseconds.
+func TestRunTable3(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-table", "3"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Table 3", "LeNet-5-small", "SqueezeNet-CIFAR"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table 3 output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunTable8 runs the application suite end to end (encrypted execution
+// included) on tiny instances, checking one full row renders.
+func TestRunTable8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("encrypted execution in -short mode")
+	}
+	var out strings.Builder
+	if err := run([]string{"-table", "8", "-vec", "64", "-image", "4"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 8") {
+		t.Errorf("missing Table 8 header:\n%s", out.String())
+	}
+}
+
+func TestRunNoArgsErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(nil, &out, &errOut); err == nil {
+		t.Fatal("expected an error when no table or figure is selected")
+	}
+	if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "-table") {
+		t.Errorf("usage not printed to stderr:\n%s", errOut.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nonsense"}, io.Discard, io.Discard); err == nil {
+		t.Error("expected an error for an unknown flag")
+	}
+	if err := run([]string{"-figure", "7", "-threads", "0,banana"}, io.Discard, io.Discard); err == nil {
+		t.Error("expected an error for a bad thread count")
+	}
+	if err := run([]string{"-table", "3", "-networks", "no-such-net"}, io.Discard, io.Discard); err == nil {
+		t.Error("expected an error for an unmatched network filter")
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,15 +33,35 @@ import (
 )
 
 func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, sig, nil); err != nil {
+		if err == flag.ErrHelp {
+			return // -h is a successful invocation
+		}
+		fmt.Fprintln(os.Stderr, "evaserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the evaserve command line. It is the testable core of main:
+// it binds the listener itself (so -addr :0 works and tests learn the bound
+// address through the started callback), serves until the signal channel
+// fires or the server fails, and returns errors instead of exiting.
+func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started func(addr string)) error {
+	fs := flag.NewFlagSet("evaserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cache    = flag.Int("cache", 128, "compiled-program cache capacity")
-		workers  = flag.Int("workers", 0, "default executor workers per batch (0 = GOMAXPROCS)")
-		batches  = flag.Int("batches", 0, "max concurrent batches per request (0 = GOMAXPROCS)")
-		contexts = flag.Int("contexts", 256, "max retained execution contexts (LRU)")
-		demo     = flag.Bool("demo", false, "enable server-side keygen (trusted demo mode)")
+		addr     = fs.String("addr", ":8080", "listen address")
+		cache    = fs.Int("cache", 128, "compiled-program cache capacity")
+		workers  = fs.Int("workers", 0, "default executor workers per batch (0 = GOMAXPROCS)")
+		batches  = fs.Int("batches", 0, "max concurrent batches per request (0 = GOMAXPROCS)")
+		contexts = fs.Int("contexts", 256, "max retained execution contexts (LRU)")
+		demo     = fs.Bool("demo", false, "enable server-side keygen (trusted demo mode)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	srv := serve.NewServer(serve.Config{
 		CacheCapacity:        *cache,
@@ -48,31 +70,34 @@ func main() {
 		MaxContexts:          *contexts,
 		AllowServerKeygen:    *demo,
 	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("evaserve listening on %s (demo mode: %v)\n", *addr, *demo)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "evaserve listening on %s (demo mode: %v)\n", ln.Addr(), *demo)
+	if started != nil {
+		started(ln.Addr().String())
+	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "evaserve:", err)
-			os.Exit(1)
+			return err
 		}
 	case <-sig:
-		fmt.Println("evaserve: shutting down")
+		fmt.Fprintln(stdout, "evaserve: shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "evaserve: shutdown:", err)
-			os.Exit(1)
+			return fmt.Errorf("shutdown: %w", err)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndShutsDown is the end-to-end smoke test: bind an ephemeral
+// port, hit /healthz over real HTTP, then deliver the shutdown signal and
+// check the server exits cleanly.
+func TestRunServesAndShutsDown(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0"}, &out, io.Discard, sig, func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("server exited before starting: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("healthz status %q", health.Status)
+	}
+
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on clean shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("unexpected lifecycle output:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nonsense"}, io.Discard, io.Discard, nil, nil); err == nil {
+		t.Error("expected an error for an unknown flag")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	err := run([]string{"-addr", "256.0.0.1:bad"}, io.Discard, io.Discard, nil, nil)
+	if err == nil {
+		t.Error("expected an error for an unbindable address")
+	}
+}

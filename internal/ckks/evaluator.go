@@ -24,6 +24,12 @@ type Evaluator struct {
 	params *Parameters
 	rlk    *RelinearizationKey
 	rtk    *RotationKeySet
+
+	// pool and buf recycle the scratch polynomials and special-prime limb
+	// buffers of the key-switch/rescale hot paths across operations (and
+	// across the executor's worker goroutines — sync.Pool is concurrent).
+	pool *polyPool
+	buf  *coeffPool
 }
 
 // EvaluationKeys bundles the public evaluation material the evaluator needs.
@@ -35,7 +41,13 @@ type EvaluationKeys struct {
 // NewEvaluator builds an evaluator; keys may be nil when the corresponding
 // operations (relinearize, rotate) are not used.
 func NewEvaluator(params *Parameters, keys EvaluationKeys) *Evaluator {
-	return &Evaluator{params: params, rlk: keys.Rlk, rtk: keys.Rtk}
+	return &Evaluator{
+		params: params,
+		rlk:    keys.Rlk,
+		rtk:    keys.Rtk,
+		pool:   newPolyPool(params.RingQ()),
+		buf:    newCoeffPool(params.N()),
+	}
 }
 
 // Params returns the evaluator's parameter set.
@@ -217,6 +229,8 @@ func (ev *Evaluator) Relinearize(a *Ciphertext) (*Ciphertext, error) {
 	out := NewCiphertext(ev.params, 2, a.Level, a.Scale)
 	r.Add(a.Value[0], ks0, out.Value[0])
 	r.Add(a.Value[1], ks1, out.Value[1])
+	ev.pool.Put(ks0)
+	ev.pool.Put(ks1)
 	out.Value[0].IsNTT, out.Value[1].IsNTT = true, true
 	return out, nil
 }
@@ -232,9 +246,11 @@ func (ev *Evaluator) Rescale(a *Ciphertext) (*Ciphertext, error) {
 	q := ev.params.Qi()[a.Level]
 	out := &Ciphertext{Value: make([]*ring.Poly, len(a.Value)), Scale: a.Scale / float64(q), Level: a.Level - 1}
 	for i := range a.Value {
-		tmp := a.Value[i].CopyNew()
+		tmp := ev.pool.Get(a.Level)
+		tmp.Copy(a.Value[i])
 		r.InvNTT(tmp)
 		res := r.DivideByLastModulus(tmp)
+		ev.pool.Put(tmp)
 		r.NTT(res)
 		out.Value[i] = res
 	}
@@ -274,24 +290,28 @@ func (ev *Evaluator) RotateLeft(a *Ciphertext, k int) (*Ciphertext, error) {
 	}
 	r := ev.params.RingQ()
 
-	c0 := a.Value[0].CopyNew()
-	c1 := a.Value[1].CopyNew()
-	r.InvNTT(c0)
-	r.InvNTT(c1)
-	rot0 := r.NewPoly(a.Level)
-	rot1 := r.NewPoly(a.Level)
-	r.Automorphism(c0, galEl, rot0)
-	r.Automorphism(c1, galEl, rot1)
-	r.NTT(rot0)
-	r.NTT(rot1)
+	// Rotation is the Galois automorphism applied to both ciphertext
+	// components followed by a key switch of the rotated c1 back to the
+	// original secret. The automorphism commutes with the NTT, so it is
+	// applied directly in the NTT domain as a slot permutation — no
+	// InvNTT+NTT round trip.
+	rot0 := ev.pool.Get(a.Level)
+	rot1 := ev.pool.Get(a.Level)
+	r.AutomorphismNTT(a.Value[0], galEl, rot0)
+	r.AutomorphismNTT(a.Value[1], galEl, rot1)
 
 	ks0, ks1, err := ev.keySwitch(rot1, a.Level, swk)
+	ev.pool.Put(rot1)
 	if err != nil {
+		ev.pool.Put(rot0)
 		return nil, err
 	}
 	out := NewCiphertext(ev.params, 2, a.Level, a.Scale)
 	r.Add(rot0, ks0, out.Value[0])
 	out.Value[1].Copy(ks1)
+	ev.pool.Put(rot0)
+	ev.pool.Put(ks0)
+	ev.pool.Put(ks1)
 	out.Value[0].IsNTT, out.Value[1].IsNTT = true, true
 	return out, nil
 }

@@ -16,6 +16,10 @@ import (
 // into its RNS limbs, each limb is lifted to the extended basis {q_0..q_level, P},
 // multiplied against the matching key digit, and the accumulated result is
 // scaled back down by P with rounding.
+//
+// The returned polynomials are drawn from the evaluator's scratch pool; the
+// caller owns them and must release them with ev.pool.Put once their values
+// have been consumed.
 func (ev *Evaluator) keySwitch(d *ring.Poly, level int, swk *SwitchingKey) (ks0, ks1 *ring.Poly, err error) {
 	params := ev.params
 	sp := params.SpecialModulus()
@@ -26,65 +30,63 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, level int, swk *SwitchingKey) (ks0,
 		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), level+1)
 	}
 	r := params.RingQ()
-	n := params.N()
+	brP := sp.Barrett()
 
-	dCoeff := d.CopyNew()
+	dCoeff := ev.pool.Get(level)
+	dCoeff.Copy(d)
 	r.InvNTT(dCoeff)
 
-	acc0Q := r.NewPoly(level)
-	acc1Q := r.NewPoly(level)
+	acc0Q := ev.pool.GetZero(level)
+	acc1Q := ev.pool.GetZero(level)
 	acc0Q.IsNTT, acc1Q.IsNTT = true, true
-	acc0P := make([]uint64, n)
-	acc1P := make([]uint64, n)
+	acc0P := ev.buf.GetZero()
+	acc1P := ev.buf.GetZero()
 
-	extQ := r.NewPoly(level)
-	extP := make([]uint64, n)
-	p := sp.Q
+	extQ := ev.pool.Get(level)
+	extP := ev.buf.Get()
 
 	for j := 0; j <= level; j++ {
 		qj := r.Moduli[j].Q
 		limb := dCoeff.Coeffs[j]
 		// Lift limb j to every chain prime at this level and to the special prime.
 		r.ExtendBasisSmall(limb, qj, extQ)
-		reduceCentered(limb, qj, p, extP)
+		sp.ReduceCentered(limb, qj, *extP)
 		r.NTT(extQ)
-		sp.NTT(extP)
+		sp.NTT(*extP)
 
 		r.MulCoeffsAndAdd(extQ, swk.BQ[j], acc0Q)
 		r.MulCoeffsAndAdd(extQ, swk.AQ[j], acc1Q)
-		mulAddSpecial(extP, swk.BP[j], acc0P, p)
-		mulAddSpecial(extP, swk.AP[j], acc1P, p)
+		mulAddSpecial(*extP, swk.BP[j], *acc0P, brP)
+		mulAddSpecial(*extP, swk.AP[j], *acc1P, brP)
 		extQ.IsNTT = false // reset for the next iteration's ExtendBasisSmall
 	}
+	ev.pool.Put(dCoeff)
+	ev.pool.Put(extQ)
+	ev.buf.Put(extP)
 
-	ks0 = ev.modDownByP(acc0Q, acc0P)
-	ks1 = ev.modDownByP(acc1Q, acc1P)
+	ks0 = ev.modDownByP(acc0Q, *acc0P)
+	ks1 = ev.modDownByP(acc1Q, *acc1P)
+	ev.pool.Put(acc0Q)
+	ev.pool.Put(acc1Q)
+	ev.buf.Put(acc0P)
+	ev.buf.Put(acc1P)
 	return ks0, ks1, nil
 }
 
-// reduceCentered reduces the residues `limb` (modulo srcQ) into dst modulo
-// dstQ using centered representatives.
-func reduceCentered(limb []uint64, srcQ, dstQ uint64, dst []uint64) {
-	srcMod := srcQ % dstQ
-	for j, v := range limb {
-		if v > srcQ/2 {
-			dst[j] = numth.SubMod(v%dstQ, srcMod, dstQ)
-		} else {
-			dst[j] = v % dstQ
-		}
-	}
-}
-
 // mulAddSpecial accumulates acc += a*b element-wise modulo the special prime.
-func mulAddSpecial(a, b, acc []uint64, p uint64) {
+func mulAddSpecial(a, b, acc []uint64, br numth.Barrett) {
+	q := br.Q
 	for j := range acc {
-		acc[j] = numth.AddMod(acc[j], numth.MulMod(a[j], b[j], p), p)
+		acc[j] = numth.AddMod(acc[j], br.MulMod(a[j], b[j]), q)
 	}
 }
 
 // modDownByP divides the value represented by (accQ, accP) — an RNS value over
 // the basis {q_0..q_level, P} in NTT form — by the special prime P with
-// rounding, returning the result over {q_0..q_level} in NTT form.
+// rounding, returning the result over {q_0..q_level} in NTT form. The result
+// comes from the evaluator's pool (every slot is written); accQ and accP are
+// left in coefficient form. All per-limb constants are precomputed on the
+// parameter set, so this never runs an inverse on the hot path.
 func (ev *Evaluator) modDownByP(accQ *ring.Poly, accP []uint64) *ring.Poly {
 	params := ev.params
 	r := params.RingQ()
@@ -96,17 +98,19 @@ func (ev *Evaluator) modDownByP(accQ *ring.Poly, accP []uint64) *ring.Poly {
 	sp.InvNTT(accP)
 
 	level := accQ.Level()
-	out := r.NewPoly(level)
+	out := ev.pool.Get(level)
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i].Q
-		pInv := numth.MustInvMod(p%q, q)
-		halfMod := half % q
+		br := r.Moduli[i].Barrett()
+		pInv := params.pInvModQ[i]
+		pInvShoup := params.pInvShoupModQ[i]
+		halfMod := params.pHalfModQ[i]
 		ai, oi := accQ.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			lastShift := numth.AddMod(accP[j], half, p)
-			tmp := numth.SubMod(ai[j], lastShift%q, q)
+			tmp := numth.SubMod(ai[j], br.ReduceWord(lastShift), q)
 			tmp = numth.AddMod(tmp, halfMod, q)
-			oi[j] = numth.MulMod(tmp, pInv, q)
+			oi[j] = numth.MulModShoup(tmp, pInv, pInvShoup, q)
 		}
 	}
 	r.NTT(out)

@@ -69,6 +69,16 @@ type Parameters struct {
 
 	ringQ   *ring.Ring
 	special *ring.Modulus
+
+	// Precomputed mod-down constants for the special prime P, indexed by
+	// chain-prime position, so keySwitch/modDownByP never run an
+	// extended-Euclid inverse on the relinearize/rotate hot path:
+	//   pInvModQ[i]      = (P mod q_i)^{-1} mod q_i
+	//   pInvShoupModQ[i] = Shoup quotient of pInvModQ[i]
+	//   pHalfModQ[i]     = (P/2) mod q_i
+	pInvModQ      []uint64
+	pInvShoupModQ []uint64
+	pHalfModQ     []uint64
 }
 
 // ParametersLiteral is the user-facing description from which Parameters are
@@ -153,7 +163,7 @@ func NewParameters(lit ParametersLiteral) (*Parameters, error) {
 			return nil, err
 		}
 	}
-	return &Parameters{
+	params := &Parameters{
 		logN:     lit.LogN,
 		logSlots: lit.LogN - 1,
 		qi:       qi,
@@ -164,7 +174,18 @@ func NewParameters(lit ParametersLiteral) (*Parameters, error) {
 		sigma:    sigma,
 		ringQ:    ringQ,
 		special:  special,
-	}, nil
+	}
+	if p != 0 {
+		params.pInvModQ = make([]uint64, len(qi))
+		params.pInvShoupModQ = make([]uint64, len(qi))
+		params.pHalfModQ = make([]uint64, len(qi))
+		for i, q := range qi {
+			params.pInvModQ[i] = numth.MustInvMod(p%q, q)
+			params.pInvShoupModQ[i] = numth.ShoupPrecomp(params.pInvModQ[i], q)
+			params.pHalfModQ[i] = (p >> 1) % q
+		}
+	}
+	return params, nil
 }
 
 // LogN returns log2 of the ring degree.

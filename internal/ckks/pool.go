@@ -1,0 +1,72 @@
+package ckks
+
+import (
+	"sync"
+
+	"eva/internal/ring"
+)
+
+// polyPool recycles ring.Poly scratch buffers, keyed by level, so the
+// per-instruction hot paths (key switching, rescaling, rotations) do not
+// allocate multi-megabyte backing arrays on every homomorphic operation.
+// Pooled polynomials come back with undefined coefficients and IsNTT
+// cleared; callers must overwrite every slot or use GetZero.
+type polyPool struct {
+	pools []sync.Pool // index = level
+}
+
+func newPolyPool(r *ring.Ring) *polyPool {
+	pp := &polyPool{pools: make([]sync.Pool, r.MaxLevel()+1)}
+	for level := range pp.pools {
+		pp.pools[level].New = func() any { return r.NewPoly(level) }
+	}
+	return pp
+}
+
+// Get returns a polynomial at the given level with undefined coefficients.
+func (pp *polyPool) Get(level int) *ring.Poly {
+	p := pp.pools[level].Get().(*ring.Poly)
+	p.IsNTT = false
+	return p
+}
+
+// GetZero returns a zeroed polynomial at the given level.
+func (pp *polyPool) GetZero(level int) *ring.Poly {
+	p := pp.Get(level)
+	p.Zero()
+	return p
+}
+
+// Put returns a polynomial to the pool. The caller must not use p afterward.
+func (pp *polyPool) Put(p *ring.Poly) {
+	if p != nil {
+		pp.pools[p.Level()].Put(p)
+	}
+}
+
+// coeffPool recycles single-limb coefficient buffers (length N), used for
+// the special-prime residues in key switching. The buffers travel as
+// *[]uint64 so a Get/Put round trip never re-boxes the slice header.
+type coeffPool struct {
+	pool sync.Pool
+}
+
+func newCoeffPool(n int) *coeffPool {
+	return &coeffPool{pool: sync.Pool{New: func() any {
+		buf := make([]uint64, n)
+		return &buf
+	}}}
+}
+
+// Get returns a length-N buffer with undefined contents.
+func (cp *coeffPool) Get() *[]uint64 { return cp.pool.Get().(*[]uint64) }
+
+// GetZero returns a zeroed length-N buffer.
+func (cp *coeffPool) GetZero() *[]uint64 {
+	b := cp.Get()
+	clear(*b)
+	return b
+}
+
+// Put returns a buffer to the pool. The caller must not use b afterward.
+func (cp *coeffPool) Put(b *[]uint64) { cp.pool.Put(b) }

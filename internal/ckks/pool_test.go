@@ -1,0 +1,129 @@
+package ckks
+
+import (
+	"testing"
+)
+
+// The tests in this file are the allocation regression guards for the pooled
+// scratch-buffer design: once the evaluator's pools are warm, the
+// relinearize/rotate/rescale hot paths must only allocate their result
+// ciphertexts, never the key-switch scratch polynomials (and, per the
+// no-inverse-recompute guard, no big-number scratch from re-deriving the
+// rescale or mod-down constants that are precomputed on Ring/Parameters).
+
+func TestRelinearizeSteadyStateAllocs(t *testing.T) {
+	tc := newTestContext(t, 11, []int{50, 40}, 50, 1<<40, nil)
+	va := make([]float64, tc.params.Slots())
+	for i := range va {
+		va[i] = float64(i%7) / 7
+	}
+	prod, err := tc.eval.Mul(tc.encrypt(t, va), tc.encrypt(t, va))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.eval.Relinearize(prod); err != nil { // warm the pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := tc.eval.Relinearize(prod); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Seed code allocated 31 objects per op (every scratch poly fresh);
+	// the pooled path needs about half that, all attributable to the
+	// returned ciphertext. Leave headroom for an occasional GC-emptied pool.
+	if allocs > 22 {
+		t.Errorf("Relinearize allocates %.0f objects per op in steady state, want <= 22", allocs)
+	}
+}
+
+func TestRotateSteadyStateAllocs(t *testing.T) {
+	tc := newTestContext(t, 11, []int{50, 40}, 50, 1<<40, []int{1})
+	va := make([]float64, tc.params.Slots())
+	for i := range va {
+		va[i] = float64(i%5) / 5
+	}
+	ct := tc.encrypt(t, va)
+	if _, err := tc.eval.RotateLeft(ct, 1); err != nil { // warm the pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := tc.eval.RotateLeft(ct, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Seed code: 47 objects per rotation (coefficient-domain round trip plus
+	// fresh key-switch scratch).
+	if allocs > 22 {
+		t.Errorf("RotateLeft allocates %.0f objects per op in steady state, want <= 22", allocs)
+	}
+}
+
+func TestRescaleSteadyStateAllocs(t *testing.T) {
+	tc := newTestContext(t, 11, []int{50, 40}, 50, 1<<40, nil)
+	va := make([]float64, tc.params.Slots())
+	for i := range va {
+		va[i] = float64(i%3) / 3
+	}
+	prod, err := tc.eval.Mul(tc.encrypt(t, va), tc.encrypt(t, va))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.eval.Rescale(prod); err != nil { // warm the pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := tc.eval.Rescale(prod); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("Rescale allocates %.0f objects per op in steady state, want <= 16", allocs)
+	}
+}
+
+// TestPolyPoolLevels checks the pool hands back polynomials of the requested
+// level with a cleared NTT flag, and that GetZero actually zeroes recycled
+// buffers.
+func TestPolyPoolLevels(t *testing.T) {
+	tc := newTestContext(t, 10, []int{45, 40, 40}, 45, 1<<40, nil)
+	pp := tc.eval.pool
+	for level := 0; level <= tc.params.MaxLevel(); level++ {
+		p := pp.Get(level)
+		if p.Level() != level {
+			t.Fatalf("pool returned level %d, want %d", p.Level(), level)
+		}
+		if p.IsNTT {
+			t.Fatal("pool returned a polynomial with IsNTT set")
+		}
+		for i := range p.Coeffs {
+			for j := range p.Coeffs[i] {
+				p.Coeffs[i][j] = 12345
+			}
+		}
+		p.IsNTT = true
+		pp.Put(p)
+		z := pp.GetZero(level)
+		if z.IsNTT {
+			t.Fatal("GetZero returned a polynomial with IsNTT set")
+		}
+		for i := range z.Coeffs {
+			for j := range z.Coeffs[i] {
+				if z.Coeffs[i][j] != 0 {
+					t.Fatal("GetZero returned a dirty polynomial")
+				}
+			}
+		}
+		pp.Put(z)
+	}
+	cp := tc.eval.buf
+	b := cp.Get()
+	if len(*b) != tc.params.N() {
+		t.Fatalf("coeff pool buffer length %d, want %d", len(*b), tc.params.N())
+	}
+	(*b)[0] = 999
+	cp.Put(b)
+	if z := cp.GetZero(); (*z)[0] != 0 {
+		t.Fatal("coeff pool GetZero returned a dirty buffer")
+	}
+}

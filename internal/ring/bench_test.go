@@ -42,6 +42,21 @@ func BenchmarkNTTForward(b *testing.B) {
 	}
 }
 
+// BenchmarkNTTReference measures the retained Div64-based oracle transform,
+// so the speedup of the Shoup/lazy-reduction fast path stays visible in every
+// benchmark run instead of living only in this PR's description.
+func BenchmarkNTTReference(b *testing.B) {
+	for _, logN := range []int{12} {
+		r := benchRing(b, logN, 1)
+		p := benchPoly(r, 0)
+		b.Run(sizeName(logN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.Moduli[0].nttReference(p.Coeffs[0])
+			}
+		})
+	}
+}
+
 func BenchmarkNTTInverse(b *testing.B) {
 	for _, logN := range []int{12, 13, 14} {
 		r := benchRing(b, logN, 1)
@@ -69,6 +84,7 @@ func BenchmarkMulCoeffs(b *testing.B) {
 func BenchmarkDivideByLastModulus(b *testing.B) {
 	r := benchRing(b, 13, 4)
 	x := benchPoly(r, 3)
+	b.ReportAllocs() // regression guard: only the output poly may allocate
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.DivideByLastModulus(x)
@@ -82,6 +98,19 @@ func BenchmarkAutomorphism(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Automorphism(x, 5, out)
+	}
+}
+
+// BenchmarkAutomorphismNTT measures the NTT-domain slot permutation that
+// replaces the InvNTT+Automorphism+NTT round trip on the rotation path.
+func BenchmarkAutomorphismNTT(b *testing.B) {
+	r := benchRing(b, 13, 4)
+	x := benchPoly(r, 3)
+	x.IsNTT = true
+	out := r.NewPoly(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.AutomorphismNTT(x, 5, out)
 	}
 }
 

@@ -3,24 +3,38 @@
 // modulus represented in residue number system (RNS) form as a chain of
 // NTT-friendly primes. It provides the negacyclic number-theoretic transform
 // (NTT), element-wise ring operations, Galois automorphisms (used for slot
-// rotations), and RNS rescaling (division by the last chain prime).
+// rotations) in both coefficient and NTT domain, and RNS rescaling (division
+// by the last chain prime).
+//
+// The hot paths avoid hardware division entirely: the NTT butterflies use
+// Shoup multiplication against precomputed twiddle quotients with lazy
+// reduction (values ride in [0,4q) forward / [0,2q) inverse, with one final
+// reduction pass), and the element-wise multiplies use Barrett reduction.
+// The Div64-based reference transforms are retained (unexported) as oracles
+// for the property tests.
 package ring
 
 import (
 	"fmt"
+	"sync"
 
 	"eva/internal/numth"
 )
 
 // Modulus bundles one RNS prime together with the precomputed tables needed
-// for the negacyclic NTT of length N modulo that prime.
+// for the negacyclic NTT of length N modulo that prime: the twiddle factors
+// in bit-reversed order, their Shoup quotients, and the Barrett constant.
 type Modulus struct {
-	Q       uint64   // the prime
-	n       int      // transform length
-	logN    int      // log2(n)
-	psiPows []uint64 // psi^brv(i): powers of the 2N-th root of unity in bit-reversed order
-	psiInv  []uint64 // psiInv^brv(i)
-	nInv    uint64   // N^{-1} mod Q
+	Q           uint64        // the prime
+	n           int           // transform length
+	logN        int           // log2(n)
+	br          numth.Barrett // Barrett constant for Q
+	psiPows     []uint64      // psi^brv(i): powers of the 2N-th root of unity in bit-reversed order
+	psiShoup    []uint64      // Shoup quotients of psiPows
+	psiInv      []uint64      // psiInv^brv(i)
+	psiInvShoup []uint64      // Shoup quotients of psiInv
+	nInv        uint64        // N^{-1} mod Q
+	nInvShoup   uint64        // Shoup quotient of nInv
 }
 
 // NewModulus precomputes the NTT tables for prime q and transform length
@@ -36,13 +50,17 @@ func NewModulus(q uint64, logN int) (*Modulus, error) {
 	}
 	psiInv := numth.MustInvMod(psi, q)
 	m := &Modulus{
-		Q:       q,
-		n:       n,
-		logN:    logN,
-		psiPows: make([]uint64, n),
-		psiInv:  make([]uint64, n),
-		nInv:    numth.MustInvMod(uint64(n), q),
+		Q:           q,
+		n:           n,
+		logN:        logN,
+		br:          numth.NewBarrett(q),
+		psiPows:     make([]uint64, n),
+		psiShoup:    make([]uint64, n),
+		psiInv:      make([]uint64, n),
+		psiInvShoup: make([]uint64, n),
+		nInv:        numth.MustInvMod(uint64(n), q),
 	}
+	m.nInvShoup = numth.ShoupPrecomp(m.nInv, q)
 	// Tables in bit-reversed order, as required by the CT/GS butterflies below.
 	powsFwd := make([]uint64, n)
 	powsInv := make([]uint64, n)
@@ -55,13 +73,116 @@ func NewModulus(q uint64, logN int) (*Modulus, error) {
 		r := numth.BitReverse(uint64(i), uint64(logN))
 		m.psiPows[i] = powsFwd[r]
 		m.psiInv[i] = powsInv[r]
+		m.psiShoup[i] = numth.ShoupPrecomp(m.psiPows[i], q)
+		m.psiInvShoup[i] = numth.ShoupPrecomp(m.psiInv[i], q)
 	}
 	return m, nil
 }
 
+// Barrett returns the precomputed Barrett constant for Q, for callers (such
+// as the CKKS key switch) that run element-wise loops modulo this prime.
+func (m *Modulus) Barrett() numth.Barrett { return m.br }
+
+// ReduceCentered reduces the residues `small` (values in [0, srcQ)) into dst
+// modulo m.Q using centered representatives: residues above srcQ/2 are
+// lifted to their negative representative before reduction. This is the
+// shared digit-lift of RNS basis extension — both ExtendBasisSmall and the
+// CKKS key switch's special-prime path go through it.
+func (m *Modulus) ReduceCentered(small []uint64, srcQ uint64, dst []uint64) {
+	q := m.Q
+	br := m.br
+	srcModQ := srcQ % q
+	halfSrc := srcQ / 2
+	for j, v := range small {
+		if v > halfSrc {
+			// centered lift: v - srcQ (negative), reduced mod q
+			dst[j] = numth.SubMod(br.ReduceWord(v), srcModQ, q)
+		} else {
+			dst[j] = br.ReduceWord(v)
+		}
+	}
+}
+
 // NTT transforms a (length N, coefficient representation, values reduced
-// modulo m.Q) into the negacyclic NTT domain in place.
+// modulo m.Q) into the negacyclic NTT domain in place. The output is fully
+// reduced to [0, Q).
+//
+// The butterflies are the lazy-reduction Cooley-Tukey form: values ride in
+// [0, 4q), the twiddle product is a Shoup multiplication into [0, 2q), and a
+// single final pass reduces everything to [0, q). This removes every
+// hardware division from the transform.
 func (m *Modulus) NTT(a []uint64) {
+	q := m.Q
+	twoQ := q << 1
+	t := m.n
+	for mm := 1; mm < m.n; mm <<= 1 {
+		t >>= 1
+		for i := 0; i < mm; i++ {
+			j1 := 2 * i * t
+			s := m.psiPows[mm+i]
+			sh := m.psiShoup[mm+i]
+			x := a[j1 : j1+t : j1+t]
+			y := a[j1+t : j1+2*t : j1+2*t]
+			for j := range x {
+				u := x[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := numth.MulModShoupLazy(y[j], s, sh, q)
+				x[j] = u + v
+				y[j] = u + twoQ - v
+			}
+		}
+	}
+	for j, x := range a {
+		if x >= twoQ {
+			x -= twoQ
+		}
+		if x >= q {
+			x -= q
+		}
+		a[j] = x
+	}
+}
+
+// InvNTT transforms a from the NTT domain back to coefficient representation
+// in place, output fully reduced to [0, Q). It is the lazy Gentleman-Sande
+// form: values ride in [0, 2q), and the final multiplication by N^{-1} (a
+// strict Shoup multiplication) performs the last reduction.
+func (m *Modulus) InvNTT(a []uint64) {
+	q := m.Q
+	twoQ := q << 1
+	t := 1
+	for mm := m.n; mm > 1; mm >>= 1 {
+		j1 := 0
+		h := mm >> 1
+		for i := 0; i < h; i++ {
+			s := m.psiInv[h+i]
+			sh := m.psiInvShoup[h+i]
+			x := a[j1 : j1+t : j1+t]
+			y := a[j1+t : j1+2*t : j1+2*t]
+			for j := range x {
+				u := x[j]
+				v := y[j]
+				w := u + v
+				if w >= twoQ {
+					w -= twoQ
+				}
+				x[j] = w
+				y[j] = numth.MulModShoupLazy(u+twoQ-v, s, sh, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for j := range a {
+		a[j] = numth.MulModShoup(a[j], m.nInv, m.nInvShoup, q)
+	}
+}
+
+// nttReference is the original Div64-based transform, retained as the oracle
+// the property tests pin the lazy-reduction NTT against.
+func (m *Modulus) nttReference(a []uint64) {
 	q := m.Q
 	t := m.n
 	for mm := 1; mm < m.n; mm <<= 1 {
@@ -80,9 +201,8 @@ func (m *Modulus) NTT(a []uint64) {
 	}
 }
 
-// InvNTT transforms a from the NTT domain back to coefficient representation
-// in place.
-func (m *Modulus) InvNTT(a []uint64) {
+// invNTTReference is the original Div64-based inverse transform (oracle).
+func (m *Modulus) invNTTReference(a []uint64) {
 	q := m.Q
 	t := 1
 	for mm := m.n; mm > 1; mm >>= 1 {
@@ -113,6 +233,22 @@ type Ring struct {
 	N      int
 	LogN   int
 	Moduli []*Modulus
+
+	// Rescale constants, precomputed so DivideByLastModulus never runs an
+	// extended-Euclid inverse on the hot path. Indexed by the level being
+	// dropped: for l >= 1 and i < l,
+	//   rescaleInv[l][i]      = (q_l mod q_i)^{-1} mod q_i
+	//   rescaleInvShoup[l][i] = Shoup quotient of rescaleInv[l][i]
+	//   rescaleHalf[l][i]     = (q_l / 2) mod q_i
+	rescaleInv      [][]uint64
+	rescaleInvShoup [][]uint64
+	rescaleHalf     [][]uint64
+
+	// Cache of NTT-domain automorphism permutations keyed by Galois element.
+	// The permutation is independent of the limb's prime, so one table
+	// serves every level.
+	autoMu  sync.RWMutex
+	autoIdx map[uint64][]uint32
 }
 
 // NewRing builds a Ring of degree 2^logN over the given chain of primes.
@@ -125,7 +261,12 @@ func NewRing(logN int, primes []uint64) (*Ring, error) {
 	if len(primes) == 0 {
 		return nil, fmt.Errorf("ring: at least one modulus is required")
 	}
-	r := &Ring{N: 1 << uint(logN), LogN: logN, Moduli: make([]*Modulus, len(primes))}
+	r := &Ring{
+		N:       1 << uint(logN),
+		LogN:    logN,
+		Moduli:  make([]*Modulus, len(primes)),
+		autoIdx: map[uint64][]uint32{},
+	}
 	seen := map[uint64]bool{}
 	for i, q := range primes {
 		if seen[q] {
@@ -137,6 +278,25 @@ func NewRing(logN int, primes []uint64) (*Ring, error) {
 			return nil, err
 		}
 		r.Moduli[i] = m
+	}
+	r.rescaleInv = make([][]uint64, len(primes))
+	r.rescaleInvShoup = make([][]uint64, len(primes))
+	r.rescaleHalf = make([][]uint64, len(primes))
+	for l := 1; l < len(primes); l++ {
+		qL := primes[l]
+		half := qL >> 1
+		inv := make([]uint64, l)
+		invShoup := make([]uint64, l)
+		halfMod := make([]uint64, l)
+		for i := 0; i < l; i++ {
+			qi := primes[i]
+			inv[i] = numth.MustInvMod(qL%qi, qi)
+			invShoup[i] = numth.ShoupPrecomp(inv[i], qi)
+			halfMod[i] = half % qi
+		}
+		r.rescaleInv[l] = inv
+		r.rescaleInvShoup[l] = invShoup
+		r.rescaleHalf[l] = halfMod
 	}
 	return r, nil
 }
@@ -198,9 +358,7 @@ func (p *Poly) DropToLevel(level int) {
 // Zero sets every coefficient of p to zero.
 func (p *Poly) Zero() {
 	for i := range p.Coeffs {
-		for j := range p.Coeffs[i] {
-			p.Coeffs[i][j] = 0
-		}
+		clear(p.Coeffs[i])
 	}
 }
 
@@ -254,6 +412,7 @@ func sameShape(a, b, out *Poly) int {
 }
 
 // Add sets out = a + b limb-wise (down to the smallest common level).
+// Aliasing out with a or b is safe: every slot is read before it is written.
 func (r *Ring) Add(a, b, out *Poly) {
 	l := sameShape(a, b, out)
 	for i := 0; i < l; i++ {
@@ -266,7 +425,7 @@ func (r *Ring) Add(a, b, out *Poly) {
 	out.IsNTT = a.IsNTT
 }
 
-// Sub sets out = a - b limb-wise.
+// Sub sets out = a - b limb-wise. Aliasing out with a or b is safe.
 func (r *Ring) Sub(a, b, out *Poly) {
 	l := sameShape(a, b, out)
 	for i := 0; i < l; i++ {
@@ -279,7 +438,7 @@ func (r *Ring) Sub(a, b, out *Poly) {
 	out.IsNTT = a.IsNTT
 }
 
-// Neg sets out = -a limb-wise.
+// Neg sets out = -a limb-wise. Aliasing out with a is safe.
 func (r *Ring) Neg(a, out *Poly) {
 	for i := range out.Coeffs {
 		q := r.Moduli[i].Q
@@ -291,24 +450,26 @@ func (r *Ring) Neg(a, out *Poly) {
 	out.IsNTT = a.IsNTT
 }
 
-// MulCoeffs sets out = a * b element-wise. Both operands must be in the NTT
-// domain, in which case this realizes negacyclic polynomial multiplication.
+// MulCoeffs sets out = a * b element-wise using Barrett reduction. Both
+// operands must be in the NTT domain, in which case this realizes negacyclic
+// polynomial multiplication. Aliasing out with a or b is safe.
 func (r *Ring) MulCoeffs(a, b, out *Poly) {
 	if !a.IsNTT || !b.IsNTT {
 		panic("ring: MulCoeffs requires NTT-domain operands")
 	}
 	l := sameShape(a, b, out)
 	for i := 0; i < l; i++ {
-		q := r.Moduli[i].Q
+		br := r.Moduli[i].br
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
-			oi[j] = numth.MulMod(ai[j], bi[j], q)
+			oi[j] = br.MulMod(ai[j], bi[j])
 		}
 	}
 	out.IsNTT = true
 }
 
-// MulCoeffsAndAdd sets out += a * b element-wise (NTT domain).
+// MulCoeffsAndAdd sets out += a * b element-wise (NTT domain, Barrett
+// reduction). Aliasing out with a or b is safe.
 func (r *Ring) MulCoeffsAndAdd(a, b, out *Poly) {
 	if !a.IsNTT || !b.IsNTT {
 		panic("ring: MulCoeffsAndAdd requires NTT-domain operands")
@@ -316,22 +477,26 @@ func (r *Ring) MulCoeffsAndAdd(a, b, out *Poly) {
 	l := sameShape(a, b, out)
 	for i := 0; i < l; i++ {
 		q := r.Moduli[i].Q
+		br := r.Moduli[i].br
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
-			oi[j] = numth.AddMod(oi[j], numth.MulMod(ai[j], bi[j], q), q)
+			oi[j] = numth.AddMod(oi[j], br.MulMod(ai[j], bi[j]), q)
 		}
 	}
 	out.IsNTT = true
 }
 
 // MulScalar sets out = a * scalar, where scalar is reduced modulo each limb.
+// The scalar is fixed per limb, so each limb uses a Shoup multiplication
+// against a quotient computed once per call. Aliasing out with a is safe.
 func (r *Ring) MulScalar(a *Poly, scalar uint64, out *Poly) {
 	for i := range out.Coeffs {
 		q := r.Moduli[i].Q
 		s := scalar % q
+		w := numth.ShoupPrecomp(s, q)
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
-			oi[j] = numth.MulMod(ai[j], s, q)
+			oi[j] = numth.MulModShoup(ai[j], s, w, q)
 		}
 	}
 	out.IsNTT = a.IsNTT
@@ -339,6 +504,7 @@ func (r *Ring) MulScalar(a *Poly, scalar uint64, out *Poly) {
 
 // AddScalar adds an integer scalar to the constant coefficient of a
 // coefficient-domain polynomial, or to every slot when in NTT domain.
+// Aliasing out with a is safe.
 func (r *Ring) AddScalar(a *Poly, scalar uint64, out *Poly) {
 	for i := range out.Coeffs {
 		q := r.Moduli[i].Q
@@ -356,14 +522,34 @@ func (r *Ring) AddScalar(a *Poly, scalar uint64, out *Poly) {
 	out.IsNTT = a.IsNTT
 }
 
+// sharesLimb reports whether a and out alias each other's backing arrays on
+// any common limb. Scatter-style operations (the automorphisms) destroy
+// their input when run in place, so they refuse aliased operands.
+func sharesLimb(a, out *Poly) bool {
+	for i := range out.Coeffs {
+		if i >= len(a.Coeffs) {
+			break
+		}
+		if len(a.Coeffs[i]) > 0 && len(out.Coeffs[i]) > 0 && &a.Coeffs[i][0] == &out.Coeffs[i][0] {
+			return true
+		}
+	}
+	return false
+}
+
 // Automorphism applies the Galois automorphism X -> X^galEl to a
 // coefficient-domain polynomial. galEl must be odd (an element of (Z/2NZ)^*).
+// out must not alias a: the scatter zeroes out first, so an aliased call
+// would destroy the input (this is enforced with a panic).
 func (r *Ring) Automorphism(a *Poly, galEl uint64, out *Poly) {
 	if a.IsNTT {
 		panic("ring: Automorphism requires coefficient-domain input")
 	}
 	if galEl%2 == 0 {
 		panic("ring: Galois element must be odd")
+	}
+	if sharesLimb(a, out) {
+		panic("ring: Automorphism does not support aliased input and output")
 	}
 	n := uint64(r.N)
 	mask := 2*n - 1
@@ -386,10 +572,66 @@ func (r *Ring) Automorphism(a *Poly, galEl uint64, out *Poly) {
 	out.IsNTT = false
 }
 
+// automorphismNTTIndex returns (building and caching it on first use) the
+// slot permutation realizing X -> X^galEl directly on an NTT-domain
+// polynomial: out[j] = in[idx[j]]. Slot j of the bit-reversed negacyclic NTT
+// holds the evaluation at psi^(2·brv(j)+1), and the automorphism maps the
+// evaluation at zeta to the evaluation at zeta^galEl, so
+//
+//	idx[j] = brv((galEl·(2·brv(j)+1) mod 2N - 1) / 2).
+//
+// The permutation does not depend on the prime, so one table serves all limbs.
+func (r *Ring) automorphismNTTIndex(galEl uint64) []uint32 {
+	r.autoMu.RLock()
+	idx, ok := r.autoIdx[galEl]
+	r.autoMu.RUnlock()
+	if ok {
+		return idx
+	}
+	n := uint64(r.N)
+	mask := 2*n - 1
+	logN := uint64(r.LogN)
+	idx = make([]uint32, n)
+	for j := uint64(0); j < n; j++ {
+		e := (galEl * (2*numth.BitReverse(j, logN) + 1)) & mask
+		idx[j] = uint32(numth.BitReverse((e-1)>>1, logN))
+	}
+	r.autoMu.Lock()
+	r.autoIdx[galEl] = idx
+	r.autoMu.Unlock()
+	return idx
+}
+
+// AutomorphismNTT applies the Galois automorphism X -> X^galEl to an
+// NTT-domain polynomial as a pure slot permutation, avoiding the
+// InvNTT+NTT round trip of the coefficient-domain path. galEl must be odd.
+// out must not alias a (enforced with a panic, as for Automorphism).
+func (r *Ring) AutomorphismNTT(a *Poly, galEl uint64, out *Poly) {
+	if !a.IsNTT {
+		panic("ring: AutomorphismNTT requires NTT-domain input")
+	}
+	if galEl%2 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	if sharesLimb(a, out) {
+		panic("ring: AutomorphismNTT does not support aliased input and output")
+	}
+	idx := r.automorphismNTTIndex(galEl)
+	for i := range out.Coeffs {
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = ai[idx[j]]
+		}
+	}
+	out.IsNTT = true
+}
+
 // DivideByLastModulus performs RNS rescaling: it interprets p (coefficient
 // domain) as an integer polynomial modulo Q = q_0*...*q_L, divides it by the
 // last prime q_L with rounding, and returns the result at level L-1. This is
-// the core of the CKKS RESCALE and of modulus-switching with scaling.
+// the core of the CKKS RESCALE and of modulus-switching with scaling. All
+// per-limb constants ((q_L mod q_i)^{-1}, q_L/2 mod q_i) are precomputed at
+// ring construction.
 func (r *Ring) DivideByLastModulus(p *Poly) *Poly {
 	if p.IsNTT {
 		panic("ring: DivideByLastModulus requires coefficient-domain input")
@@ -404,17 +646,19 @@ func (r *Ring) DivideByLastModulus(p *Poly) *Poly {
 	half := qL >> 1
 	for i := 0; i <= level-1; i++ {
 		q := r.Moduli[i].Q
-		qLInv := numth.MustInvMod(qL%q, q)
-		halfMod := half % q
+		br := r.Moduli[i].br
+		qLInv := r.rescaleInv[level][i]
+		qLInvShoup := r.rescaleInvShoup[level][i]
+		halfMod := r.rescaleHalf[level][i]
 		pi, oi := p.Coeffs[i], out.Coeffs[i]
 		for j := range oi {
 			// Rounded division: (x - [x]_{qL} + qL/2 correction) * qL^{-1}.
 			// Using the representative of the last limb shifted by qL/2
 			// implements rounding instead of flooring.
 			lastShift := numth.AddMod(last[j], half, qL) // (x mod qL) + qL/2 mod qL
-			tmp := numth.SubMod(pi[j], lastShift%q, q)
+			tmp := numth.SubMod(pi[j], br.ReduceWord(lastShift), q)
 			tmp = numth.AddMod(tmp, halfMod, q)
-			oi[j] = numth.MulMod(tmp, qLInv, q)
+			oi[j] = numth.MulModShoup(tmp, qLInv, qLInvShoup, q)
 		}
 	}
 	out.IsNTT = false
@@ -443,22 +687,13 @@ func (r *Ring) DropLastModulus(p *Poly) *Poly {
 // the decomposed digit is a single-limb polynomial.
 func (r *Ring) ExtendBasisSmall(small []uint64, srcQ uint64, out *Poly) {
 	for i := range out.Coeffs {
-		q := r.Moduli[i].Q
+		m := r.Moduli[i]
 		oi := out.Coeffs[i]
-		if q == srcQ {
+		if m.Q == srcQ {
 			copy(oi, small)
 			continue
 		}
-		srcModQ := srcQ % q
-		for j := range oi {
-			v := small[j]
-			if v > srcQ/2 {
-				// centered lift: v - srcQ (negative), reduced mod q
-				oi[j] = numth.SubMod(v%q, srcModQ, q)
-			} else {
-				oi[j] = v % q
-			}
-		}
+		m.ReduceCentered(small, srcQ, oi)
 	}
 	out.IsNTT = false
 }

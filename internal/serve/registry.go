@@ -75,8 +75,10 @@ func (e *Entry) recordHit() {
 	e.mu.Unlock()
 }
 
-// NewRegistry returns a registry holding at most capacity compiled programs
-// (capacity <= 0 means a default of 128).
+// NewRegistry returns a registry holding at most capacity compiled programs.
+// The capacity is clamped to at least 1: capacity <= 0 means the default of
+// 128, so a zero-value Config can never produce a cache that evicts entries
+// the moment they are inserted.
 func NewRegistry(capacity int) *Registry {
 	if capacity <= 0 {
 		capacity = 128
@@ -162,9 +164,18 @@ func (r *Registry) GetOrCompile(p *core.Program, opts compile.Options) (*Entry, 
 	r.mu.Lock()
 	delete(r.inflight, id)
 	if f.err == nil {
-		r.byID[id] = r.lru.PushFront(f.entry)
+		elem := r.lru.PushFront(f.entry)
+		r.byID[id] = elem
 		for r.lru.Len() > r.capacity {
 			oldest := r.lru.Back()
+			if oldest == elem {
+				// Never evict the entry this call is about to hand out: a
+				// /compile response whose program id immediately 404s on
+				// /execute is worse than briefly exceeding the capacity.
+				// (Unreachable while NewRegistry clamps capacity >= 1, but
+				// cheap insurance against a future constructor bypass.)
+				break
+			}
 			r.lru.Remove(oldest)
 			delete(r.byID, oldest.Value.(*Entry).ID)
 			r.evictions++

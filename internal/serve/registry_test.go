@@ -208,3 +208,87 @@ func TestProgramIDCanonical(t *testing.T) {
 		t.Error("distinct programs hash alike")
 	}
 }
+
+// TestRegistryCapacityClamped is the regression test for the
+// capacity-below-one footgun: a registry built with capacity <= 0 must never
+// evict the entry GetOrCompile just inserted (which would hand /compile
+// clients a program id that immediately 404s).
+func TestRegistryCapacityClamped(t *testing.T) {
+	for _, capacity := range []int{0, -1, -128} {
+		reg := NewRegistry(capacity)
+		if reg.capacity < 1 {
+			t.Fatalf("NewRegistry(%d) kept capacity %d, want >= 1", capacity, reg.capacity)
+		}
+		prog := testProgram(t, "clamp", 0.25)
+		entry, _, err := reg.GetOrCompile(prog, insecureOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := reg.Get(entry.ID); !ok {
+			t.Fatalf("capacity %d: entry %s evicted immediately after insertion", capacity, entry.ID)
+		}
+	}
+}
+
+// TestRegistryCapacityOneConcurrent inserts distinct programs concurrently
+// into a capacity-1 registry: every GetOrCompile must still return an entry
+// that was retrievable at the moment it was handed out, the final cache size
+// must respect the capacity, and the most recently inserted entry survives.
+func TestRegistryCapacityOneConcurrent(t *testing.T) {
+	reg := NewRegistry(1)
+	const n = 8
+	var wg sync.WaitGroup
+	entries := make([]*Entry, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prog := testProgram(t, fmt.Sprintf("cap1-%d", i), float64(i+1))
+			entries[i], _, errs[i] = reg.GetOrCompile(prog, insecureOptions())
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if entries[i] == nil || entries[i].Result == nil {
+			t.Fatalf("goroutine %d: GetOrCompile returned no usable entry", i)
+		}
+	}
+	stats := reg.Stats()
+	if stats.Size != 1 {
+		t.Fatalf("capacity-1 registry holds %d entries", stats.Size)
+	}
+	// Whichever entry is cached must be one of the handed-out entries.
+	cached := reg.List()
+	if len(cached) != 1 {
+		t.Fatalf("List returned %d entries, want 1", len(cached))
+	}
+	found := false
+	for _, e := range entries {
+		if e.ID == cached[0].ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cached entry is not one of the entries handed out")
+	}
+}
+
+// TestRegistryNeverEvictsJustInserted drives the defensive branch directly:
+// even with the capacity invariant broken (simulating a future constructor
+// bypass), the eviction loop must not remove the entry it just pushed.
+func TestRegistryNeverEvictsJustInserted(t *testing.T) {
+	reg := NewRegistry(1)
+	reg.capacity = 0 // simulate a broken invariant
+	prog := testProgram(t, "bypass", 0.75)
+	entry, _, err := reg.GetOrCompile(prog, insecureOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Get(entry.ID); !ok {
+		t.Fatal("entry evicted by its own insertion")
+	}
+}
