@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// CompareRow is the comparison of one tracked benchmark between two reports.
+type CompareRow struct {
+	Name string
+	Old  float64
+	New  float64
+	// Delta is the fractional change: (New-Old)/Old. Positive = slower.
+	Delta float64
+	// Regressed is set when Delta exceeds the threshold.
+	Regressed bool
+	// MissingInNew is set when the old report tracks a benchmark the new one
+	// no longer carries (reported, not failed: benchmarks get renamed).
+	MissingInNew bool
+}
+
+// minByName collapses a report to one value per pkg-qualified benchmark
+// name, keeping the minimum — with `go test -count=N` each benchmark
+// appears N times, and the minimum is the standard noise-robust statistic
+// (the fastest run had the least scheduler/cache interference).
+func minByName(r *Report, metric string) (vals map[string]float64, order []string) {
+	vals = map[string]float64{}
+	for _, b := range r.Benchmarks {
+		v, ok := b.Metrics[metric]
+		if !ok || v <= 0 {
+			continue
+		}
+		key := b.Pkg + "." + b.Name
+		if prev, seen := vals[key]; !seen || v < prev {
+			if !seen {
+				order = append(order, key)
+			}
+			vals[key] = v
+		}
+	}
+	return vals, order
+}
+
+// Compare gates new against old: every benchmark matching track (on the
+// pkg-qualified name) present in old is looked up in new and compared on
+// the given metric, taking the per-name minimum on both sides when a report
+// carries repeated runs (-count=N). Every new-side value is multiplied by
+// scale first (1 disables; see refScale for how the CLI derives it), and a
+// benchmark regresses when its scaled new value exceeds old*(1+threshold).
+// Rows come back sorted worst-first.
+func Compare(old, new *Report, threshold float64, track *regexp.Regexp, metric string, scale float64) []CompareRow {
+	if scale <= 0 {
+		scale = 1
+	}
+	oldVals, oldOrder := minByName(old, metric)
+	newVals, _ := minByName(new, metric)
+	var rows []CompareRow
+	for _, key := range oldOrder {
+		if !track.MatchString(key) {
+			continue
+		}
+		row := CompareRow{Name: key, Old: oldVals[key]}
+		newV, ok := newVals[key]
+		if !ok {
+			row.MissingInNew = true
+			rows = append(rows, row)
+			continue
+		}
+		row.New = newV * scale
+		row.Delta = (row.New - row.Old) / row.Old
+		row.Regressed = row.Delta > threshold
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].MissingInNew != rows[j].MissingInNew {
+			return rows[j].MissingInNew // missing rows last
+		}
+		return rows[i].Delta > rows[j].Delta
+	})
+	return rows
+}
+
+// Regressions filters the rows that breach the threshold.
+func Regressions(rows []CompareRow) []CompareRow {
+	var out []CompareRow
+	for _, r := range rows {
+		if r.Regressed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// refScale derives the machine-speed normalization factor from a reference
+// benchmark present in both reports: oldRef/newRef. Multiplying every
+// new-side value by it cancels uniform speed differences — a slower CI
+// runner (or a noisy-neighbor phase) slows the reference by the same factor
+// as the tracked ops, while a real regression in an optimized path moves a
+// tracked op against the reference. The expression should single out a
+// stable benchmark whose code the PR does not touch; when it matches
+// several, the per-side minimum is used.
+func refScale(old, new *Report, refExpr, metric string) (float64, error) {
+	ref, err := regexp.Compile(refExpr)
+	if err != nil {
+		return 0, fmt.Errorf("invalid -ref expression: %w", err)
+	}
+	minMatch := func(r *Report) (float64, bool) {
+		vals, order := minByName(r, metric)
+		best, found := 0.0, false
+		for _, key := range order {
+			if !ref.MatchString(key) {
+				continue
+			}
+			if !found || vals[key] < best {
+				best, found = vals[key], true
+			}
+		}
+		return best, found
+	}
+	oldRef, ok := minMatch(old)
+	if !ok {
+		return 0, fmt.Errorf("-ref %q matches no benchmark in the old report", refExpr)
+	}
+	newRef, ok := minMatch(new)
+	if !ok {
+		return 0, fmt.Errorf("-ref %q matches no benchmark in the new report", refExpr)
+	}
+	return oldRef / newRef, nil
+}
+
+// runCompare implements the -compare CLI mode.
+func runCompare(oldPath, newPath string, threshold float64, trackExpr, refExpr, metric string, stdout io.Writer) error {
+	track, err := regexp.Compile(trackExpr)
+	if err != nil {
+		return fmt.Errorf("invalid -track expression: %w", err)
+	}
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	scale := 1.0
+	if refExpr != "" {
+		if scale, err = refScale(oldRep, newRep, refExpr, metric); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "machine-speed normalization via -ref %q: new values scaled by %.3f\n", refExpr, scale)
+	}
+	rows := Compare(oldRep, newRep, threshold, track, metric, scale)
+	if len(rows) == 0 {
+		return fmt.Errorf("no benchmarks in %s match -track %q on metric %q", oldPath, trackExpr, metric)
+	}
+	fmt.Fprintf(stdout, "%-70s %14s %14s %8s\n", "benchmark ("+metric+")", "old", "new", "delta")
+	for _, r := range rows {
+		if r.MissingInNew {
+			fmt.Fprintf(stdout, "%-70s %14.1f %14s %8s\n", r.Name, r.Old, "missing", "-")
+			continue
+		}
+		mark := ""
+		if r.Regressed {
+			mark = "  << REGRESSION"
+		}
+		fmt.Fprintf(stdout, "%-70s %14.1f %14.1f %+7.1f%%%s\n", r.Name, r.Old, r.New, 100*r.Delta, mark)
+	}
+	if bad := Regressions(rows); len(bad) > 0 {
+		names := make([]string, len(bad))
+		for i, r := range bad {
+			names[i] = fmt.Sprintf("%s (%+.1f%%)", r.Name, 100*r.Delta)
+		}
+		return fmt.Errorf("%d tracked benchmark(s) regressed past the %.0f%% threshold: %s",
+			len(bad), 100*threshold, strings.Join(names, ", "))
+	}
+	fmt.Fprintf(stdout, "OK: no tracked benchmark regressed past %.0f%%\n", 100*threshold)
+	return nil
+}

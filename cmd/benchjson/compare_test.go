@@ -1,0 +1,240 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func report(vals map[string]float64) *Report {
+	r := &Report{Schema: "eva-bench/v1"}
+	for name, v := range vals {
+		r.Benchmarks = append(r.Benchmarks, Result{
+			Name: name, Pkg: "eva/internal/ring", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": v},
+		})
+	}
+	return r
+}
+
+var trackDefault = regexp.MustCompile("NTT|Rotate|Relinearize|Rescale")
+
+func TestCompareThresholdLogic(t *testing.T) {
+	old := report(map[string]float64{
+		"BenchmarkNTT/N=4096":   100,
+		"BenchmarkRotate":       1000,
+		"BenchmarkRelinearize":  2000,
+		"BenchmarkRescale":      500,
+		"BenchmarkMulUntracked": 10,
+	})
+	new := report(map[string]float64{
+		"BenchmarkNTT/N=4096":   124,  // +24%: inside a 25% threshold
+		"BenchmarkRotate":       1300, // +30%: regression
+		"BenchmarkRelinearize":  1500, // faster: fine
+		"BenchmarkRescale":      500,  // unchanged
+		"BenchmarkMulUntracked": 1e9,  // untracked: ignored
+	})
+	rows := Compare(old, new, 0.25, trackDefault, "ns/op", 1)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows; want 4 tracked", len(rows))
+	}
+	bad := Regressions(rows)
+	if len(bad) != 1 || !strings.Contains(bad[0].Name, "Rotate") {
+		t.Fatalf("regressions = %+v; want exactly BenchmarkRotate", bad)
+	}
+	if rows[0].Name != bad[0].Name {
+		t.Errorf("rows not sorted worst-first: %+v", rows[0])
+	}
+	if d := bad[0].Delta; d < 0.29 || d > 0.31 {
+		t.Errorf("Rotate delta = %v; want ~0.30", d)
+	}
+}
+
+// TestCompareMinOfRepeatedRuns: with -count=N each benchmark appears N
+// times; both sides must collapse to the per-name minimum.
+func TestCompareMinOfRepeatedRuns(t *testing.T) {
+	rep := func(vals ...float64) *Report {
+		r := &Report{}
+		for _, v := range vals {
+			r.Benchmarks = append(r.Benchmarks, Result{
+				Name: "BenchmarkNTT", Pkg: "ring", Metrics: map[string]float64{"ns/op": v},
+			})
+		}
+		return r
+	}
+	// Old min 100; new runs 180/110/105 → min 105: within threshold.
+	rows := Compare(rep(120, 100, 140), rep(180, 110, 105), 0.25, trackDefault, "ns/op", 1)
+	if len(rows) != 1 {
+		t.Fatalf("%d rows; want 1 (duplicates collapsed)", len(rows))
+	}
+	if rows[0].Old != 100 || rows[0].New != 105 {
+		t.Fatalf("min aggregation: old=%v new=%v; want 100/105", rows[0].Old, rows[0].New)
+	}
+	if rows[0].Regressed {
+		t.Error("min-of-runs within threshold flagged as regression")
+	}
+}
+
+func TestCompareExactThresholdPasses(t *testing.T) {
+	old := report(map[string]float64{"BenchmarkNTT": 100})
+	new := report(map[string]float64{"BenchmarkNTT": 125}) // exactly +25%
+	rows := Compare(old, new, 0.25, trackDefault, "ns/op", 1)
+	if len(Regressions(rows)) != 0 {
+		t.Error("exact threshold should not regress (strict >)")
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	old := report(map[string]float64{"BenchmarkNTT": 100, "BenchmarkRotate": 50})
+	new := report(map[string]float64{"BenchmarkNTT": 100})
+	rows := Compare(old, new, 0.25, trackDefault, "ns/op", 1)
+	var missing int
+	for _, r := range rows {
+		if r.MissingInNew {
+			missing++
+			if r.Regressed {
+				t.Error("missing benchmark marked as regression")
+			}
+		}
+	}
+	if missing != 1 {
+		t.Errorf("%d missing rows; want 1", missing)
+	}
+	if !rows[len(rows)-1].MissingInNew {
+		t.Error("missing row should sort last")
+	}
+}
+
+func TestComparePkgDisambiguation(t *testing.T) {
+	// The same benchmark name in two packages must not cross-match.
+	old := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkNTT", Pkg: "a", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkNTT", Pkg: "b", Metrics: map[string]float64{"ns/op": 10}},
+	}}
+	new := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkNTT", Pkg: "a", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkNTT", Pkg: "b", Metrics: map[string]float64{"ns/op": 100}}, // 10x in pkg b
+	}}
+	bad := Regressions(Compare(old, new, 0.25, trackDefault, "ns/op", 1))
+	if len(bad) != 1 || bad[0].Name != "b.BenchmarkNTT" {
+		t.Fatalf("regressions = %+v; want only b.BenchmarkNTT", bad)
+	}
+}
+
+// TestRefScaleNormalizesMachineDrift: a uniformly slower machine slows the
+// reference by the same factor as the tracked ops, so with -ref the gate
+// passes; a real regression moves a tracked op against the reference and
+// still fails.
+func TestRefScaleNormalizesMachineDrift(t *testing.T) {
+	old := report(map[string]float64{
+		"BenchmarkNTTReference": 1000,
+		"BenchmarkNTTForward":   100,
+		"BenchmarkRotate":       400,
+	})
+	// Everything 1.4x slower: pure environment drift.
+	drift := report(map[string]float64{
+		"BenchmarkNTTReference": 1400,
+		"BenchmarkNTTForward":   140,
+		"BenchmarkRotate":       560,
+	})
+	scale, err := refScale(old, drift, "NTTReference", "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale < 0.713 || scale > 0.715 {
+		t.Fatalf("scale = %v; want ~1000/1400", scale)
+	}
+	if bad := Regressions(Compare(old, drift, 0.25, trackDefault, "ns/op", scale)); len(bad) != 0 {
+		t.Fatalf("uniform drift flagged as regression: %+v", bad)
+	}
+
+	// Same drifted machine, but NTTForward genuinely 2x slower on top.
+	realBad := report(map[string]float64{
+		"BenchmarkNTTReference": 1400,
+		"BenchmarkNTTForward":   280,
+		"BenchmarkRotate":       560,
+	})
+	scale, err = refScale(old, realBad, "NTTReference", "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Regressions(Compare(old, realBad, 0.25, trackDefault, "ns/op", scale))
+	if len(bad) != 1 || !strings.Contains(bad[0].Name, "NTTForward") {
+		t.Fatalf("regressions = %+v; want exactly NTTForward", bad)
+	}
+}
+
+func TestRefScaleMissingReference(t *testing.T) {
+	old := report(map[string]float64{"BenchmarkNTT": 100})
+	new := report(map[string]float64{"BenchmarkNTT": 100})
+	if _, err := refScale(old, new, "Nonexistent", "ns/op"); err == nil {
+		t.Fatal("missing reference accepted")
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, r *Report) string {
+	t.Helper()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareCLI exercises the full -compare command line: pass, fail, and
+// bad usage.
+func TestCompareCLI(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", report(map[string]float64{"BenchmarkNTT": 100}))
+	okPath := writeReport(t, dir, "ok.json", report(map[string]float64{"BenchmarkNTT": 110}))
+	badPath := writeReport(t, dir, "bad.json", report(map[string]float64{"BenchmarkNTT": 200}))
+
+	var out, errw strings.Builder
+	if err := run([]string{"-compare", "-threshold", "0.25", oldPath, okPath}, strings.NewReader(""), &out, &errw); err != nil {
+		t.Fatalf("passing compare failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "OK:") {
+		t.Errorf("missing OK line:\n%s", out.String())
+	}
+
+	out.Reset()
+	err := run([]string{"-compare", "-threshold", "0.25", oldPath, badPath}, strings.NewReader(""), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("regressing compare = %v; want regression error", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION marker:\n%s", out.String())
+	}
+
+	if err := run([]string{"-compare", oldPath}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("compare with one file accepted")
+	}
+	if err := run([]string{"-compare", "-track", "(", oldPath, okPath}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("invalid -track regexp accepted")
+	}
+	// A track expression matching nothing is an error, not a silent pass.
+	if err := run([]string{"-compare", "-track", "Nonexistent", oldPath, okPath}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("compare gating on zero benchmarks passed silently")
+	}
+	// -ref that matches nothing is an error too.
+	if err := run([]string{"-compare", "-ref", "Nonexistent", oldPath, okPath}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("missing -ref benchmark accepted")
+	}
+	// With -ref pointing at the tracked benchmark itself, even the "bad"
+	// report passes: the regression and the reference cancel (documents why
+	// the reference must be a benchmark the change does not touch).
+	out.Reset()
+	if err := run([]string{"-compare", "-ref", "BenchmarkNTT", oldPath, badPath}, strings.NewReader(""), &out, &errw); err != nil {
+		t.Fatalf("self-referencing compare failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "normalization") {
+		t.Errorf("missing normalization line:\n%s", out.String())
+	}
+}

@@ -1,16 +1,28 @@
 // Command benchjson converts `go test -bench` text output into a stable JSON
 // document, so the performance trajectory of the backend can be tracked
 // machine-readably across PRs (BENCH_backend.json at the repository root is
-// generated with it; CI regenerates the file on every run).
+// generated with it), and compares two such documents as a CI
+// bench-regression gate.
 //
 // Usage:
 //
 //	go test -run=NONE -bench=. -benchtime=1x ./internal/ring | benchjson -o BENCH_backend.json
+//	benchjson -compare -threshold 0.25 old.json new.json
 //
 // Each benchmark line becomes one entry carrying the benchmark name (with
 // the -GOMAXPROCS suffix stripped), the package it came from, the iteration
 // count, and every reported metric (ns/op, B/op, allocs/op, and any custom
 // b.ReportMetric unit) keyed by unit.
+//
+// In -compare mode, every benchmark whose name matches -track (default: the
+// hot backend ops NTT, Rotate, Relinearize, Rescale) is compared between the
+// two documents on the -metric value (default ns/op); if any tracked
+// benchmark got slower by more than -threshold (a fraction: 0.25 = 25%),
+// benchjson prints the offenders and exits non-zero, failing the build.
+// Reports carrying repeated runs (-count=N) collapse to the per-name
+// minimum, and -ref names a reference benchmark whose old/new ratio
+// normalizes away uniform machine-speed differences (CI runners are not the
+// machine the baseline was recorded on).
 package main
 
 import (
@@ -56,8 +68,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	outPath := fs.String("o", "", "write JSON to this file instead of stdout")
+	compare := fs.Bool("compare", false, "compare two JSON reports (old.json new.json) instead of parsing bench output")
+	threshold := fs.Float64("threshold", 0.25, "compare mode: allowed fractional slowdown per tracked benchmark")
+	track := fs.String("track", "NTT|Rotate|Relinearize|Rescale", "compare mode: regexp of benchmark names to gate on")
+	ref := fs.String("ref", "", "compare mode: regexp of a reference benchmark used to normalize machine speed (empty = raw times)")
+	metric := fs.String("metric", "ns/op", "compare mode: metric to compare")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("compare mode needs exactly two files: benchjson -compare old.json new.json")
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *threshold, *track, *ref, *metric, stdout)
 	}
 	report, err := Parse(stdin)
 	if err != nil {

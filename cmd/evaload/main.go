@@ -1,0 +1,243 @@
+// Command evaload is a load generator for the evaserve jobs API: it drives N
+// concurrent asynchronous jobs end to end (submit → stream progress → fetch
+// result), retries submissions the server sheds with 429 + Retry-After, and
+// prints throughput and latency percentiles. CI's nightly load smoke runs it
+// against an in-process server; with -addr it targets a live evaserve
+// running in -demo mode.
+//
+// Usage:
+//
+//	evaload [-addr http://host:8080] [-jobs 50] [-concurrency 8] [-batches 2]
+//	        [-job-workers 2] [-job-queue 64] [-job-memory-mb 512]
+//
+// With no -addr, evaload starts an in-process evaserve (demo mode) on a
+// loopback port and drives that, making it a self-contained smoke test: it
+// exits non-zero if any job loses its result or fails.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"eva/eva"
+	"eva/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			return // -h is a successful invocation
+		}
+		fmt.Fprintln(os.Stderr, "evaload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadSource is the program every job executes: a squaring (relinearize +
+// rescale), a rotation (Galois key), and a cipher-plain product — the same
+// opcode classes the e2e tests exercise, heavy enough that a job does real
+// backend work.
+const loadSource = `program load vec=8;
+input x @30;
+input y @30;
+s = x * x + y;
+r = rotl(s, 1);
+out = (s + r) * 0.5@30;
+output out @30;`
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("evaload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "", "evaserve base URL (empty = start an in-process demo server)")
+		jobCount    = fs.Int("jobs", 50, "total jobs to run")
+		concurrency = fs.Int("concurrency", 8, "jobs in flight at once")
+		batches     = fs.Int("batches", 2, "batches per job")
+		timeout     = fs.Duration("timeout", 10*time.Minute, "overall deadline")
+		jobWorkers  = fs.Int("job-workers", 0, "in-process server: async job workers (0 = 2)")
+		jobQueue    = fs.Int("job-queue", 0, "in-process server: job queue depth (0 = 64)")
+		jobMemMB    = fs.Int64("job-memory-mb", 0, "in-process server: job memory budget in MiB (0 = 8192)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	base := *addr
+	if base == "" {
+		srv := serve.NewServer(serve.Config{
+			AllowServerKeygen:    true,
+			JobWorkers:           *jobWorkers,
+			JobQueueDepth:        *jobQueue,
+			JobMemoryBudgetBytes: *jobMemMB << 20,
+		})
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(stdout, "in-process evaserve on %s\n", base)
+	}
+	client := eva.NewClient(base)
+
+	comp, err := client.Compile(ctx, eva.CompileRequest{
+		Source:  loadSource,
+		Options: &serve.CompileOptionsJSON{AllowInsecure: true},
+	})
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	ectx, err := client.NewKeygenContext(ctx, comp.ID, 42)
+	if err != nil {
+		return fmt.Errorf("context (the server must run -demo): %w", err)
+	}
+	fmt.Fprintf(stdout, "program %s, context %s, %d jobs x %d batches, concurrency %d\n",
+		comp.ID, ectx.ContextID, *jobCount, *batches, *concurrency)
+
+	outcomes := make([]outcome, *jobCount)
+	sem := make(chan struct{}, max(1, *concurrency))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *jobCount; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outcomes[i] = runJob(ctx, client, comp.ID, ectx.ContextID, *batches, i)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var latencies []time.Duration
+	var waits []float64
+	completed, lost, retries := 0, 0, 0
+	for i, o := range outcomes {
+		retries += o.retries
+		if o.err != nil {
+			lost++
+			fmt.Fprintf(stderr, "job %d: %v\n", i, o.err)
+			continue
+		}
+		completed++
+		latencies = append(latencies, o.latency)
+		waits = append(waits, o.wait)
+	}
+
+	fmt.Fprintf(stdout, "completed %d/%d jobs in %.2fs (%.1f jobs/s), %d shed-retries, %d lost\n",
+		completed, *jobCount, elapsed.Seconds(), float64(completed)/elapsed.Seconds(), retries, lost)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		sort.Float64s(waits)
+		fmt.Fprintf(stdout, "latency p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
+			ms(pct(latencies, 0.50)), ms(pct(latencies, 0.90)), ms(pct(latencies, 0.99)), ms(latencies[len(latencies)-1]))
+		fmt.Fprintf(stdout, "queue wait p50 %.1fms  p90 %.1fms\n",
+			pct(waits, 0.50), pct(waits, 0.90))
+	}
+	if lost > 0 {
+		return fmt.Errorf("%d of %d jobs lost their results", lost, *jobCount)
+	}
+	return nil
+}
+
+// runJob drives one job end to end, retrying shed submissions.
+func runJob(ctx context.Context, client *eva.Client, programID, contextID string, batches, seed int) outcome {
+	req := eva.JobRequest{ProgramID: programID, ContextID: contextID}
+	for b := 0; b < batches; b++ {
+		v := float64(seed%7 + b + 1)
+		req.Batches = append(req.Batches, eva.ExecuteBatch{
+			Values: map[string][]float64{
+				"x": {v, v + 1, v + 2, v + 3, v + 4, v + 5, v + 6, v + 7},
+				"y": {1, 2, 3, 4, 5, 6, 7, 8},
+			},
+		})
+	}
+	start := time.Now()
+	var status eva.JobStatusInfo
+	retries := 0
+	for {
+		var err error
+		status, err = client.SubmitJob(ctx, req)
+		if err == nil {
+			break
+		}
+		if apiErr, ok := err.(*eva.APIError); ok && apiErr.Overloaded() {
+			retries++
+			backoff := apiErr.RetryAfter
+			if backoff <= 0 {
+				backoff = 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return outcome{retries: retries, err: ctx.Err()}
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		return outcome{retries: retries, err: fmt.Errorf("submit: %w", err)}
+	}
+	final, err := client.WaitJob(ctx, status.JobID)
+	if err != nil {
+		return outcome{retries: retries, err: fmt.Errorf("wait: %w", err)}
+	}
+	if final.Status != "done" {
+		return outcome{retries: retries, err: fmt.Errorf("terminal status %q: %s", final.Status, final.Error)}
+	}
+	res, err := client.FetchJobResult(ctx, status.JobID)
+	if err != nil {
+		return outcome{retries: retries, err: fmt.Errorf("fetch: %w", err)}
+	}
+	if len(res.Results) != batches {
+		return outcome{retries: retries, err: fmt.Errorf("%d results; want %d", len(res.Results), batches)}
+	}
+	for i, br := range res.Results {
+		if br.Error != "" {
+			return outcome{retries: retries, err: fmt.Errorf("batch %d: %s", i, br.Error)}
+		}
+		out := br.Values["out"]
+		if len(out) == 0 || math.IsNaN(out[0]) {
+			return outcome{retries: retries, err: fmt.Errorf("batch %d: missing output", i)}
+		}
+	}
+	return outcome{latency: time.Since(start), wait: final.WaitMillis, retries: retries}
+}
+
+// outcome is the result of driving one job end to end.
+type outcome struct {
+	latency time.Duration
+	wait    float64
+	retries int
+	err     error
+}
+
+// pct returns the q-quantile of an ascending-sorted slice (nearest-rank).
+func pct[T time.Duration | float64](sorted []T, q float64) T {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

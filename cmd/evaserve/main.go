@@ -5,9 +5,16 @@
 // inputs with POST /execute/{id}. GET /programs, /healthz and /metrics
 // expose the registry, liveness, and request/cache/latency metrics.
 //
+// Long-running work goes through the asynchronous jobs API: POST /jobs
+// enqueues an execution and returns a job id, a bounded worker pool drains
+// the queue under a configurable memory budget, GET /jobs/{id} polls,
+// GET /jobs/{id}/events streams progress over SSE, and GET /jobs/{id}/result
+// delivers the results exactly once.
+//
 // Usage:
 //
 //	evaserve [-addr :8080] [-cache 128] [-workers 0] [-batches 0] [-demo]
+//	         [-job-workers 2] [-job-queue 64] [-job-memory-mb 8192] [-result-ttl 2m]
 //
 // -demo enables server-side key generation ("keygen" contexts): the server
 // then holds secret keys and accepts plaintext values, which breaks the
@@ -52,12 +59,16 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 	fs := flag.NewFlagSet("evaserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		cache    = fs.Int("cache", 128, "compiled-program cache capacity")
-		workers  = fs.Int("workers", 0, "default executor workers per batch (0 = GOMAXPROCS)")
-		batches  = fs.Int("batches", 0, "max concurrent batches per request (0 = GOMAXPROCS)")
-		contexts = fs.Int("contexts", 256, "max retained execution contexts (LRU)")
-		demo     = fs.Bool("demo", false, "enable server-side keygen (trusted demo mode)")
+		addr      = fs.String("addr", ":8080", "listen address")
+		cache     = fs.Int("cache", 128, "compiled-program cache capacity")
+		workers   = fs.Int("workers", 0, "default executor workers per batch (0 = GOMAXPROCS)")
+		batches   = fs.Int("batches", 0, "max concurrent batches per request (0 = GOMAXPROCS)")
+		contexts  = fs.Int("contexts", 256, "max retained execution contexts (LRU)")
+		demo      = fs.Bool("demo", false, "enable server-side keygen (trusted demo mode)")
+		jobW      = fs.Int("job-workers", 0, "async jobs executed concurrently (0 = 2)")
+		jobQueue  = fs.Int("job-queue", 0, "async job queue depth (0 = 64)")
+		jobMemMB  = fs.Int64("job-memory-mb", 0, "admitted-jobs ciphertext memory budget in MiB (0 = 8192)")
+		resultTTL = fs.Duration("result-ttl", 0, "retention of finished jobs and unfetched results (0 = 2m)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +80,12 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		MaxConcurrentBatches: *batches,
 		MaxContexts:          *contexts,
 		AllowServerKeygen:    *demo,
+		JobWorkers:           *jobW,
+		JobQueueDepth:        *jobQueue,
+		JobMemoryBudgetBytes: *jobMemMB << 20,
+		JobResultTTL:         *resultTTL,
 	})
+	defer srv.Close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -1,0 +1,272 @@
+package eva
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"eva/internal/jobs"
+	"eva/internal/serve"
+)
+
+// Wire types of the evaserve HTTP API, re-exported so client code does not
+// reach into internal packages.
+type (
+	// CompileRequest is the body of POST /compile.
+	CompileRequest = serve.CompileRequest
+	// CompileResponse is the body returned by POST /compile.
+	CompileResponse = serve.CompileResponse
+	// ContextRequest is the body of POST /contexts.
+	ContextRequest = serve.ContextRequest
+	// ContextResponse is the body returned by POST /contexts.
+	ContextResponse = serve.ContextResponse
+	// ExecuteBatch is one input set of an execute or job request.
+	ExecuteBatch = serve.ExecuteBatch
+	// ExecuteRequest is the body of POST /execute/{id}.
+	ExecuteRequest = serve.ExecuteRequest
+	// ExecuteResponse is the body returned by POST /execute/{id}.
+	ExecuteResponse = serve.ExecuteResponse
+	// BatchResult is one batch's execution result.
+	BatchResult = serve.BatchResult
+	// JobRequest is the body of POST /jobs.
+	JobRequest = serve.JobRequest
+	// JobStatusInfo is the wire form of an async job's state.
+	JobStatusInfo = serve.JobStatus
+	// JobResult is the body of GET /jobs/{id}/result.
+	JobResult = serve.JobResult
+	// JobEvent is one entry of a job's progress stream (SSE payload).
+	JobEvent = jobs.Event
+)
+
+// APIError is a non-2xx response from evaserve, carrying the decoded error
+// body and, for 429 responses, the server's Retry-After hint.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("evaserve: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Overloaded reports whether the request was shed by admission control and
+// is worth retrying after a backoff.
+func (e *APIError) Overloaded() bool { return e.Status == http.StatusTooManyRequests }
+
+// Client is a client for an evaserve instance: the synchronous compile /
+// contexts / execute endpoints plus the asynchronous jobs API (submit, poll,
+// stream progress over SSE, fetch the result once, cancel).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// NewClient returns a Client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do round-trips a JSON request and decodes a JSON response into out,
+// converting non-2xx statuses into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeAPIError(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body.Error != "" {
+		apiErr.Message = body.Error
+	} else {
+		apiErr.Message = resp.Status
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// Compile submits a program for compilation.
+func (c *Client) Compile(ctx context.Context, req CompileRequest) (CompileResponse, error) {
+	var out CompileResponse
+	err := c.do(ctx, http.MethodPost, "/compile", req, &out)
+	return out, err
+}
+
+// NewKeygenContext installs a server-keygen (demo mode) execution context
+// for a compiled program. The server must run with -demo.
+func (c *Client) NewKeygenContext(ctx context.Context, programID string, seed uint64) (ContextResponse, error) {
+	var out ContextResponse
+	err := c.do(ctx, http.MethodPost, "/contexts", ContextRequest{
+		ProgramID: programID,
+		Keygen:    &serve.KeygenJSON{Seed: seed},
+	}, &out)
+	return out, err
+}
+
+// Execute runs batches synchronously (POST /execute/{id}).
+func (c *Client) Execute(ctx context.Context, programID string, req ExecuteRequest) (ExecuteResponse, error) {
+	var out ExecuteResponse
+	err := c.do(ctx, http.MethodPost, "/execute/"+programID, req, &out)
+	return out, err
+}
+
+// SubmitJob enqueues an asynchronous execution (POST /jobs) and returns
+// immediately with the job's id. When the server sheds the submission the
+// returned error is an *APIError with Overloaded() == true; retry after its
+// RetryAfter hint.
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (JobStatusInfo, error) {
+	var out JobStatusInfo
+	err := c.do(ctx, http.MethodPost, "/jobs", req, &out)
+	return out, err
+}
+
+// JobStatus polls a job (GET /jobs/{id}).
+func (c *Client) JobStatus(ctx context.Context, jobID string) (JobStatusInfo, error) {
+	var out JobStatusInfo
+	err := c.do(ctx, http.MethodGet, "/jobs/"+jobID, nil, &out)
+	return out, err
+}
+
+// CancelJob cancels a queued or running job (DELETE /jobs/{id}).
+func (c *Client) CancelJob(ctx context.Context, jobID string) (JobStatusInfo, error) {
+	var out JobStatusInfo
+	err := c.do(ctx, http.MethodDelete, "/jobs/"+jobID, nil, &out)
+	return out, err
+}
+
+// FetchJobResult fetches a finished job's result (GET /jobs/{id}/result).
+// Results are delivered exactly once; a second fetch fails with HTTP 410.
+func (c *Client) FetchJobResult(ctx context.Context, jobID string) (JobResult, error) {
+	var out JobResult
+	err := c.do(ctx, http.MethodGet, "/jobs/"+jobID+"/result", nil, &out)
+	return out, err
+}
+
+// StreamJobEvents subscribes to GET /jobs/{id}/events and calls fn for every
+// event, starting with the job's full history. It returns nil when the
+// stream ends with the job's terminal event, ctx.Err() on cancellation, or
+// fn's error if fn aborts the stream.
+func (c *Client) StreamJobEvents(ctx context.Context, jobID string, fn func(JobEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("eva: decoding job event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return nil
+}
+
+// WaitJob blocks until the job reaches a terminal status, preferring the
+// event stream and falling back to polling if streaming fails.
+func (c *Client) WaitJob(ctx context.Context, jobID string) (JobStatusInfo, error) {
+	var terminal bool
+	err := c.StreamJobEvents(ctx, jobID, func(ev JobEvent) error {
+		switch ev.Type {
+		case "done", "failed", "cancelled":
+			terminal = true
+		}
+		return nil
+	})
+	if err == nil && !terminal {
+		err = errors.New("eva: event stream ended before the job finished")
+	}
+	if err != nil && ctx.Err() != nil {
+		return JobStatusInfo{}, ctx.Err()
+	}
+	if err != nil {
+		// Fall back to polling: the stream may have been cut by a proxy.
+		for {
+			st, perr := c.JobStatus(ctx, jobID)
+			if perr != nil {
+				return st, perr
+			}
+			switch st.Status {
+			case string(jobs.StatusDone), string(jobs.StatusFailed), string(jobs.StatusCancelled):
+				return st, nil
+			}
+			select {
+			case <-ctx.Done():
+				return st, ctx.Err()
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}
+	return c.JobStatus(ctx, jobID)
+}

@@ -1,0 +1,158 @@
+package eva_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"eva/eva"
+	"eva/internal/serve"
+)
+
+// startDemoServer runs an in-process evaserve in demo mode.
+func startDemoServer(t *testing.T, cfg serve.Config) *eva.Client {
+	t.Helper()
+	cfg.AllowServerKeygen = true
+	s := serve.NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	c := eva.NewClient(ts.URL)
+	c.HTTP = ts.Client()
+	return c
+}
+
+func clientProgramSource() string {
+	return `program client vec=8;
+input x @30;
+out = x * x;
+output out @30;`
+}
+
+// TestClientJobsRoundTrip drives the full async workflow through the public
+// client: compile from source, keygen context, submit, stream events, wait,
+// fetch the result exactly once.
+func TestClientJobsRoundTrip(t *testing.T) {
+	c := startDemoServer(t, serve.Config{})
+	ctx := context.Background()
+
+	comp, err := c.Compile(ctx, eva.CompileRequest{
+		Source:  clientProgramSource(),
+		Options: &serve.CompileOptionsJSON{AllowInsecure: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ectx, err := c.NewKeygenContext(ctx, comp.ID, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.SubmitJob(ctx, eva.JobRequest{
+		ProgramID: comp.ID,
+		ContextID: ectx.ContextID,
+		Batches: []eva.ExecuteBatch{
+			{Values: map[string][]float64{"x": {1, 2, 3, 4, 5, 6, 7, 8}}},
+			{Values: map[string][]float64{"x": {2, 2, 2, 2, 2, 2, 2, 2}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.JobID == "" {
+		t.Fatal("empty job id")
+	}
+
+	var types []string
+	if err := c.StreamJobEvents(ctx, job.JobID, func(ev eva.JobEvent) error {
+		types = append(types, ev.Type)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) == 0 || types[len(types)-1] != "done" {
+		t.Fatalf("event stream %v; want it to end with done", types)
+	}
+
+	final, err := c.WaitJob(ctx, job.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != "done" || final.BatchesDone != 2 {
+		t.Fatalf("final status %+v", final)
+	}
+
+	res, err := c.FetchJobResult(ctx, job.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 2 {
+		t.Fatalf("%d results; want 2", len(res.Results))
+	}
+	for i, want := range []float64{1, 4} { // first slot of x*x per batch
+		got := res.Results[i].Values["out"]
+		if len(got) == 0 || got[0] < want-0.05 || got[0] > want+0.05 {
+			t.Errorf("batch %d out[0] = %v; want ~%v", i, got, want)
+		}
+	}
+
+	// Fetch-once: the second fetch surfaces as a 410 APIError.
+	if _, err := c.FetchJobResult(ctx, job.JobID); err == nil {
+		t.Fatal("second fetch succeeded; want 410")
+	} else {
+		var apiErr *eva.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != 410 {
+			t.Fatalf("second fetch error = %v; want *APIError with status 410", err)
+		}
+	}
+}
+
+// TestClientOverloadedError: admission-control sheds surface as APIError
+// with Overloaded() and a RetryAfter hint.
+func TestClientOverloadedError(t *testing.T) {
+	// Budget of 1 byte: every real job estimate exceeds it outright (413),
+	// so occupy the budget path via queue depth instead: workers=1, depth=1,
+	// and a pile of submissions.
+	c := startDemoServer(t, serve.Config{JobWorkers: 1, JobQueueDepth: 1})
+	ctx := context.Background()
+	comp, err := c.Compile(ctx, eva.CompileRequest{
+		Source:  clientProgramSource(),
+		Options: &serve.CompileOptionsJSON{AllowInsecure: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ectx, err := c.NewKeygenContext(ctx, comp.ID, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := eva.JobRequest{
+		ProgramID: comp.ID,
+		ContextID: ectx.ContextID,
+		// Enough batches that the worker cannot drain before the queue fills.
+		Batches: make([]eva.ExecuteBatch, 64),
+	}
+	for i := range req.Batches {
+		req.Batches[i] = eva.ExecuteBatch{Values: map[string][]float64{"x": {1, 2, 3, 4}}}
+	}
+	var sawOverload bool
+	for i := 0; i < 16 && !sawOverload; i++ {
+		_, err := c.SubmitJob(ctx, req)
+		if err == nil {
+			continue
+		}
+		var apiErr *eva.APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("submit error = %v; want *APIError", err)
+		}
+		if apiErr.Overloaded() {
+			sawOverload = true
+			if apiErr.RetryAfter <= 0 {
+				t.Error("overloaded error without RetryAfter hint")
+			}
+		}
+	}
+	if !sawOverload {
+		t.Fatal("never saw an overloaded (429) submission")
+	}
+}

@@ -25,6 +25,7 @@
 package eva
 
 import (
+	"context"
 	"io"
 
 	"eva/internal/builder"
@@ -117,6 +118,14 @@ func EncryptInputs(ctx *Context, c *Compiled, keys *KeyMaterial, values Inputs, 
 // Run executes a compiled program homomorphically.
 func Run(ctx *Context, c *Compiled, in *EncryptedInputs, opts RunOptions) (*Outputs, error) {
 	return execute.Run(ctx, c, in, opts)
+}
+
+// RunContext is Run with cancellation: cancelling stdctx stops the DAG
+// scheduler promptly (in-flight CKKS kernels finish, nothing new starts) and
+// returns the context's error. RunOptions.Progress, when set, receives one
+// serialized callback per completed instruction.
+func RunContext(stdctx context.Context, ctx *Context, c *Compiled, in *EncryptedInputs, opts RunOptions) (*Outputs, error) {
+	return execute.RunContext(stdctx, ctx, c, in, opts)
 }
 
 // DecryptOutputs decrypts and decodes the outputs of Run.

@@ -1,0 +1,140 @@
+package execute
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eva/internal/ckks"
+	"eva/internal/compile"
+)
+
+// setupRun compiles a program and prepares encrypted inputs for RunContext.
+func setupRun(t *testing.T) (*Context, *compile.Result, *EncryptedInputs) {
+	t.Helper()
+	res := compileForTest(t, buildPolynomialProgram(t, 8), compile.DefaultOptions())
+	prng := ckks.NewTestPRNG(11)
+	ctx, keys, err := NewContext(res, prng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncryptInputs(ctx, res, keys, randomInputs(res.Program, 3), prng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, res, enc
+}
+
+// TestRunContextCancelledBeforeStart: a context that is already cancelled must
+// stop the run before any instruction executes.
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	ctx, res, enc := setupRun(t)
+	stdctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var executed atomic.Int64
+	_, err := RunContext(stdctx, ctx, res, enc, RunOptions{
+		Workers:  2,
+		Progress: func(done, total int) { executed.Store(int64(done)) },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v; want context.Canceled", err)
+	}
+	if n := executed.Load(); n != 0 {
+		t.Errorf("executed %d instructions after pre-cancelled context; want 0", n)
+	}
+}
+
+// TestRunContextCancelMidRun is the regression test for the runner ignoring
+// caller cancellation: cancelling while workers are blocked mid-run must make
+// RunContext return promptly with the context error, without executing the
+// rest of the program. The Progress callback cancels after the first
+// instruction, so with a single worker the remaining instructions are all
+// still pending at cancellation time.
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, res, enc := setupRun(t)
+	total := len(res.Program.TopoSort())
+	if total < 4 {
+		t.Fatalf("test program too small (%d instructions)", total)
+	}
+	stdctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed atomic.Int64
+	doneCh := make(chan error, 1)
+	go func() {
+		_, err := RunContext(stdctx, ctx, res, enc, RunOptions{
+			Workers:   1,
+			Scheduler: SchedulerParallel,
+			Progress: func(done, total int) {
+				executed.Store(int64(done))
+				if done == 1 {
+					cancel()
+				}
+			},
+		})
+		doneCh <- err
+	}()
+	select {
+	case err := <-doneCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext = %v; want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunContext did not return after cancellation (blocked worker)")
+	}
+	if n := executed.Load(); n >= int64(total) {
+		t.Errorf("all %d instructions executed despite mid-run cancellation", total)
+	}
+}
+
+// TestRunContextCancelBulkSynchronous covers the wave scheduler's
+// cancellation path.
+func TestRunContextCancelBulkSynchronous(t *testing.T) {
+	ctx, res, enc := setupRun(t)
+	stdctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(stdctx, ctx, res, enc, RunOptions{Scheduler: SchedulerBulkSynchronous})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v; want context.Canceled", err)
+	}
+}
+
+// TestRunContextDeadline: an expired deadline surfaces as DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	ctx, res, enc := setupRun(t)
+	stdctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := RunContext(stdctx, ctx, res, enc, RunOptions{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext = %v; want context.DeadlineExceeded", err)
+	}
+}
+
+// TestProgressReportsEveryInstruction: a full run reports a monotone sequence
+// ending at (total, total).
+func TestProgressReportsEveryInstruction(t *testing.T) {
+	ctx, res, enc := setupRun(t)
+	var calls []int
+	total := -1
+	out, err := RunContext(context.Background(), ctx, res, enc, RunOptions{
+		Workers:  2,
+		Progress: func(done, n int) { calls = append(calls, done); total = n },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("no outputs")
+	}
+	if total != out.Stats.Instructions {
+		t.Errorf("Progress total = %d; want %d", total, out.Stats.Instructions)
+	}
+	if len(calls) != total {
+		t.Fatalf("Progress called %d times; want %d", len(calls), total)
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("Progress sequence not monotone at %d: got %d", i, d)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package execute
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -34,6 +35,11 @@ type RunOptions struct {
 	// Workers is the number of worker goroutines (0 means GOMAXPROCS).
 	Workers   int
 	Scheduler Scheduler
+	// Progress, when non-nil, is called after every completed instruction with
+	// the number of instructions finished so far and the total. Calls are
+	// serialized (never concurrent) but may come from any worker goroutine, so
+	// the callback must be fast and must not call back into the executor.
+	Progress func(done, total int)
 }
 
 // value is the run-time value of a term: either a ciphertext or a plain
@@ -55,22 +61,36 @@ func (v *value) bytes() int {
 
 // runState carries the shared mutable state of one execution.
 type runState struct {
+	stdctx  context.Context
 	ctx     *Context
 	res     *compile.Result
 	in      *EncryptedInputs
 	vecSize int
+	total   int
+	onDone  func(done, total int)
 
 	mu         sync.Mutex
 	values     map[*core.Term]*value
 	refcounts  map[*core.Term]int
 	liveBytes  int
 	liveValues int
+	completed  int
 	stats      RunStats
 	firstErr   error
 }
 
 // Run executes a compiled program on encrypted inputs using the CKKS backend.
+// It is RunContext with a background context (no cancellation).
 func Run(ctx *Context, res *compile.Result, in *EncryptedInputs, opts RunOptions) (*Outputs, error) {
+	return RunContext(context.Background(), ctx, res, in, opts)
+}
+
+// RunContext executes a compiled program on encrypted inputs using the CKKS
+// backend. Cancelling stdctx stops the run promptly: workers finish the
+// instruction they are evaluating (CKKS kernels are not interruptible
+// mid-operation), start no new ones, and RunContext returns the context's
+// error.
+func RunContext(stdctx context.Context, ctx *Context, res *compile.Result, in *EncryptedInputs, opts RunOptions) (*Outputs, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -81,10 +101,13 @@ func Run(ctx *Context, res *compile.Result, in *EncryptedInputs, opts RunOptions
 	order := res.Program.TopoSort()
 
 	st := &runState{
+		stdctx:    stdctx,
 		ctx:       ctx,
 		res:       res,
 		in:        in,
 		vecSize:   res.Program.VecSize,
+		total:     len(order),
+		onDone:    opts.Progress,
 		values:    make(map[*core.Term]*value, len(order)),
 		refcounts: make(map[*core.Term]int, len(order)),
 	}
@@ -157,6 +180,7 @@ func runParallel(st *runState, order []*core.Term, workers int) error {
 	done := make(chan struct{})
 	var closeDone sync.Once
 	var wg sync.WaitGroup
+	cancelled := st.stdctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -165,9 +189,22 @@ func runParallel(st *runState, order []*core.Term, workers int) error {
 				select {
 				case <-done:
 					return
+				case <-cancelled:
+					st.setErr(st.stdctx.Err())
+					closeDone.Do(func() { close(done) })
+					return
 				case t, ok := <-ready:
 					if !ok {
 						return
+					}
+					// Re-check cancellation before starting work: the ready
+					// branch may win the select race after cancellation.
+					select {
+					case <-cancelled:
+						st.setErr(st.stdctx.Err())
+						closeDone.Do(func() { close(done) })
+						return
+					default:
 					}
 					if err := st.evalAndStore(t); err != nil {
 						st.setErr(err)
@@ -211,6 +248,9 @@ func runBulkSynchronous(st *runState, order []*core.Term, workers int) error {
 	for _, group := range groups {
 		remaining := append([]*core.Term(nil), group...)
 		for len(remaining) > 0 {
+			if err := st.stdctx.Err(); err != nil {
+				return err
+			}
 			var wave, next []*core.Term
 			for _, t := range remaining {
 				ok := true
@@ -229,7 +269,12 @@ func runBulkSynchronous(st *runState, order []*core.Term, workers int) error {
 			if len(wave) == 0 {
 				return fmt.Errorf("execute: bulk-synchronous scheduler is stuck (cross-kernel dependency cycle)")
 			}
-			if err := parallelFor(wave, workers, st.evalAndStore); err != nil {
+			if err := parallelFor(wave, workers, func(t *core.Term) error {
+				if err := st.stdctx.Err(); err != nil {
+					return err
+				}
+				return st.evalAndStore(t)
+			}); err != nil {
 				return err
 			}
 			for _, t := range wave {
@@ -367,6 +412,12 @@ func (st *runState) evalAndStore(t *core.Term) (err error) {
 				st.stats.ReusedValues++
 			}
 		}
+	}
+	st.completed++
+	if st.onDone != nil {
+		// Invoked under st.mu so calls are serialized and the (done, total)
+		// pairs are monotone; the callback contract requires it to be fast.
+		st.onDone(st.completed, st.total)
 	}
 	st.mu.Unlock()
 	return nil

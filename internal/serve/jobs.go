@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"eva/internal/analysis"
+	"eva/internal/execute"
+	"eva/internal/jobs"
+)
+
+// The jobs API fronts long-running encrypted computations with a queue:
+// POST /jobs enqueues an execute request and returns a job id immediately, a
+// bounded worker pool drains the FIFO queue, GET /jobs/{id} polls status,
+// GET /jobs/{id}/events streams progress over SSE, GET /jobs/{id}/result
+// returns the results exactly once, and DELETE /jobs/{id} cancels. Admission
+// control sheds load with 429 + Retry-After when the queue is full or the
+// estimated resident ciphertext footprint of all admitted jobs would exceed
+// the configured budget.
+
+// JobRequest is the body of POST /jobs — the asynchronous counterpart of
+// ExecuteRequest, plus the program id (which /execute carries in the path).
+type JobRequest struct {
+	ProgramID string         `json:"program_id"`
+	ContextID string         `json:"context_id"`
+	Workers   int            `json:"workers,omitempty"`
+	Scheduler string         `json:"scheduler,omitempty"`
+	Batches   []ExecuteBatch `json:"batches"`
+}
+
+// JobStatus is the wire form of a job's state (POST /jobs and GET /jobs/{id}).
+type JobStatus struct {
+	JobID       string  `json:"job_id"`
+	Status      string  `json:"status"`
+	Batches     int     `json:"batches"`
+	BatchesDone int     `json:"batches_done"`
+	EstBytes    int64   `json:"est_bytes"`
+	Error       string  `json:"error,omitempty"`
+	CreatedAt   string  `json:"created_at"`
+	WaitMillis  float64 `json:"wait_ms,omitempty"`
+	RunMillis   float64 `json:"run_ms,omitempty"`
+}
+
+// JobResult is the body of GET /jobs/{id}/result: the same per-batch results
+// /execute returns synchronously. The result is delivered exactly once; a
+// second fetch (or a fetch after the TTL) gets 410 Gone.
+type JobResult struct {
+	JobID   string        `json:"job_id"`
+	Status  string        `json:"status"`
+	Results []BatchResult `json:"results"`
+}
+
+func jobStatusJSON(s jobs.Snapshot) JobStatus {
+	js := JobStatus{
+		JobID:       s.ID,
+		Status:      string(s.Status),
+		Batches:     s.Batches,
+		BatchesDone: s.BatchesDone,
+		EstBytes:    s.EstBytes,
+		Error:       s.Error,
+		CreatedAt:   s.Created.UTC().Format(time.RFC3339Nano),
+	}
+	if !s.Started.IsZero() {
+		js.WaitMillis = float64(s.Started.Sub(s.Created)) / float64(time.Millisecond)
+		end := s.Finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		js.RunMillis = float64(end.Sub(s.Started)) / float64(time.Millisecond)
+	}
+	return js
+}
+
+// estimateJobBytes predicts the resident footprint of one admitted job: the
+// decoded input ciphertexts it pins while queued (their real MemoryBytes),
+// fresh-ciphertext-sized placeholders for demo-mode plaintext values that the
+// worker will encrypt, and the cost model's static peak for the intermediate
+// values of one running batch (batches run sequentially within a job).
+func estimateJobBytes(entry *Entry, batches []*execute.EncryptedInputs, pendingValues int) int64 {
+	res := entry.Result
+	var est int64
+	for _, in := range batches {
+		if in == nil {
+			continue
+		}
+		for _, ct := range in.Cipher {
+			est += int64(ct.MemoryBytes())
+		}
+		for _, pv := range in.Plain {
+			est += int64(8 * len(pv))
+		}
+	}
+	n := int64(1) << uint(res.LogN)
+	freshCt := 2 * int64(len(res.Plan.BitSizes)) * n * 8
+	est += int64(pendingValues) * freshCt
+	model := analysis.CostModel{LogN: res.LogN, TotalLevels: len(res.Plan.BitSizes)}
+	est += model.EstimatePeakMemoryBytes(res.Program)
+	return est
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	ce, entry, status, err := s.resolveExecution(req.ProgramID, req.ContextID)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	if len(req.Batches) == 0 {
+		writeError(w, http.StatusBadRequest, "no batches")
+		return
+	}
+	if len(req.Batches) > maxBatchesPerRequest {
+		writeError(w, http.StatusRequestEntityTooLarge, "%d batches exceeds the per-request limit of %d", len(req.Batches), maxBatchesPerRequest)
+		return
+	}
+	ropts, err := s.runOptions(req.Workers, req.Scheduler)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Decode and validate every batch now: submissions fail fast with 400,
+	// and the decoded ciphertexts are what admission control accounts for.
+	res := entry.Result
+	decoded := make([]*execute.EncryptedInputs, len(req.Batches))
+	pendingValues := 0
+	for i := range req.Batches {
+		batch := &req.Batches[i]
+		if len(batch.Values) > 0 {
+			if ce.Keys == nil {
+				writeError(w, http.StatusBadRequest, "batch %d: plaintext \"values\" need a server-keygen (demo) context", i)
+				return
+			}
+			pendingValues += len(batch.Values)
+			continue // encrypted by the worker
+		}
+		enc, err := decodeBatchInputs(res, ce.Ctx.Params, batch)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "batch %d: %v", i, err)
+			return
+		}
+		decoded[i] = enc
+	}
+
+	est := estimateJobBytes(entry, decoded, pendingValues)
+	batches := req.Batches
+	snap, err := s.jobs.Submit(len(batches), est, func(jctx context.Context, batchDone func(int)) (any, error) {
+		results := make([]BatchResult, len(batches))
+		for i := range batches {
+			if err := jctx.Err(); err != nil {
+				return nil, err
+			}
+			results[i] = s.runBatch(jctx, entry, ce, &batches[i], decoded[i], ropts)
+			decoded[i] = nil // release the pinned inputs as batches complete
+			batchDone(i)
+		}
+		return results, nil
+	})
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+snap.ID)
+	writeJSON(w, http.StatusAccepted, jobStatusJSON(snap))
+}
+
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrOverBudget):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, jobs.ErrJobTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatusJSON(snap))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatusJSON(snap))
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	result, snap, fs := s.jobs.FetchResult(id)
+	switch fs {
+	case jobs.FetchNotFound:
+		writeError(w, http.StatusNotFound, "unknown job %q (results are evicted %s after completion)", id, s.jobs.Config().ResultTTL)
+	case jobs.FetchNotDone:
+		writeError(w, http.StatusConflict, "job %q is %s; poll GET /jobs/%s until it is done", id, snap.Status, id)
+	case jobs.FetchGone:
+		if snap.Status == jobs.StatusDone {
+			writeError(w, http.StatusGone, "job %q result was already fetched (results are delivered exactly once)", id)
+		} else {
+			writeError(w, http.StatusGone, "job %q is %s: %s", id, snap.Status, snap.Error)
+		}
+	default:
+		results, ok := result.([]BatchResult)
+		if !ok {
+			writeError(w, http.StatusInternalServerError, "job %q carries an unexpected result type", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, JobResult{JobID: id, Status: string(snap.Status), Results: results})
+	}
+}
+
+// handleJobEvents streams a job's progress as server-sent events: the full
+// history first (late subscribers replay from the start), then live events
+// until the terminal one. Each event is `event: <type>` + `data: <JSON>`.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	history, ch, unsubscribe, ok := s.jobs.Subscribe(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	defer unsubscribe()
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	write := func(e jobs.Event) {
+		data, _ := json.Marshal(e)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+	for _, e := range history {
+		write(e)
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, open := <-ch:
+			if !open {
+				return
+			}
+			write(e)
+		}
+	}
+}
+
+// resolveExecution looks up the execution context and its pinned program for
+// an execute or job request, refreshing LRU recency.
+func (s *Server) resolveExecution(programID, contextID string) (*contextEntry, *Entry, int, error) {
+	s.ctxMu.Lock()
+	var ce *contextEntry
+	if elem, ok := s.contexts[contextID]; ok {
+		s.ctxLRU.MoveToFront(elem)
+		ce = elem.Value.(*contextEntry)
+	}
+	s.ctxMu.Unlock()
+	if ce == nil {
+		return nil, nil, http.StatusNotFound, fmt.Errorf("unknown context %q; POST /contexts first", contextID)
+	}
+	if ce.Entry.ID != programID {
+		return nil, nil, http.StatusConflict, fmt.Errorf("context %q belongs to program %q, not %q", contextID, ce.Entry.ID, programID)
+	}
+	s.registry.Get(programID) // refresh recency if still cached
+	return ce, ce.Entry, http.StatusOK, nil
+}
+
+// runOptions resolves the per-request scheduler/worker knobs against the
+// server's defaults and DoS clamps.
+func (s *Server) runOptions(workers int, scheduler string) (execute.RunOptions, error) {
+	sched, err := parseScheduler(scheduler)
+	if err != nil {
+		return execute.RunOptions{}, err
+	}
+	ropts := execute.RunOptions{Workers: workers, Scheduler: sched}
+	if ropts.Workers <= 0 {
+		ropts.Workers = s.cfg.DefaultWorkers
+	}
+	// Clamp the client-supplied knob: goroutines beyond the machine's
+	// parallelism only cost memory, and an unbounded value is a DoS vector.
+	if maxWorkers := 4 * runtime.GOMAXPROCS(0); ropts.Workers > maxWorkers {
+		ropts.Workers = maxWorkers
+	}
+	return ropts, nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"eva/internal/execute"
+	"eva/internal/jobs"
 )
 
 // Metrics aggregates service-level counters: per-route request counts, cache
@@ -94,18 +95,23 @@ type OpHistogram struct {
 
 // MetricsReport is the JSON document served by GET /metrics.
 type MetricsReport struct {
-	UptimeSeconds    float64                `json:"uptime_seconds"`
-	Requests         map[string]uint64      `json:"requests"`
-	Cache            CacheStats             `json:"cache"`
-	CacheHitRate     float64                `json:"cache_hit_rate"`
-	Executions       uint64                 `json:"executions"`
-	ExecutionsFailed uint64                 `json:"executions_failed"`
-	ExecTotalMS      float64                `json:"execution_total_ms"`
-	PerOp            map[string]OpHistogram `json:"per_op_latency"`
+	UptimeSeconds    float64           `json:"uptime_seconds"`
+	Requests         map[string]uint64 `json:"requests"`
+	Cache            CacheStats        `json:"cache"`
+	CacheHitRate     float64           `json:"cache_hit_rate"`
+	Executions       uint64            `json:"executions"`
+	ExecutionsFailed uint64            `json:"executions_failed"`
+	ExecTotalMS      float64           `json:"execution_total_ms"`
+	// Jobs reports the async execution subsystem: queue depth, running
+	// jobs, admitted-versus-budget bytes, shed/rejected submissions, outcome
+	// counters, and the summed queue wait.
+	Jobs  jobs.Stats             `json:"jobs"`
+	PerOp map[string]OpHistogram `json:"per_op_latency"`
 }
 
-// Report snapshots the metrics against the registry's cache counters.
-func (m *Metrics) Report(cache CacheStats) MetricsReport {
+// Report snapshots the metrics against the registry's cache counters and the
+// job manager's queue counters.
+func (m *Metrics) Report(cache CacheStats, jobStats jobs.Stats) MetricsReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -157,6 +163,7 @@ func (m *Metrics) Report(cache CacheStats) MetricsReport {
 		Executions:       m.executions,
 		ExecutionsFailed: m.execFailed,
 		ExecTotalMS:      float64(m.execTotal) / float64(time.Millisecond),
+		Jobs:             jobStats,
 		PerOp:            perOp,
 	}
 }

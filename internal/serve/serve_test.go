@@ -82,6 +82,7 @@ func newTestServer(t testing.TB, cfg Config) (*httptest.Server, *Server) {
 	s := NewServer(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return ts, s
 }
 

@@ -11,10 +11,18 @@
 // executor, fanning the batches out across the runner's worker pool.
 // GET /programs, GET /healthz and GET /metrics expose the registry contents,
 // liveness, and request/cache/per-opcode-latency metrics.
+//
+// Long-running work goes through the asynchronous jobs API (jobs.go): POST
+// /jobs enqueues an execution behind a bounded worker pool with
+// memory-budget admission control, GET /jobs/{id} polls, GET
+// /jobs/{id}/events streams progress over SSE, GET /jobs/{id}/result
+// delivers results exactly once with TTL eviction, and DELETE /jobs/{id}
+// cancels.
 package serve
 
 import (
 	"container/list"
+	"context"
 	"crypto/rand"
 	"encoding/base64"
 	"encoding/hex"
@@ -31,6 +39,7 @@ import (
 	"eva/internal/compile"
 	"eva/internal/core"
 	"eva/internal/execute"
+	"eva/internal/jobs"
 	"eva/internal/lang"
 	"eva/internal/rewrite"
 )
@@ -61,6 +70,20 @@ type Config struct {
 	// read back decrypted results. This breaks the paper's threat model (the
 	// server can decrypt) and exists for demos and load tests only.
 	AllowServerKeygen bool
+
+	// JobWorkers is how many async jobs run concurrently (0 = 2); each job
+	// additionally parallelizes internally across the executor's workers.
+	JobWorkers int
+	// JobQueueDepth bounds the async job queue (0 = 64); submissions beyond
+	// it are shed with 429.
+	JobQueueDepth int
+	// JobMemoryBudgetBytes bounds the estimated resident ciphertext
+	// footprint of all queued and running jobs (0 = 8 GiB); submissions that
+	// would exceed it are shed with 429.
+	JobMemoryBudgetBytes int64
+	// JobResultTTL is how long finished jobs and unfetched results are
+	// retained (0 = 2 minutes).
+	JobResultTTL time.Duration
 }
 
 // Server is the evaserve HTTP service. Create one with NewServer and mount
@@ -69,6 +92,7 @@ type Server struct {
 	cfg      Config
 	registry *Registry
 	metrics  *Metrics
+	jobs     *jobs.Manager
 	mux      *http.ServeMux
 	start    time.Time
 
@@ -95,6 +119,12 @@ func NewServer(cfg Config) *Server {
 		cfg:      cfg,
 		registry: NewRegistry(cfg.CacheCapacity),
 		metrics:  NewMetrics(),
+		jobs: jobs.NewManager(jobs.Config{
+			Workers:           cfg.JobWorkers,
+			QueueDepth:        cfg.JobQueueDepth,
+			MemoryBudgetBytes: cfg.JobMemoryBudgetBytes,
+			ResultTTL:         cfg.JobResultTTL,
+		}),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		contexts: map[string]*list.Element{},
@@ -105,6 +135,11 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /programs/{id}", s.route("program", s.handleProgram))
 	s.mux.HandleFunc("POST /contexts", s.route("contexts", s.handleContexts))
 	s.mux.HandleFunc("POST /execute/{id}", s.route("execute", s.handleExecute))
+	s.mux.HandleFunc("POST /jobs", s.route("jobs_submit", s.handleJobSubmit))
+	s.mux.HandleFunc("GET /jobs/{id}", s.route("jobs_status", s.handleJobStatus))
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.route("jobs_events", s.handleJobEvents))
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.route("jobs_result", s.handleJobResult))
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.route("jobs_cancel", s.handleJobCancel))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
 	return s
@@ -112,6 +147,14 @@ func NewServer(cfg Config) *Server {
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Jobs exposes the async job manager (for tests and tooling).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close stops the async job subsystem: running jobs are cancelled and the
+// worker pool drains. The HTTP handlers remain usable for synchronous
+// requests, but further job submissions fail.
+func (s *Server) Close() { s.jobs.Close() }
 
 // Registry exposes the program registry (for tests and tooling).
 func (s *Server) Registry() *Registry { return s.registry }
@@ -596,25 +639,13 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	s.ctxMu.Lock()
-	var ce *contextEntry
-	if elem, ok := s.contexts[req.ContextID]; ok {
-		s.ctxLRU.MoveToFront(elem)
-		ce = elem.Value.(*contextEntry)
-	}
-	s.ctxMu.Unlock()
-	if ce == nil {
-		writeError(w, http.StatusNotFound, "unknown context %q; POST /contexts first", req.ContextID)
-		return
-	}
-	if ce.Entry.ID != programID {
-		writeError(w, http.StatusConflict, "context %q belongs to program %q, not %q", req.ContextID, ce.Entry.ID, programID)
-		return
-	}
 	// Resolve the program through the context, not the registry: a context
 	// pins its compiled program, so LRU eviction never breaks a live context.
-	entry := ce.Entry
-	s.registry.Get(programID) // refresh recency if still cached
+	ce, entry, status, err := s.resolveExecution(programID, req.ContextID)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
 	if len(req.Batches) == 0 {
 		writeError(w, http.StatusBadRequest, "no batches")
 		return
@@ -623,23 +654,16 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "%d batches exceeds the per-request limit of %d", len(req.Batches), maxBatchesPerRequest)
 		return
 	}
-	sched, err := parseScheduler(req.Scheduler)
+	ropts, err := s.runOptions(req.Workers, req.Scheduler)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ropts := execute.RunOptions{Workers: req.Workers, Scheduler: sched}
-	if ropts.Workers <= 0 {
-		ropts.Workers = s.cfg.DefaultWorkers
-	}
-	// Clamp the client-supplied knob: goroutines beyond the machine's
-	// parallelism only cost memory, and an unbounded value is a DoS vector.
-	if maxWorkers := 4 * runtime.GOMAXPROCS(0); ropts.Workers > maxWorkers {
-		ropts.Workers = maxWorkers
-	}
 
 	// Fan the batches out across the worker pool: each batch is one
 	// DAG-parallel execution, and up to maxConcurrent batches run at once.
+	// The request context propagates into the executor, so a disconnected
+	// client stops its in-flight work.
 	maxConcurrent := s.cfg.MaxConcurrentBatches
 	if maxConcurrent <= 0 {
 		maxConcurrent = runtime.GOMAXPROCS(0)
@@ -653,7 +677,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] = s.runBatch(entry, ce, &req.Batches[i], ropts)
+			results[i] = s.runBatch(r.Context(), entry, ce, &req.Batches[i], nil, ropts)
 		}(i)
 	}
 	wg.Wait()
@@ -664,8 +688,11 @@ func batchError(format string, args ...any) BatchResult {
 	return BatchResult{Error: fmt.Sprintf(format, args...)}
 }
 
-// runBatch executes one input set against a compiled program.
-func (s *Server) runBatch(entry *Entry, ce *contextEntry, batch *ExecuteBatch, ropts execute.RunOptions) BatchResult {
+// runBatch executes one input set against a compiled program. decoded may
+// carry inputs decoded ahead of time (the jobs path decodes at admission);
+// when nil, the batch's own wire inputs are decoded (or, in demo mode,
+// encrypted) here. stdctx cancellation aborts the execution.
+func (s *Server) runBatch(stdctx context.Context, entry *Entry, ce *contextEntry, batch *ExecuteBatch, decoded *execute.EncryptedInputs, ropts execute.RunOptions) BatchResult {
 	res := entry.Result
 	demo := len(batch.Values) > 0
 	if demo && ce.Keys == nil {
@@ -673,9 +700,11 @@ func (s *Server) runBatch(entry *Entry, ce *contextEntry, batch *ExecuteBatch, r
 		return batchError("plaintext \"values\" need a server-keygen (demo) context; this context has no keys")
 	}
 
-	var enc *execute.EncryptedInputs
+	enc := decoded
 	var err error
-	if demo {
+	switch {
+	case enc != nil:
+	case demo:
 		all := execute.Inputs{}
 		for name, v := range batch.Values {
 			all[name] = v
@@ -688,16 +717,20 @@ func (s *Server) runBatch(entry *Entry, ce *contextEntry, batch *ExecuteBatch, r
 			s.metrics.RecordExecutionError()
 			return batchError("encrypting values: %v", err)
 		}
-	} else {
+	default:
 		if enc, err = decodeBatchInputs(res, ce.Ctx.Params, batch); err != nil {
 			s.metrics.RecordExecutionError()
 			return batchError("%v", err)
 		}
 	}
 
-	out, err := execute.Run(ce.Ctx, res, enc, ropts)
+	out, err := execute.RunContext(stdctx, ce.Ctx, res, enc, ropts)
 	if err != nil {
-		s.metrics.RecordExecutionError()
+		// A cancelled run (client disconnect, job cancel, shutdown) is not an
+		// execution failure; keep the failure counter meaningful for alerts.
+		if stdctx.Err() == nil {
+			s.metrics.RecordExecutionError()
+		}
 		return batchError("executing: %v", err)
 	}
 	s.metrics.RecordExecution(out.Stats)
@@ -800,5 +833,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Report(s.registry.Stats()))
+	writeJSON(w, http.StatusOK, s.metrics.Report(s.registry.Stats(), s.jobs.Stats()))
 }
