@@ -9,10 +9,19 @@
 //
 //	evaload [-addr http://host:8080] [-jobs 50] [-concurrency 8] [-batches 2]
 //	        [-job-workers 2] [-job-queue 64] [-job-memory-mb 512]
+//	        [-cluster 0] [-kill-owner]
 //
 // With no -addr, evaload starts an in-process evaserve (demo mode) on a
 // loopback port and drives that, making it a self-contained smoke test: it
 // exits non-zero if any job loses its result or fails.
+//
+// With -cluster N (N >= 2), evaload instead boots an in-process N-node
+// evaserve cluster (each node durable in its own temp directory) and drives
+// the load through a router node that does not own the test context, so
+// every job is forwarded across the ring. Adding -kill-owner kills the
+// context's owner node after a quarter of the jobs have finished: the
+// surviving replica must absorb the requeued jobs and the run must still
+// end with zero lost results — the nightly owner-failover smoke.
 package main
 
 import (
@@ -26,10 +35,13 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eva/eva"
+	"eva/internal/cluster"
 	"eva/internal/serve"
+	"eva/internal/store"
 )
 
 func main() {
@@ -66,33 +78,57 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jobWorkers  = fs.Int("job-workers", 0, "in-process server: async job workers (0 = 2)")
 		jobQueue    = fs.Int("job-queue", 0, "in-process server: job queue depth (0 = 64)")
 		jobMemMB    = fs.Int64("job-memory-mb", 0, "in-process server: job memory budget in MiB (0 = 8192)")
+		clusterN    = fs.Int("cluster", 0, "boot an in-process N-node cluster and drive it through a router (0 = single node)")
+		killOwner   = fs.Bool("kill-owner", false, "cluster mode: kill the context owner after 25% of jobs complete")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+	if *clusterN != 0 && *addr != "" {
+		return fmt.Errorf("-cluster starts its own in-process nodes; drop -addr")
+	}
+	if *clusterN != 0 && *clusterN < 2 {
+		return fmt.Errorf("-cluster needs at least 2 nodes")
+	}
+	if *killOwner && *clusterN == 0 {
+		return fmt.Errorf("-kill-owner needs -cluster")
+	}
 
-	base := *addr
-	if base == "" {
-		srv := serve.NewServer(serve.Config{
-			AllowServerKeygen:    true,
-			JobWorkers:           *jobWorkers,
-			JobQueueDepth:        *jobQueue,
-			JobMemoryBudgetBytes: *jobMemMB << 20,
-		})
-		defer srv.Close()
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+	srvCfg := serve.Config{
+		AllowServerKeygen:    true,
+		JobWorkers:           *jobWorkers,
+		JobQueueDepth:        *jobQueue,
+		JobMemoryBudgetBytes: *jobMemMB << 20,
+	}
+
+	var client *eva.Client
+	var nodes []*loadNode
+	switch {
+	case *clusterN > 0:
+		var err error
+		if nodes, err = startCluster(stdout, *clusterN, srvCfg); err != nil {
+			return err
+		}
+		defer func() {
+			for _, n := range nodes {
+				n.stop()
+			}
+		}()
+		client = nodes[0].client // placement is refined after the context exists
+	case *addr == "":
+		node, err := startNode(srvCfg, "", nil, "")
 		if err != nil {
 			return err
 		}
-		httpSrv := &http.Server{Handler: srv.Handler()}
-		go httpSrv.Serve(ln)
-		defer httpSrv.Close()
-		base = "http://" + ln.Addr().String()
-		fmt.Fprintf(stdout, "in-process evaserve on %s\n", base)
+		defer node.stop()
+		nodes = []*loadNode{node}
+		client = node.client
+		fmt.Fprintf(stdout, "in-process evaserve on %s\n", node.url)
+	default:
+		client = eva.NewClient(*addr)
 	}
-	client := eva.NewClient(base)
 
 	comp, err := client.Compile(ctx, eva.CompileRequest{
 		Source:  loadSource,
@@ -105,6 +141,52 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("context (the server must run -demo): %w", err)
 	}
+
+	// Cluster mode: route the load through a node that does NOT own the
+	// context, so every job crosses the ring; with -kill-owner, arm the
+	// owner's execution.
+	var owner *loadNode
+	var completedCount atomic.Int64
+	if *clusterN > 0 {
+		candidates := nodes[0].cluster.ContextCandidates(ectx.ContextID)
+		ownerID := candidates[0]
+		isCandidate := map[string]bool{}
+		for _, c := range candidates {
+			isCandidate[c] = true
+		}
+		var router *loadNode
+		for _, n := range nodes {
+			if n.id == ownerID {
+				owner = n
+			}
+			// Prefer a router outside the candidate set so every request
+			// crosses the ring; fall back to the replica.
+			if n.id != ownerID && (router == nil || !isCandidate[n.id] && isCandidate[router.id]) {
+				router = n
+			}
+		}
+		if router == nil || owner == nil {
+			return fmt.Errorf("cluster: could not pick a router distinct from owner %s", ownerID)
+		}
+		client = router.client
+		fmt.Fprintf(stdout, "cluster: context %s owned by %s (replicas %v), routing via %s\n",
+			ectx.ContextID, ownerID, candidates[1:], router.id)
+		if *killOwner {
+			threshold := int64(*jobCount / 4)
+			go func() {
+				for completedCount.Load() < threshold {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(10 * time.Millisecond):
+					}
+				}
+				fmt.Fprintf(stdout, "cluster: killing owner %s after %d jobs completed\n", owner.id, completedCount.Load())
+				owner.stop()
+			}()
+		}
+	}
+
 	fmt.Fprintf(stdout, "program %s, context %s, %d jobs x %d batches, concurrency %d\n",
 		comp.ID, ectx.ContextID, *jobCount, *batches, *concurrency)
 
@@ -119,6 +201,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			outcomes[i] = runJob(ctx, client, comp.ID, ectx.ContextID, *batches, i)
+			if outcomes[i].err == nil {
+				completedCount.Add(1)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -149,13 +234,128 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "queue wait p50 %.1fms  p90 %.1fms\n",
 			pct(waits, 0.50), pct(waits, 0.90))
 	}
+	if *clusterN > 0 && *killOwner && owner != nil {
+		var requeues uint64
+		for _, n := range nodes {
+			if n != owner {
+				requeues += n.cluster.Stats().Requeues
+			}
+		}
+		fmt.Fprintf(stdout, "cluster: %d jobs requeued off the killed owner\n", requeues)
+	}
 	if lost > 0 {
 		return fmt.Errorf("%d of %d jobs lost their results", lost, *jobCount)
 	}
 	return nil
 }
 
-// runJob drives one job end to end, retrying shed submissions.
+// loadNode is one in-process evaserve (optionally a cluster member).
+type loadNode struct {
+	id       string
+	url      string
+	dataDir  string
+	srv      *serve.Server
+	cluster  *cluster.Cluster
+	httpSrv  *http.Server
+	client   *eva.Client
+	stopOnce sync.Once // the kill-owner goroutine races the deferred cleanup
+}
+
+func (n *loadNode) stop() {
+	n.stopOnce.Do(func() {
+		n.httpSrv.Close()
+		n.srv.Close()
+		if n.cluster != nil {
+			n.cluster.Close()
+		}
+		if n.dataDir != "" {
+			os.RemoveAll(n.dataDir)
+		}
+	})
+}
+
+// startNode boots one in-process server. When peers is non-empty the node
+// joins the cluster under nodeID with a durable store at dataDir.
+func startNode(cfg serve.Config, nodeID string, peers map[string]string, dataDir string) (*loadNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return startNodeOn(ln, cfg, nodeID, peers, dataDir)
+}
+
+func startNodeOn(ln net.Listener, cfg serve.Config, nodeID string, peers map[string]string, dataDir string) (*loadNode, error) {
+	var st store.Store
+	if dataDir != "" {
+		fsStore, err := store.OpenFS(dataDir)
+		if err != nil {
+			return nil, err
+		}
+		st = fsStore
+	}
+	cfg.Store = st
+	cfg.NodeID = nodeID
+	cfg.AllowContextTransfer = len(peers) > 0
+	srv := serve.NewServer(cfg)
+	node := &loadNode{
+		id:      nodeID,
+		url:     "http://" + ln.Addr().String(),
+		dataDir: dataDir,
+		srv:     srv,
+	}
+	handler := srv.Handler()
+	if len(peers) > 0 {
+		cl, err := cluster.New(srv, cluster.Config{Self: nodeID, Peers: peers, Store: st})
+		if err != nil {
+			return nil, err
+		}
+		node.cluster = cl
+		handler = cl.Handler()
+	}
+	node.httpSrv = &http.Server{Handler: handler}
+	go node.httpSrv.Serve(ln)
+	node.client = eva.NewClient(node.url)
+	return node, nil
+}
+
+// startCluster boots n in-process nodes with static membership, each
+// durable in its own temp directory.
+func startCluster(stdout io.Writer, n int, cfg serve.Config) ([]*loadNode, error) {
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*loadNode, n)
+	for i := range nodes {
+		id := fmt.Sprintf("n%d", i+1)
+		peers := map[string]string{}
+		for j := range urls {
+			if j != i {
+				peers[fmt.Sprintf("n%d", j+1)] = urls[j]
+			}
+		}
+		dir, err := os.MkdirTemp("", "evaload-"+id+"-*")
+		if err != nil {
+			return nil, err
+		}
+		node, err := startNodeOn(listeners[i], cfg, id, peers, dir)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+		fmt.Fprintf(stdout, "cluster node %s on %s (data %s)\n", id, node.url, dir)
+	}
+	return nodes, nil
+}
+
+// runJob drives one job end to end; shed (429) and routing-unavailable
+// (502/503) submissions are retried by the client's backoff helper.
 func runJob(ctx context.Context, client *eva.Client, programID, contextID string, batches, seed int) outcome {
 	req := eva.JobRequest{ProgramID: programID, ContextID: contextID}
 	for b := 0; b < batches; b++ {
@@ -170,51 +370,48 @@ func runJob(ctx context.Context, client *eva.Client, programID, contextID string
 	start := time.Now()
 	var status eva.JobStatusInfo
 	retries := 0
-	for {
-		var err error
-		status, err = client.SubmitJob(ctx, req)
-		if err == nil {
-			break
-		}
-		if apiErr, ok := err.(*eva.APIError); ok && apiErr.Overloaded() {
-			retries++
-			backoff := apiErr.RetryAfter
-			if backoff <= 0 {
-				backoff = 100 * time.Millisecond
-			}
-			select {
-			case <-ctx.Done():
-				return outcome{retries: retries, err: ctx.Err()}
-			case <-time.After(backoff):
-			}
-			continue
-		}
+	err := client.DoWithRetry(ctx,
+		eva.RetryPolicy{MaxAttempts: -1, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second},
+		func(ctx context.Context) error {
+			var err error
+			status, err = client.SubmitJob(ctx, req)
+			return err
+		},
+		func(attempt int, err error) { retries++ })
+	if err != nil {
 		return outcome{retries: retries, err: fmt.Errorf("submit: %w", err)}
 	}
-	final, err := client.WaitJob(ctx, status.JobID)
-	if err != nil {
-		return outcome{retries: retries, err: fmt.Errorf("wait: %w", err)}
-	}
-	if final.Status != "done" {
-		return outcome{retries: retries, err: fmt.Errorf("terminal status %q: %s", final.Status, final.Error)}
-	}
-	res, err := client.FetchJobResult(ctx, status.JobID)
-	if err != nil {
-		return outcome{retries: retries, err: fmt.Errorf("fetch: %w", err)}
-	}
-	if len(res.Results) != batches {
-		return outcome{retries: retries, err: fmt.Errorf("%d results; want %d", len(res.Results), batches)}
-	}
-	for i, br := range res.Results {
-		if br.Error != "" {
-			return outcome{retries: retries, err: fmt.Errorf("batch %d: %s", i, br.Error)}
+	// Wait and fetch; a 409 on fetch means the job was requeued after its
+	// node died between "done" and the fetch — wait again.
+	for {
+		final, err := client.WaitJob(ctx, status.JobID)
+		if err != nil {
+			return outcome{retries: retries, err: fmt.Errorf("wait: %w", err)}
 		}
-		out := br.Values["out"]
-		if len(out) == 0 || math.IsNaN(out[0]) {
-			return outcome{retries: retries, err: fmt.Errorf("batch %d: missing output", i)}
+		if final.Status != "done" {
+			return outcome{retries: retries, err: fmt.Errorf("terminal status %q: %s", final.Status, final.Error)}
 		}
+		res, err := client.FetchJobResult(ctx, status.JobID)
+		if err != nil {
+			if apiErr, ok := err.(*eva.APIError); ok && apiErr.Status == http.StatusConflict {
+				continue
+			}
+			return outcome{retries: retries, err: fmt.Errorf("fetch: %w", err)}
+		}
+		if len(res.Results) != batches {
+			return outcome{retries: retries, err: fmt.Errorf("%d results; want %d", len(res.Results), batches)}
+		}
+		for i, br := range res.Results {
+			if br.Error != "" {
+				return outcome{retries: retries, err: fmt.Errorf("batch %d: %s", i, br.Error)}
+			}
+			out := br.Values["out"]
+			if len(out) == 0 || math.IsNaN(out[0]) {
+				return outcome{retries: retries, err: fmt.Errorf("batch %d: missing output", i)}
+			}
+		}
+		return outcome{latency: time.Since(start), wait: final.WaitMillis, retries: retries}
 	}
-	return outcome{latency: time.Since(start), wait: final.WaitMillis, retries: retries}
 }
 
 // outcome is the result of driving one job end to end.

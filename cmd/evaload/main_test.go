@@ -39,6 +39,54 @@ func TestLoadSurvivesTinyQueue(t *testing.T) {
 	}
 }
 
+// TestClusterSmoke drives a 3-node in-process cluster through a router
+// node: every job crosses the ring and none may be lost.
+func TestClusterSmoke(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-cluster", "3", "-jobs", "6", "-concurrency", "3", "-batches", "2"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstdout: %s\nstderr: %s", err, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "completed 6/6 jobs") || !strings.Contains(out, "0 lost") {
+		t.Errorf("cluster run incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "routing via") {
+		t.Errorf("no routing line:\n%s", out)
+	}
+}
+
+// TestClusterKillOwnerSmoke is the owner-failover smoke: the context's
+// owner is killed a quarter of the way through and the run must still lose
+// zero results.
+func TestClusterKillOwnerSmoke(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-cluster", "3", "-kill-owner", "-jobs", "8", "-concurrency", "4", "-batches", "2"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstdout: %s\nstderr: %s", err, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "completed 8/8 jobs") || !strings.Contains(out, "0 lost") {
+		t.Errorf("kill-owner run incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "killing owner") {
+		t.Errorf("owner was never killed:\n%s", out)
+	}
+}
+
+func TestClusterFlagValidation(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-cluster", "1"}, &stdout, &stderr); err == nil {
+		t.Error("-cluster 1 accepted")
+	}
+	if err := run([]string{"-kill-owner"}, &stdout, &stderr); err == nil {
+		t.Error("-kill-owner without -cluster accepted")
+	}
+	if err := run([]string{"-cluster", "3", "-addr", "http://x"}, &stdout, &stderr); err == nil {
+		t.Error("-cluster with -addr accepted")
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if err := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); err == nil {

@@ -11,16 +11,31 @@
 // GET /jobs/{id}/events streams progress over SSE, and GET /jobs/{id}/result
 // delivers the results exactly once.
 //
+// With -data-dir the node is durable: compiled programs, installed contexts
+// (their evaluation-key bundles), and finished job results are persisted in
+// a crash-consistent filesystem store, so a restarted node serves every
+// previously issued id without clients resubmitting anything. With -node-id
+// and -peers the node joins a static-membership cluster: contexts are
+// sharded over the members by consistent hashing, any node routes requests
+// to the owner, contexts are replicated to the next replica, and jobs whose
+// owner dies are requeued onto a surviving replica.
+//
 // Usage:
 //
 //	evaserve [-addr :8080] [-cache 128] [-workers 0] [-batches 0] [-demo]
 //	         [-job-workers 2] [-job-queue 64] [-job-memory-mb 8192] [-result-ttl 2m]
+//	         [-data-dir /var/lib/evaserve] [-drain-timeout 30s]
+//	         [-node-id n1] [-peers n2=http://host2:8080,n3=http://host3:8080]
 //
 // -demo enables server-side key generation ("keygen" contexts): the server
 // then holds secret keys and accepts plaintext values, which breaks the
 // paper's threat model but makes curl-only walkthroughs and load tests
 // possible. Without -demo, clients must generate keys locally and upload
 // only public evaluation keys — the paper's deployment model.
+//
+// On SIGTERM/SIGINT the server shuts down gracefully: it stops admitting
+// work, drains in-flight jobs for up to -drain-timeout (persisting their
+// results), flushes the store, and exits.
 package main
 
 import (
@@ -33,10 +48,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
+	"eva/internal/cluster"
 	"eva/internal/serve"
+	"eva/internal/store"
 )
 
 func main() {
@@ -49,6 +68,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "evaserve:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePeers parses "id=url,id=url" into a peer map.
+func parsePeers(s string) (map[string]string, error) {
+	peers := map[string]string{}
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q", id)
+		}
+		peers[id] = strings.TrimRight(url, "/")
+	}
+	return peers, nil
 }
 
 // run executes the evaserve command line. It is the testable core of main:
@@ -69,9 +107,31 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		jobQueue  = fs.Int("job-queue", 0, "async job queue depth (0 = 64)")
 		jobMemMB  = fs.Int64("job-memory-mb", 0, "admitted-jobs ciphertext memory budget in MiB (0 = 8192)")
 		resultTTL = fs.Duration("result-ttl", 0, "retention of finished jobs and unfetched results (0 = 2m)")
+		resultRet = fs.Duration("result-retention", 0, "retention of persisted unfetched results in the store (0 = 24h, <0 = forever)")
+		dataDir   = fs.String("data-dir", "", "durable artifact store directory (empty = in-memory only)")
+		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
+		nodeID    = fs.String("node-id", "", "this node's id in a cluster (required with -peers)")
+		peersFlag = fs.String("peers", "", "static cluster membership as id=url[,id=url...]")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	if len(peers) > 0 && *nodeID == "" {
+		return fmt.Errorf("-peers requires -node-id")
+	}
+
+	var st store.Store
+	if *dataDir != "" {
+		fsStore, err := store.OpenFS(*dataDir)
+		if err != nil {
+			return err
+		}
+		st = fsStore
+		defer fsStore.Close()
 	}
 
 	srv := serve.NewServer(serve.Config{
@@ -84,20 +144,50 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		JobQueueDepth:        *jobQueue,
 		JobMemoryBudgetBytes: *jobMemMB << 20,
 		JobResultTTL:         *resultTTL,
+		ResultRetention:      *resultRet,
+		Store:                st,
+		NodeID:               *nodeID,
+		// Peer nodes replicate contexts through the bundle surface, which
+		// for demo-keygen contexts includes the secret key and has no
+		// node-to-node authentication — run a cluster only on a network
+		// where every client is trusted (see README "Clustering &
+		// persistence").
+		AllowContextTransfer: len(peers) > 0,
 	})
 	defer srv.Close()
+
+	handler := srv.Handler()
+	if len(peers) > 0 {
+		cl, err := cluster.New(srv, cluster.Config{
+			Self:  *nodeID,
+			Peers: peers,
+			Store: st,
+		})
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		handler = cl.Handler()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(stdout, "evaserve listening on %s (demo mode: %v)\n", ln.Addr(), *demo)
+	mode := "standalone"
+	if len(peers) > 0 {
+		ids := append([]string{*nodeID}, keys(peers)...)
+		sort.Strings(ids)
+		mode = fmt.Sprintf("cluster node %s of %v", *nodeID, ids)
+	}
+	fmt.Fprintf(stdout, "evaserve listening on %s (demo mode: %v, durable: %v, %s)\n", ln.Addr(), *demo, st != nil, mode)
 	if started != nil {
 		started(ln.Addr().String())
 	}
@@ -108,12 +198,29 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 			return err
 		}
 	case <-sig:
-		fmt.Fprintln(stdout, "evaserve: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful shutdown: stop admitting (close the listener and reject
+		// new connections), drain in-flight jobs up to the timeout so their
+		// results are persisted, then exit; the deferred store close
+		// flushes whatever the drain produced.
+		fmt.Fprintln(stdout, "evaserve: shutting down (draining jobs)")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
+			fmt.Fprintf(stdout, "evaserve: http shutdown: %v\n", err)
+		}
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(stdout, "evaserve: drain cut %v in-flight work short\n", err)
+		} else {
+			fmt.Fprintln(stdout, "evaserve: drained cleanly")
 		}
 	}
 	return nil
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }

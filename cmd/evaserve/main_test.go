@@ -64,6 +64,130 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 }
 
+// TestRunGracefulDrain: a SIGTERM with a job in flight must drain it —
+// the job completes, its result is persisted in the -data-dir store, and
+// the process reports a clean drain.
+func TestRunGracefulDrain(t *testing.T) {
+	dir := t.TempDir()
+	sig := make(chan os.Signal, 1)
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-demo", "-data-dir", dir, "-drain-timeout", "30s"},
+			&out, io.Discard, sig, func(addr string) { addrCh <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("server exited before starting: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	base := "http://" + addr
+
+	post := func(path string, body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode >= 300 {
+			t.Fatalf("POST %s: status %d: %v", path, resp.StatusCode, v)
+		}
+		return v
+	}
+	comp := post("/compile", `{"source":"program drain vec=4;\ninput x @30;\nout = x * x;\noutput out @30;","options":{"allow_insecure":true}}`)
+	progID, _ := comp["id"].(string)
+	ctxResp := post("/contexts", fmt.Sprintf(`{"program_id":%q,"keygen":{"seed":5}}`, progID))
+	ctxID, _ := ctxResp["context_id"].(string)
+	job := post("/jobs", fmt.Sprintf(`{"program_id":%q,"context_id":%q,"batches":[{"values":{"x":[1,2,3,4]}}]}`, progID, ctxID))
+	jobID, _ := job["job_id"].(string)
+	if jobID == "" {
+		t.Fatalf("no job id in %v", job)
+	}
+
+	// Shut down immediately: the drain must let the job finish.
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful drain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Errorf("no clean drain reported:\n%s", out.String())
+	}
+
+	// The drained job's result must be durable: restart onto the same
+	// data-dir and fetch it.
+	sig2 := make(chan os.Signal, 1)
+	addrCh2 := make(chan string, 1)
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run([]string{"-addr", "127.0.0.1:0", "-demo", "-data-dir", dir},
+			io.Discard, io.Discard, sig2, func(addr string) { addrCh2 <- addr })
+	}()
+	select {
+	case addr = <-addrCh2:
+	case err := <-done2:
+		t.Fatalf("restarted server exited: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("restarted server did not start")
+	}
+	resp, err := http.Get("http://" + addr + "/jobs/" + jobID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result struct {
+		Status  string `json:"status"`
+		Results []struct {
+			Values map[string][]float64 `json:"values"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || result.Status != "done" || len(result.Results) != 1 {
+		t.Fatalf("post-restart result fetch: status %d, %+v", resp.StatusCode, result)
+	}
+	sig2 <- os.Interrupt
+	if err := <-done2; err != nil {
+		t.Fatalf("restarted server shutdown: %v", err)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("n2=http://h2:8080, n3=http://h3:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peers["n2"] != "http://h2:8080" || peers["n3"] != "http://h3:8080" {
+		t.Fatalf("parsed %v", peers)
+	}
+	for _, bad := range []string{"n2", "=url", "n2=", "n2=u,n2=v"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunPeersRequireNodeID(t *testing.T) {
+	err := run([]string{"-peers", "n2=http://h2:8080"}, io.Discard, io.Discard, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "-node-id") {
+		t.Fatalf("err = %v; want a -node-id requirement", err)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-nonsense"}, io.Discard, io.Discard, nil, nil); err == nil {
 		t.Error("expected an error for an unknown flag")

@@ -62,6 +62,19 @@ func (e *APIError) Error() string {
 // is worth retrying after a backoff.
 func (e *APIError) Overloaded() bool { return e.Status == http.StatusTooManyRequests }
 
+// Unavailable reports whether the server (or, in a cluster, the node a
+// router tried to reach on the caller's behalf) was temporarily unable to
+// serve the request: 502 from a routing hop whose target is down, or 503
+// from a draining or requeueing node. Like Overloaded, the condition is
+// transient and worth retrying after a backoff.
+func (e *APIError) Unavailable() bool {
+	return e.Status == http.StatusServiceUnavailable || e.Status == http.StatusBadGateway
+}
+
+// Transient reports whether the error is worth retrying at all: a shed
+// (429) or an unavailable hop (502/503).
+func (e *APIError) Transient() bool { return e.Overloaded() || e.Unavailable() }
+
 // Client is a client for an evaserve instance: the synchronous compile /
 // contexts / execute endpoints plus the asynchronous jobs API (submit, poll,
 // stream progress over SSE, fetch the result once, cancel).
@@ -133,6 +146,97 @@ func decodeAPIError(resp *http.Response) error {
 		}
 	}
 	return apiErr
+}
+
+// DoRaw performs one round-trip without interpreting the response: the
+// caller owns the returned body and must close it. The cluster tier uses it
+// to proxy whole requests — including SSE event streams — between nodes
+// while reusing the client's base-URL handling and transport.
+func (c *Client) DoRaw(ctx context.Context, method, path string, header http.Header, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	return c.httpClient().Do(req)
+}
+
+// Health fetches GET /healthz — the probe the cluster tier uses to track
+// peer liveness.
+func (c *Client) Health(ctx context.Context) (serve.HealthResponse, error) {
+	var out serve.HealthResponse
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// RetryPolicy bounds DoWithRetry's exponential backoff.
+type RetryPolicy struct {
+	// MaxAttempts caps the total tries. 0 means the default of 5; a
+	// negative value retries until ctx expires.
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 100ms); each subsequent
+	// backoff doubles, capped at MaxDelay (default 5s). A Retry-After hint
+	// from the server overrides the computed delay for that attempt.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// DoWithRetry runs op, retrying transient failures — requests the server
+// shed with 429 or answered 502/503 — under bounded exponential backoff,
+// honoring the server's Retry-After hint when one is present. Any other
+// error (including context cancellation) returns immediately; exhausting
+// the attempts returns the last transient error. onRetry, when non-nil, is
+// called before each backoff sleep with the attempt number (1-based) and
+// the error being retried — load generators use it to count sheds.
+func (c *Client) DoWithRetry(ctx context.Context, policy RetryPolicy, op func(context.Context) error, onRetry func(attempt int, err error)) error {
+	policy = policy.withDefaults()
+	delay := policy.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || !apiErr.Transient() {
+			return err
+		}
+		if policy.MaxAttempts > 0 && attempt >= policy.MaxAttempts {
+			return err
+		}
+		wait := delay
+		if apiErr.RetryAfter > 0 {
+			wait = apiErr.RetryAfter
+		}
+		if wait > policy.MaxDelay {
+			wait = policy.MaxDelay
+		}
+		if onRetry != nil {
+			onRetry(attempt, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+		if delay *= 2; delay > policy.MaxDelay {
+			delay = policy.MaxDelay
+		}
+	}
 }
 
 // Compile submits a program for compilation.

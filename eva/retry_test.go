@@ -1,0 +1,113 @@
+package eva_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eva/eva"
+)
+
+// flakyHandler sheds the first n requests with the given status, then
+// succeeds.
+func flakyHandler(n int32, status int, retryAfter string) (*atomic.Int32, http.Handler) {
+	var served atomic.Int32
+	return &served, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"try later"}`))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+}
+
+func TestDoWithRetryRecovers(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway} {
+		served, h := flakyHandler(2, status, "")
+		ts := httptest.NewServer(h)
+		c := eva.NewClient(ts.URL)
+		retries := 0
+		err := c.DoWithRetry(context.Background(), eva.RetryPolicy{BaseDelay: time.Millisecond},
+			func(ctx context.Context) error { _, err := c.Health(ctx); return err },
+			func(attempt int, err error) { retries++ })
+		ts.Close()
+		if err != nil {
+			t.Errorf("status %d: %v", status, err)
+		}
+		if retries != 2 || served.Load() != 3 {
+			t.Errorf("status %d: %d retries, %d requests; want 2 and 3", status, retries, served.Load())
+		}
+	}
+}
+
+func TestDoWithRetryHonorsRetryAfter(t *testing.T) {
+	_, h := flakyHandler(1, http.StatusTooManyRequests, "1")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := eva.NewClient(ts.URL)
+	start := time.Now()
+	err := c.DoWithRetry(context.Background(), eva.RetryPolicy{BaseDelay: time.Millisecond},
+		func(ctx context.Context) error { _, err := c.Health(ctx); return err }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server's 1s hint must override the 1ms base delay.
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retried after %v; the 1s Retry-After hint was ignored", elapsed)
+	}
+}
+
+func TestDoWithRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	served, h := flakyHandler(1000, http.StatusServiceUnavailable, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := eva.NewClient(ts.URL)
+	err := c.DoWithRetry(context.Background(), eva.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		func(ctx context.Context) error { _, err := c.Health(ctx); return err }, nil)
+	var apiErr *eva.APIError
+	if !errors.As(err, &apiErr) || !apiErr.Unavailable() {
+		t.Fatalf("err = %v; want an unavailable APIError", err)
+	}
+	if served.Load() != 3 {
+		t.Errorf("%d requests; want exactly MaxAttempts = 3", served.Load())
+	}
+}
+
+func TestDoWithRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	served, h := flakyHandler(1000, http.StatusBadRequest, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := eva.NewClient(ts.URL)
+	err := c.DoWithRetry(context.Background(), eva.RetryPolicy{BaseDelay: time.Millisecond},
+		func(ctx context.Context) error { _, err := c.Health(ctx); return err }, nil)
+	var apiErr *eva.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v; want the 400 APIError", err)
+	}
+	if served.Load() != 1 {
+		t.Errorf("%d requests for a permanent error; want 1", served.Load())
+	}
+}
+
+func TestDoWithRetryUnboundedStopsOnContext(t *testing.T) {
+	_, h := flakyHandler(1_000_000, http.StatusTooManyRequests, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := eva.NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := c.DoWithRetry(ctx, eva.RetryPolicy{MaxAttempts: -1, BaseDelay: time.Millisecond},
+		func(ctx context.Context) error { _, err := c.Health(ctx); return err }, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want deadline exceeded", err)
+	}
+}

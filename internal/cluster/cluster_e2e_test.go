@@ -1,0 +1,392 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"eva/eva"
+	"eva/internal/serve"
+	"eva/internal/store"
+)
+
+// clusterProgram matches the opcode mix of the serve e2e program: square
+// (relinearize+rescale), rotate (Galois key), cipher-plain arithmetic.
+const clusterProgram = `program clustere2e vec=8;
+input x @30;
+input y @30;
+s = x * x + y;
+r = rotl(s, 1);
+out = (s + r) * 0.5@30;
+output out @30;`
+
+var clusterBatch = serve.ExecuteBatch{Values: map[string][]float64{
+	"x": {1, 2, 3, 4, 5, 6, 7, 8},
+	"y": {8, 7, 6, 5, 4, 3, 2, 1},
+}}
+
+// testNode is one in-process cluster member with a real TCP listener.
+type testNode struct {
+	id      string
+	url     string
+	store   store.Store
+	srv     *serve.Server
+	cluster *Cluster
+	httpSrv *http.Server
+	client  *eva.Client
+	killed  bool
+}
+
+// kill simulates a crash: the listener closes and every in-flight job dies.
+func (n *testNode) kill() {
+	n.killed = true
+	n.httpSrv.Close()
+	n.srv.Close()
+	n.cluster.Close()
+}
+
+// startTestCluster boots n nodes with static membership. dirs[i], when
+// non-empty, backs node i with a filesystem store (otherwise memory).
+func startTestCluster(t *testing.T, n int, jobWorkers int) []*testNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*testNode, n)
+	for i := range nodes {
+		id := fmt.Sprintf("n%d", i+1)
+		st := store.NewMemory()
+		srv := serve.NewServer(serve.Config{
+			Store:                st,
+			NodeID:               id,
+			AllowServerKeygen:    true,
+			AllowContextTransfer: true,
+			JobWorkers:           jobWorkers,
+		})
+		peers := map[string]string{}
+		for j := range nodes {
+			if j != i {
+				peers[fmt.Sprintf("n%d", j+1)] = urls[j]
+			}
+		}
+		cl, err := New(srv, Config{
+			Self:  id,
+			Peers: peers,
+			Store: st,
+			// Tests drive probes explicitly for determinism.
+			ProbeInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		httpSrv := &http.Server{Handler: cl.Handler()}
+		go httpSrv.Serve(listeners[i])
+		nodes[i] = &testNode{
+			id: id, url: urls[i], store: st, srv: srv,
+			cluster: cl, httpSrv: httpSrv, client: eva.NewClient(urls[i]),
+		}
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			if !node.killed {
+				node.kill()
+			}
+		}
+	})
+	return nodes
+}
+
+func nodeByID(nodes []*testNode, id string) *testNode {
+	for _, n := range nodes {
+		if n.id == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// compileAndContext compiles the shared program and installs a demo
+// context through the given router node.
+func compileAndContext(t *testing.T, ctx context.Context, router *testNode) (programID, contextID string) {
+	t.Helper()
+	comp, err := router.client.Compile(ctx, eva.CompileRequest{
+		Source:  clusterProgram,
+		Options: &serve.CompileOptionsJSON{AllowInsecure: true},
+	})
+	if err != nil {
+		t.Fatalf("compile via %s: %v", router.id, err)
+	}
+	ectx, err := router.client.NewKeygenContext(ctx, comp.ID, 42)
+	if err != nil {
+		t.Fatalf("context via %s: %v", router.id, err)
+	}
+	return comp.ID, ectx.ContextID
+}
+
+// TestClusterRoutingAndScatter: any node serves compile/execute for any
+// context (forwarding to the owner), /programs and /metrics aggregate the
+// membership, and the forwarded/local counters move.
+func TestClusterRoutingAndScatter(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	nodes := startTestCluster(t, 3, 0)
+	programID, contextID := compileAndContext(t, ctx, nodes[0])
+
+	// Execute through every node: owners serve locally, the rest forward.
+	var want []float64
+	for _, node := range nodes {
+		res, err := node.client.Execute(ctx, programID, eva.ExecuteRequest{
+			ContextID: contextID,
+			Batches:   []serve.ExecuteBatch{clusterBatch},
+		})
+		if err != nil {
+			t.Fatalf("execute via %s: %v", node.id, err)
+		}
+		if res.Results[0].Error != "" {
+			t.Fatalf("execute via %s: %s", node.id, res.Results[0].Error)
+		}
+		out := res.Results[0].Values["out"]
+		if len(out) == 0 {
+			t.Fatalf("execute via %s returned no output", node.id)
+		}
+		if want == nil {
+			want = out
+		}
+		for i := range out {
+			if math.Abs(out[i]-want[i]) > 1e-3 {
+				t.Fatalf("node %s diverged at [%d]: %v vs %v", node.id, i, out[i], want[i])
+			}
+		}
+	}
+
+	// The context must live on exactly its candidate nodes' stores.
+	candidates := nodes[0].cluster.ContextCandidates(contextID)
+	if len(candidates) != 2 {
+		t.Fatalf("context candidates = %v, want 2 nodes", candidates)
+	}
+	for _, cand := range candidates {
+		node := nodeByID(nodes, cand)
+		if _, err := node.store.Get("context", contextID); err != nil {
+			t.Errorf("candidate %s does not hold context %s: %v", cand, contextID, err)
+		}
+	}
+
+	// Scatter-gather /programs: every node's listing appears.
+	resp, err := http.Get(nodes[2].url + "/programs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perNode []struct {
+		Node     string              `json:"node"`
+		Programs []serve.ProgramInfo `json:"programs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&perNode); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(perNode) != 3 {
+		t.Fatalf("scatter /programs covered %d nodes, want 3", len(perNode))
+	}
+	holders := 0
+	for _, np := range perNode {
+		for _, p := range np.Programs {
+			if p.ID == programID {
+				holders++
+			}
+		}
+	}
+	if holders == 0 {
+		t.Error("no node reports the compiled program")
+	}
+
+	// /metrics carries the cluster section; scope=cluster aggregates.
+	resp, err = http.Get(nodes[1].url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Cluster Stats        `json:"cluster"`
+		Store   *store.Stats `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if metrics.Cluster.Self != "n2" || metrics.Cluster.Nodes != 3 {
+		t.Errorf("cluster metrics section: %+v", metrics.Cluster)
+	}
+	if metrics.Store == nil {
+		t.Error("metrics store section missing")
+	}
+	total := uint64(0)
+	for _, nodeSide := range nodes {
+		st := nodeSide.cluster.Stats()
+		for _, v := range st.Forwarded {
+			total += v
+		}
+	}
+	if total == 0 {
+		t.Error("no requests were forwarded anywhere in a 3-node cluster")
+	}
+
+	resp, err = http.Get(nodes[0].url + "/metrics?scope=cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scoped struct {
+		Scope string                     `json:"scope"`
+		Nodes map[string]json.RawMessage `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&scoped); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if scoped.Scope != "cluster" || len(scoped.Nodes) != 3 {
+		t.Errorf("scoped metrics: scope=%q nodes=%d", scoped.Scope, len(scoped.Nodes))
+	}
+}
+
+// TestClusterOwnerKilledMidJob is the acceptance e2e: jobs are admitted
+// through a router, their owner node is killed while they are queued or
+// running, and every job must still complete on a surviving replica with
+// its result delivered — zero lost results.
+func TestClusterOwnerKilledMidJob(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	// One job worker per node serializes the owner's queue so most jobs are
+	// still pending when the owner dies.
+	nodes := startTestCluster(t, 3, 1)
+	programID, contextID := compileAndContext(t, ctx, nodes[0])
+
+	candidates := nodes[0].cluster.ContextCandidates(contextID)
+	owner := nodeByID(nodes, candidates[0])
+	var router *testNode
+	for _, n := range nodes {
+		if n.id != owner.id {
+			router = n
+			break
+		}
+	}
+	t.Logf("context %s: owner %s, replicas %v, router %s", contextID, owner.id, candidates[1:], router.id)
+
+	const jobCount = 6
+	req := eva.JobRequest{ProgramID: programID, ContextID: contextID}
+	for b := 0; b < 4; b++ {
+		req.Batches = append(req.Batches, clusterBatch)
+	}
+	jobIDs := make([]string, jobCount)
+	for i := range jobIDs {
+		st, err := router.client.SubmitJob(ctx, req)
+		if err != nil {
+			t.Fatalf("submit %d via %s: %v", i, router.id, err)
+		}
+		if !strings.Contains(st.JobID, "~") {
+			t.Fatalf("job id %q is not cluster-routed", st.JobID)
+		}
+		jobIDs[i] = st.JobID
+	}
+
+	// Kill the owner while the queue drains.
+	owner.kill()
+
+	for i, id := range jobIDs {
+		final, err := router.client.WaitJob(ctx, id)
+		if err != nil {
+			t.Fatalf("wait job %d (%s): %v", i, id, err)
+		}
+		if final.Status != "done" {
+			t.Fatalf("job %d (%s): terminal status %q: %s", i, id, final.Status, final.Error)
+		}
+		var res eva.JobResult
+		// A fetch can race a requeue (409); poll until delivered.
+		for {
+			res, err = router.client.FetchJobResult(ctx, id)
+			if err == nil {
+				break
+			}
+			if apiErr, ok := err.(*eva.APIError); ok && apiErr.Status == http.StatusConflict {
+				if _, werr := router.client.WaitJob(ctx, id); werr != nil {
+					t.Fatalf("re-wait job %d: %v", i, werr)
+				}
+				continue
+			}
+			t.Fatalf("fetch job %d (%s): %v", i, id, err)
+		}
+		if len(res.Results) != len(req.Batches) {
+			t.Fatalf("job %d: %d results, want %d", i, len(res.Results), len(req.Batches))
+		}
+		for bi, br := range res.Results {
+			if br.Error != "" {
+				t.Fatalf("job %d batch %d: %s", i, bi, br.Error)
+			}
+			if out := br.Values["out"]; len(out) == 0 || math.IsNaN(out[0]) {
+				t.Fatalf("job %d batch %d: missing output", i, bi)
+			}
+		}
+	}
+
+	if st := router.cluster.Stats(); st.Requeues == 0 {
+		t.Error("owner died mid-run but the router never requeued a job")
+	}
+	if !router.cluster.healthy(owner.id) {
+		t.Logf("owner %s correctly marked down", owner.id)
+	} else {
+		t.Error("dead owner still marked healthy on the router")
+	}
+}
+
+// TestClusterProbeRequeuesProactively: the health prober, not a client
+// poll, notices a dead owner and moves its jobs.
+func TestClusterProbeRequeuesProactively(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	nodes := startTestCluster(t, 3, 1)
+	programID, contextID := compileAndContext(t, ctx, nodes[0])
+	candidates := nodes[0].cluster.ContextCandidates(contextID)
+	owner := nodeByID(nodes, candidates[0])
+	var router *testNode
+	for _, n := range nodes {
+		if n.id != owner.id {
+			router = n
+			break
+		}
+	}
+
+	req := eva.JobRequest{ProgramID: programID, ContextID: contextID,
+		Batches: []serve.ExecuteBatch{clusterBatch, clusterBatch, clusterBatch, clusterBatch}}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := router.client.SubmitJob(ctx, req)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		ids = append(ids, st.JobID)
+	}
+	owner.kill()
+
+	// One probe cycle must detect the death and requeue without any client
+	// touching the jobs.
+	router.cluster.Probe(ctx)
+	if st := router.cluster.Stats(); st.Requeues == 0 {
+		t.Fatal("probe cycle did not requeue jobs off the dead owner")
+	}
+	for _, id := range ids {
+		final, err := router.client.WaitJob(ctx, id)
+		if err != nil || final.Status != "done" {
+			t.Fatalf("job %s after proactive requeue: %v %s %s", id, err, final.Status, final.Error)
+		}
+	}
+}

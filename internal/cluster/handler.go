@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"eva/internal/serve"
+)
+
+// maxRoutedBody caps the request bytes a router buffers before forwarding;
+// it matches the serve layer's default body limit.
+const maxRoutedBody = 256 << 20
+
+// Handler returns the node's public HTTP handler: the cluster routing layer
+// wrapped around the local serve handler. Requests already forwarded by a
+// peer (X-Eva-Forwarded) are served locally; everything else is routed to
+// the owner of the program or context it names, with failover to the next
+// healthy replica.
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", c.routed("compile", c.handleCompile))
+	mux.HandleFunc("POST /contexts", c.routed("contexts", c.handleContexts))
+	mux.HandleFunc("POST /execute/{id}", c.routed("execute", c.handleExecute))
+	mux.HandleFunc("POST /jobs", c.routed("jobs_submit", c.handleJobSubmit))
+	mux.HandleFunc("GET /jobs/{id}", c.handleJobGet("jobs_status", c.jobStatus))
+	mux.HandleFunc("GET /jobs/{id}/result", c.handleJobGet("jobs_result", c.jobResult))
+	mux.HandleFunc("DELETE /jobs/{id}", c.handleJobGet("jobs_cancel", c.jobCancel))
+	mux.HandleFunc("GET /jobs/{id}/events", c.handleJobEvents)
+	mux.HandleFunc("GET /programs", c.handleProgramsScatter)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	// Everything else — /healthz, /programs/{id}, bundles, plain job ids —
+	// is local.
+	mux.Handle("/", c.local.Handler())
+	return mux
+}
+
+// routed wraps a routing handler: forwarded requests bypass routing and go
+// straight to the local server, and the body is buffered so it can be
+// re-sent to a peer (or replayed locally).
+func (c *Cluster) routed(route string, h func(w http.ResponseWriter, r *http.Request, body []byte)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(headerForwarded) != "" {
+			c.countServed(route)
+			c.local.Handler().ServeHTTP(w, r)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRoutedBody))
+		if err != nil {
+			writeError(w, http.StatusRequestEntityTooLarge, "reading request: %v", err)
+			return
+		}
+		h(w, r, body)
+	}
+}
+
+// serveLocal replays a buffered request into the local handler.
+func (c *Cluster) serveLocal(route string, w http.ResponseWriter, r *http.Request, body []byte) {
+	c.countServed(route)
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	c.local.Handler().ServeHTTP(w, r2)
+}
+
+// forward proxies a buffered request to a peer and copies the response
+// back. Transport failure marks the peer down and reports false so the
+// caller can fail over.
+func (c *Cluster) forward(route string, w http.ResponseWriter, r *http.Request, node string, body []byte) bool {
+	hops, _ := strconv.Atoi(r.Header.Get(headerHops))
+	if hops >= maxHops {
+		writeError(w, http.StatusBadGateway, "cluster: forwarding loop detected (%d hops)", hops)
+		return true // the response is written; do not fail over
+	}
+	client := c.clients[node]
+	if client == nil {
+		return false
+	}
+	header := http.Header{}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		header.Set("Content-Type", ct)
+	}
+	header.Set(headerForwarded, c.cfg.Self)
+	header.Set(headerHops, strconv.Itoa(hops+1))
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	resp, err := client.DoRaw(r.Context(), r.Method, r.URL.RequestURI(), header, rd)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client went away; nothing to fail over for.
+			return true
+		}
+		c.markDown(node, err)
+		return false
+	}
+	defer resp.Body.Close()
+	c.countForwarded(route)
+	copyResponse(w, resp)
+	return true
+}
+
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// --- /compile ---
+
+// handleCompile routes a compile to the program's owner node (any node
+// *can* compile anything — compilation is deterministic — but giving each
+// program a home makes its artifact durable on a predictable shard). The
+// remaining candidate nodes are warmed in the background.
+func (c *Cluster) handleCompile(w http.ResponseWriter, r *http.Request, body []byte) {
+	var req serve.CompileRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	id, err := serve.CanonicalCompile(req)
+	if err != nil {
+		// Hand the malformed request to the local server so the client gets
+		// the full structured diagnostics (source_errors etc.).
+		c.serveLocal("compile", w, r, body)
+		return
+	}
+	candidates := c.programCandidates(id)
+	primary, ok := c.firstHealthy(candidates)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "cluster: no healthy node for program %s", id)
+		return
+	}
+	// Warm the other candidates in the background: program replication is
+	// an availability optimization, not a correctness requirement (context
+	// placement re-ships programs on demand).
+	defer c.replicateProgramAsync(id, candidates, primary)
+	for _, node := range candidates {
+		if !c.healthy(node) || node == "" {
+			continue
+		}
+		if c.isSelf(node) {
+			c.serveLocal("compile", w, r, body)
+			return
+		}
+		if c.forward("compile", w, r, node, body) {
+			return
+		}
+	}
+	// Every remote candidate died mid-request: compile locally rather than
+	// fail — the artifact lands on its home shard when it recovers.
+	c.serveLocal("compile", w, r, body)
+}
+
+func (c *Cluster) replicateProgramAsync(id string, candidates []string, primary string) {
+	go func() {
+		for _, node := range candidates {
+			if node == primary || !c.healthy(node) {
+				continue
+			}
+			if err := c.ensureProgram(node, id); err != nil {
+				c.countReplErr()
+			}
+		}
+	}()
+}
+
+// ensureProgram makes a node hold a compiled program, shipping the
+// canonical source and exact options from wherever they are available.
+func (c *Cluster) ensureProgram(node, programID string) error {
+	source, opts, ok := c.local.ProgramSource(programID)
+	if !ok {
+		// Ask the program's candidate nodes, then every peer.
+		tried := map[string]bool{}
+		for _, q := range append(c.programCandidates(programID), c.ring.nodes...) {
+			if tried[q] || c.isSelf(q) || !c.healthy(q) {
+				continue
+			}
+			tried[q] = true
+			status, data, err := c.roundTrip(nodeCtx(), q, http.MethodGet, "/programs/"+programID+"/source", nil)
+			if err != nil || status != http.StatusOK {
+				continue
+			}
+			var src serve.ProgramSourceResponse
+			if json.Unmarshal(data, &src) == nil {
+				source, opts, ok = src.Program, src.Options, true
+				break
+			}
+		}
+	}
+	if !ok {
+		return fmt.Errorf("cluster: program %s not found on any node", programID)
+	}
+	if c.isSelf(node) {
+		id, err := c.local.InstallProgram(source, opts)
+		if err != nil {
+			return err
+		}
+		if id != programID {
+			return fmt.Errorf("cluster: program %s rebuilt with unexpected id %s", programID, id)
+		}
+		return nil
+	}
+	optsJSON := serve.OptionsJSON(opts)
+	reqBody, err := json.Marshal(serve.CompileRequest{Program: source, Options: &optsJSON})
+	if err != nil {
+		return err
+	}
+	status, data, err := c.roundTrip(nodeCtx(), node, http.MethodPost, "/compile", reqBody)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("cluster: shipping program %s to %s: HTTP %d: %s", programID, node, status, truncate(data))
+	}
+	var comp serve.CompileResponse
+	if err := json.Unmarshal(data, &comp); err != nil {
+		return err
+	}
+	if comp.ID != programID {
+		return fmt.Errorf("cluster: program %s compiled on %s with unexpected id %s", programID, node, comp.ID)
+	}
+	return nil
+}
+
+// --- /contexts ---
+
+// handleContexts assigns the new context an id, places it on the ring, and
+// creates it on the owner; the key bundle is then replicated synchronously
+// to the remaining candidate nodes so owner-down failover has somewhere to
+// requeue.
+func (c *Cluster) handleContexts(w http.ResponseWriter, r *http.Request, body []byte) {
+	var req serve.ContextRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.ProgramID == "" && req.Bundle != nil {
+		req.ProgramID = req.Bundle.ProgramID
+	}
+	if req.ContextID == "" {
+		suffix, err := newSuffix()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		req.ContextID = suffix
+	}
+	candidates := c.ContextCandidates(req.ContextID)
+	primary, ok := c.firstHealthy(candidates)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "cluster: no healthy node for context %s", req.ContextID)
+		return
+	}
+	if err := c.ensureProgram(primary, req.ProgramID); err != nil {
+		writeError(w, http.StatusNotFound, "unknown program %q; POST /compile first (%v)", req.ProgramID, err)
+		return
+	}
+	routedBody, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	status, data, err := c.roundTrip(r.Context(), primary, http.MethodPost, "/contexts", routedBody)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "cluster: context owner %s unreachable: %v", primary, err)
+		return
+	}
+	if c.isSelf(primary) {
+		c.countServed("contexts")
+	} else {
+		c.countForwarded("contexts")
+	}
+	if status == http.StatusOK {
+		// Replicate the bundle to the remaining candidates before answering:
+		// failover only works if the replica already holds the keys. Errors
+		// are counted but not fatal — the context works on its owner.
+		c.replicateContext(req.ContextID, req.ProgramID, primary, candidates)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+func (c *Cluster) replicateContext(contextID, programID, primary string, candidates []string) {
+	var bundle *serve.ContextBundle
+	for _, node := range candidates {
+		if node == primary || !c.healthy(node) {
+			continue
+		}
+		if bundle == nil {
+			status, data, err := c.roundTrip(nodeCtx(), primary, http.MethodGet, "/contexts/"+contextID+"/bundle", nil)
+			if err != nil || status != http.StatusOK {
+				c.countReplErr()
+				return
+			}
+			bundle = &serve.ContextBundle{}
+			if err := json.Unmarshal(data, bundle); err != nil {
+				c.countReplErr()
+				return
+			}
+		}
+		if err := c.installContextOn(node, contextID, programID, bundle); err != nil {
+			c.countReplErr()
+		}
+	}
+}
+
+func (c *Cluster) installContextOn(node, contextID, programID string, bundle *serve.ContextBundle) error {
+	if err := c.ensureProgram(node, programID); err != nil {
+		return err
+	}
+	body, err := json.Marshal(serve.ContextRequest{
+		ProgramID: programID,
+		ContextID: contextID,
+		Bundle:    bundle,
+	})
+	if err != nil {
+		return err
+	}
+	status, data, err := c.roundTrip(nodeCtx(), node, http.MethodPost, "/contexts", body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("cluster: replicating context %s to %s: HTTP %d: %s", contextID, node, status, truncate(data))
+	}
+	return nil
+}
+
+// --- /execute ---
+
+// handleExecute routes a synchronous execution to the context's owner,
+// failing over to the next replica when the owner is down or no longer
+// knows the context.
+func (c *Cluster) handleExecute(w http.ResponseWriter, r *http.Request, body []byte) {
+	var req struct {
+		ContextID string `json:"context_id"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.ContextID == "" {
+		// Let the local server produce its ordinary validation error.
+		c.serveLocal("execute", w, r, body)
+		return
+	}
+	candidates := c.ContextCandidates(req.ContextID)
+	for _, node := range candidates {
+		if !c.healthy(node) {
+			continue
+		}
+		if c.isSelf(node) {
+			c.serveLocal("execute", w, r, body)
+			return
+		}
+		if c.forward("execute", w, r, node, body) {
+			return
+		}
+	}
+	writeError(w, http.StatusServiceUnavailable, "cluster: no healthy node holds context %q", req.ContextID)
+}
+
+// --- scatter-gather ---
+
+// handleProgramsScatter merges GET /programs across every healthy node, so
+// an operator sees the whole cluster's registry regardless of which node
+// they asked.
+func (c *Cluster) handleProgramsScatter(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(headerForwarded) != "" {
+		c.local.Handler().ServeHTTP(w, r)
+		return
+	}
+	type nodePrograms struct {
+		Node     string              `json:"node"`
+		Error    string              `json:"error,omitempty"`
+		Programs []serve.ProgramInfo `json:"programs"`
+	}
+	out := make([]nodePrograms, 0, len(c.ring.nodes))
+	for _, node := range c.ring.nodes {
+		np := nodePrograms{Node: node}
+		if !c.healthy(node) {
+			np.Error = "node is down"
+			out = append(out, np)
+			continue
+		}
+		status, data, err := c.roundTrip(r.Context(), node, http.MethodGet, "/programs", nil)
+		switch {
+		case err != nil:
+			np.Error = err.Error()
+		case status != http.StatusOK:
+			np.Error = fmt.Sprintf("HTTP %d", status)
+		default:
+			if err := json.Unmarshal(data, &np.Programs); err != nil {
+				np.Error = err.Error()
+			}
+		}
+		out = append(out, np)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics serves the local metrics report with the cluster section
+// grafted on; ?scope=cluster scatter-gathers every node's full report.
+func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	type clusterReport struct {
+		serve.MetricsReport
+		Cluster Stats `json:"cluster"`
+	}
+	local := clusterReport{MetricsReport: c.local.MetricsReport(), Cluster: c.Stats()}
+	if r.Header.Get(headerForwarded) != "" || r.URL.Query().Get("scope") != "cluster" {
+		writeJSON(w, http.StatusOK, local)
+		return
+	}
+	nodes := map[string]json.RawMessage{}
+	for _, node := range c.ring.nodes {
+		if c.isSelf(node) {
+			data, _ := json.Marshal(local)
+			nodes[node] = data
+			continue
+		}
+		if !c.healthy(node) {
+			nodes[node] = json.RawMessage(`{"error":"node is down"}`)
+			continue
+		}
+		status, data, err := c.roundTrip(r.Context(), node, http.MethodGet, "/metrics", nil)
+		if err != nil || status != http.StatusOK {
+			msg, _ := json.Marshal(map[string]string{"error": fmt.Sprintf("unreachable: %v (HTTP %d)", err, status)})
+			nodes[node] = msg
+			continue
+		}
+		nodes[node] = data
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scope": "cluster", "nodes": nodes})
+}
+
+func truncate(data []byte) string {
+	const n = 200
+	if len(data) > n {
+		return string(data[:n]) + "..."
+	}
+	return string(data)
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerIsStable(t *testing.T) {
+	r, err := newRing([]string{"n1", "n2", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("ctx/%d", i)
+		owner := r.owner(key)
+		for j := 0; j < 5; j++ {
+			if got := r.owner(key); got != owner {
+				t.Fatalf("owner(%q) flapped: %s then %s", key, owner, got)
+			}
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndOwnerFirst(t *testing.T) {
+	r, err := newRing([]string{"a", "b", "c", "d"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		succ := r.successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("successors(%q, 3) = %v", key, succ)
+		}
+		if succ[0] != r.owner(key) {
+			t.Fatalf("successors(%q)[0] = %s, owner = %s", key, succ[0], r.owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("successors(%q) repeats %s: %v", key, n, succ)
+			}
+			seen[n] = true
+		}
+	}
+	// n clamps to the membership.
+	if succ := r.successors("x", 10); len(succ) != 4 {
+		t.Fatalf("successors clamp: %v", succ)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r, err := newRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("ctx/%d", i))]++
+	}
+	want := keys / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < want/3 || counts[n] > want*3 {
+			t.Errorf("node %s owns %d of %d keys (expected near %d): ring is badly imbalanced", n, counts[n], keys, want)
+		}
+	}
+}
+
+func TestRingConsistency(t *testing.T) {
+	// Adding one member must reassign only a bounded fraction of keys.
+	r3, _ := newRing([]string{"n1", "n2", "n3"}, 64)
+	r4, _ := newRing([]string{"n1", "n2", "n3", "n4"}, 64)
+	const keys = 5000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("ctx/%d", i)
+		if r3.owner(key) != r4.owner(key) {
+			moved++
+		}
+	}
+	// Ideal is 1/4; flag anything beyond half as a broken hash.
+	if moved > keys/2 {
+		t.Errorf("%d of %d keys moved when adding one node; consistent hashing should move ~%d", moved, keys, keys/4)
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := newRing(nil, 64); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := newRing([]string{"a", "a"}, 64); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := newRing([]string{""}, 64); err == nil {
+		t.Error("empty member id accepted")
+	}
+}
+
+func TestSplitJobID(t *testing.T) {
+	for _, tc := range []struct {
+		id           string
+		home, suffix string
+		ok           bool
+	}{
+		{"n1~abc", "n1", "abc", true},
+		{"abc", "", "", false},
+		{"~abc", "", "", false},
+		{"n1~", "", "", false},
+	} {
+		home, suffix, ok := splitJobID(tc.id)
+		if ok != tc.ok || (ok && (home != tc.home || suffix != tc.suffix)) {
+			t.Errorf("splitJobID(%q) = %q, %q, %v", tc.id, home, suffix, ok)
+		}
+	}
+}

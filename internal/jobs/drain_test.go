@@ -1,0 +1,187 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDrainWaitsForRunningJobs: Drain must reject new submissions
+// immediately but let in-flight jobs finish, and report a clean drain.
+func TestDrainWaitsForRunningJobs(t *testing.T) {
+	m := NewManager(Config{Workers: 2, QueueDepth: 4})
+	release := make(chan struct{})
+	snap, err := m.Submit(1, 0, func(ctx context.Context, done func(int)) (any, error) {
+		<-release
+		return "finished", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- m.Drain(ctx)
+	}()
+
+	// Submissions during the drain are rejected with ErrClosed (503 at the
+	// HTTP layer, not a retryable shed).
+	deadline := time.After(2 * time.Second)
+	for {
+		_, err := m.Submit(1, 0, func(context.Context, func(int)) (any, error) { return nil, nil })
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("submissions were not rejected during drain")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	got, _, fs := m.FetchResult(snap.ID)
+	if fs != FetchOK || got != "finished" {
+		t.Fatalf("after drain: result %v, fetch status %d", got, fs)
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers: a job that outlives the drain window
+// is cancelled, and Drain reports the deadline error.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	started := make(chan struct{})
+	snap, err := m.Submit(1, 0, func(ctx context.Context, done func(int)) (any, error) {
+		close(started)
+		<-ctx.Done() // never finishes on its own
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain: %v, want deadline exceeded", err)
+	}
+	final, ok := m.Get(snap.ID)
+	if !ok || final.Status != StatusCancelled {
+		t.Fatalf("straggler status %v, want cancelled", final.Status)
+	}
+}
+
+// TestOnFinishHook: the hook fires once per terminal job with the result
+// (done) or nil (failed / cancelled-while-queued), and for worker-finished
+// jobs it runs before the status turns terminal.
+func TestOnFinishHook(t *testing.T) {
+	var mu sync.Mutex
+	finished := map[string]Snapshot{}
+	results := map[string]any{}
+	var m *Manager
+	hookSawTerminal := make(map[string]bool)
+	m = NewManager(Config{Workers: 1, QueueDepth: 8, OnFinish: func(snap Snapshot, result any) {
+		mu.Lock()
+		defer mu.Unlock()
+		finished[snap.ID] = snap
+		results[snap.ID] = result
+		// At hook time a worker-finished job must not yet be externally
+		// terminal: a racing fetch would be told FetchNotDone and retry.
+		if live, ok := m.Get(snap.ID); ok {
+			hookSawTerminal[snap.ID] = live.Status.Terminal()
+		}
+	}})
+	defer m.Close()
+
+	ok, err := m.Submit(2, 0, func(ctx context.Context, done func(int)) (any, error) {
+		done(0)
+		done(1)
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := m.Submit(1, 0, func(context.Context, func(int)) (any, error) {
+		return nil, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, ok.ID)
+	waitTerminal(t, m, bad.ID)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if snap := finished[ok.ID]; snap.Status != StatusDone || results[ok.ID] != 42 {
+		t.Fatalf("done hook: %+v result %v", snap, results[ok.ID])
+	}
+	if snap := finished[bad.ID]; snap.Status != StatusFailed || results[bad.ID] != nil {
+		t.Fatalf("failed hook: %+v result %v", snap, results[bad.ID])
+	}
+	for id, sawTerminal := range hookSawTerminal {
+		if sawTerminal {
+			t.Errorf("job %s was already terminal when its hook ran", id)
+		}
+	}
+}
+
+// TestOnFinishHookOnQueuedCancel: cancelling a job that never ran still
+// fires the hook exactly once.
+func TestOnFinishHookOnQueuedCancel(t *testing.T) {
+	var mu sync.Mutex
+	calls := map[string]int{}
+	m := NewManager(Config{Workers: 1, QueueDepth: 8, OnFinish: func(snap Snapshot, _ any) {
+		mu.Lock()
+		calls[snap.ID]++
+		mu.Unlock()
+	}})
+	defer m.Close()
+
+	block := make(chan struct{})
+	defer close(block)
+	if _, err := m.Submit(1, 0, func(ctx context.Context, _ func(int)) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(1, 0, func(context.Context, func(int)) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, ok := m.Cancel(queued.ID); !ok || snap.Status != StatusCancelled {
+		t.Fatalf("cancel: %+v, %v", snap, ok)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls[queued.ID] != 1 {
+		t.Fatalf("hook ran %d times for a queued cancel, want 1", calls[queued.ID])
+	}
+}
+
+func waitTerminal(t *testing.T, m *Manager, id string) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if snap.Status.Terminal() {
+			return snap
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal status", id)
+	return Snapshot{}
+}

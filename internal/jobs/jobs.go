@@ -77,6 +77,16 @@ type Config struct {
 	// ResultTTL is how long a finished job (and its result, if not yet
 	// fetched) is retained before eviction (default 2 minutes).
 	ResultTTL time.Duration
+	// OnFinish, when non-nil, is called once per job as it reaches a
+	// terminal status, with the job's final snapshot and — for StatusDone
+	// only — its result. evaserve uses it to persist completed results to
+	// the durable artifact store before the TTL evicts the in-memory copy;
+	// a cluster tier can use it as a requeue/bookkeeping hook. It is called
+	// synchronously with no manager locks held; for jobs that finish on a
+	// worker the hook runs before the job's status turns terminal, so any
+	// client that observes "done" can already rely on the hook's side
+	// effects (a persisted result is durable before the result is visible).
+	OnFinish func(snap Snapshot, result any)
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +185,7 @@ type Manager struct {
 	admitted int64
 	stats    Stats
 	closed   bool
+	draining bool
 }
 
 // NewManager starts a manager and its worker pool.
@@ -235,7 +246,40 @@ func (m *Manager) cancelPopped(j *job, reason string) {
 	m.mu.Unlock()
 	if stillQueued {
 		m.finalize(j, StatusCancelled, true)
+		if m.cfg.OnFinish != nil {
+			m.cfg.OnFinish(j.snapshot(), nil)
+		}
 	}
+}
+
+// Drain gracefully shuts the manager down: new submissions are rejected
+// with ErrClosed immediately, and queued plus running jobs are given until
+// ctx expires to finish naturally. Whatever is still unfinished when the
+// deadline passes is cancelled by the final Close. Drain returns nil when
+// everything completed in time and ctx.Err() when the deadline cut the
+// remainder off; either way the manager is fully closed on return.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	var err error
+poll:
+	for {
+		m.mu.Lock()
+		idle := m.queued == 0 && m.running == 0
+		m.mu.Unlock()
+		if idle {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break poll
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	m.Close()
+	return err
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -266,7 +310,7 @@ func (m *Manager) Submit(batches int, estBytes int64, run RunFunc) (Snapshot, er
 	}
 
 	m.mu.Lock()
-	if m.closed {
+	if m.closed || m.draining {
 		m.mu.Unlock()
 		return Snapshot{}, ErrClosed
 	}
@@ -326,6 +370,9 @@ func (m *Manager) Cancel(id string) (Snapshot, bool) {
 		j.finishLocked(StatusCancelled, "cancelled while queued")
 		j.mu.Unlock()
 		m.finalize(j, StatusCancelled, true)
+		if m.cfg.OnFinish != nil {
+			m.cfg.OnFinish(j.snapshot(), nil)
+		}
 	case StatusRunning:
 		cancel := j.cancelRun
 		j.mu.Unlock()
@@ -486,12 +533,22 @@ func (m *Manager) runJob(j *job) {
 	case err != nil:
 		status, msg = StatusFailed, err.Error()
 	}
+	if status != StatusDone {
+		result = nil
+	}
+	// Run the finish hook before the status turns terminal: a poller that
+	// observes "done" (and immediately fetches the result) is then
+	// guaranteed the hook's side effects — e.g. the durable copy of the
+	// result — already happened. A fetch racing ahead of the transition
+	// gets FetchNotDone and retries.
+	if m.cfg.OnFinish != nil {
+		snap := j.snapshot()
+		snap.Status, snap.Error, snap.Finished = status, msg, time.Now()
+		m.cfg.OnFinish(snap, result)
+	}
 	j.mu.Lock()
 	j.cancelRun = nil
 	j.result = result
-	if status != StatusDone {
-		j.result = nil
-	}
 	j.finishLocked(status, msg)
 	j.mu.Unlock()
 	m.finalize(j, status, false)

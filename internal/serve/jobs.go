@@ -188,9 +188,23 @@ func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.jobs.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	snap, ok := s.jobs.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		// The in-memory record is gone (restart, or TTL eviction) but the
+		// job may have completed with its result persisted: report it done
+		// so clients — and the cluster's requeue logic — don't mistake a
+		// finished job for a lost one.
+		if rec, ok := s.storedResultExists(id); ok {
+			writeJSON(w, http.StatusOK, JobStatus{
+				JobID:   id,
+				Status:  rec.Status,
+				Batches: len(rec.Results), BatchesDone: len(rec.Results),
+				CreatedAt: rec.FinishedAt.UTC().Format(time.RFC3339Nano),
+			})
+			return
+		}
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, jobStatusJSON(snap))
@@ -210,6 +224,13 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	result, snap, fs := s.jobs.FetchResult(id)
 	switch fs {
 	case jobs.FetchNotFound:
+		// The in-memory record was lost to a restart or the TTL, but the
+		// persisted copy still honors fetch-once: it is returned and
+		// deleted in one step.
+		if rec, ok := s.fetchStoredResult(id); ok {
+			writeJSON(w, http.StatusOK, JobResult{JobID: id, Status: rec.Status, Results: rec.Results})
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown job %q (results are evicted %s after completion)", id, s.jobs.Config().ResultTTL)
 	case jobs.FetchNotDone:
 		writeError(w, http.StatusConflict, "job %q is %s; poll GET /jobs/%s until it is done", id, snap.Status, id)
@@ -225,6 +246,9 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "job %q carries an unexpected result type", id)
 			return
 		}
+		// Drop the persisted copy so the just-delivered result cannot be
+		// fetched a second time through the store after a restart.
+		s.dropStoredResult(id)
 		writeJSON(w, http.StatusOK, JobResult{JobID: id, Status: string(snap.Status), Results: results})
 	}
 }
@@ -268,16 +292,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // resolveExecution looks up the execution context and its pinned program for
-// an execute or job request, refreshing LRU recency.
+// an execute or job request, refreshing LRU recency. A context missing from
+// the in-memory table (restart, LRU eviction) is restored from the durable
+// store, so execution against a context id survives both.
 func (s *Server) resolveExecution(programID, contextID string) (*contextEntry, *Entry, int, error) {
-	s.ctxMu.Lock()
-	var ce *contextEntry
-	if elem, ok := s.contexts[contextID]; ok {
-		s.ctxLRU.MoveToFront(elem)
-		ce = elem.Value.(*contextEntry)
-	}
-	s.ctxMu.Unlock()
-	if ce == nil {
+	ce, ok := s.lookupContext(contextID)
+	if !ok {
 		return nil, nil, http.StatusNotFound, fmt.Errorf("unknown context %q; POST /contexts first", contextID)
 	}
 	if ce.Entry.ID != programID {

@@ -7,6 +7,7 @@ import (
 
 	"eva/internal/execute"
 	"eva/internal/jobs"
+	"eva/internal/store"
 )
 
 // Metrics aggregates service-level counters: per-route request counts, cache
@@ -95,6 +96,7 @@ type OpHistogram struct {
 
 // MetricsReport is the JSON document served by GET /metrics.
 type MetricsReport struct {
+	Node             string            `json:"node,omitempty"`
 	UptimeSeconds    float64           `json:"uptime_seconds"`
 	Requests         map[string]uint64 `json:"requests"`
 	Cache            CacheStats        `json:"cache"`
@@ -105,13 +107,18 @@ type MetricsReport struct {
 	// Jobs reports the async execution subsystem: queue depth, running
 	// jobs, admitted-versus-budget bytes, shed/rejected submissions, outcome
 	// counters, and the summed queue wait.
-	Jobs  jobs.Stats             `json:"jobs"`
+	Jobs jobs.Stats `json:"jobs"`
+	// Store reports the durable artifact store (entries and bytes per
+	// artifact kind, hit/miss traffic); the registry's hit/miss of the
+	// cache in front of it is in Cache.StoreLoads / Cache.StoreMisses.
+	// Omitted when the server runs without durability.
+	Store *store.Stats           `json:"store,omitempty"`
 	PerOp map[string]OpHistogram `json:"per_op_latency"`
 }
 
-// Report snapshots the metrics against the registry's cache counters and the
-// job manager's queue counters.
-func (m *Metrics) Report(cache CacheStats, jobStats jobs.Stats) MetricsReport {
+// Report snapshots the metrics against the registry's cache counters, the
+// job manager's queue counters, and the artifact store's contents.
+func (m *Metrics) Report(cache CacheStats, jobStats jobs.Stats, storeStats *store.Stats) MetricsReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -164,6 +171,7 @@ func (m *Metrics) Report(cache CacheStats, jobStats jobs.Stats) MetricsReport {
 		ExecutionsFailed: m.execFailed,
 		ExecTotalMS:      float64(m.execTotal) / float64(time.Millisecond),
 		Jobs:             jobStats,
+		Store:            storeStats,
 		PerOp:            perOp,
 	}
 }

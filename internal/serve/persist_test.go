@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"eva/internal/store"
+)
+
+// persistentServer starts a server over a filesystem store rooted at dir.
+func persistentServer(t testing.TB, dir string) (*httptest.Server, *Server, *store.FS) {
+	t.Helper()
+	st, err := store.OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(Config{Store: st, AllowServerKeygen: true})
+	ts := httptest.NewServer(s.Handler())
+	return ts, s, st
+}
+
+func waitJobDone(t testing.TB, client *http.Client, base, jobID string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getJSON[JobStatus](t, client, base+"/jobs/"+jobID)
+		switch st.Status {
+		case "done":
+			return
+		case "failed", "cancelled":
+			t.Fatalf("job %s terminal status %s: %s", jobID, st.Status, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", jobID)
+}
+
+// TestRestartDurability is the acceptance e2e for the artifact store: stop
+// and restart a server onto the same data directory, then (a) execute a
+// previously compiled program against a previously installed context with
+// no recompilation round-trip, and (b) fetch the result of a job that
+// finished before the restart — exactly once.
+func TestRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	ts1, s1, st1 := persistentServer(t, dir)
+	client := ts1.Client()
+	prog := e2eProgram(t)
+
+	comp, resp := postJSON[CompileResponse](t, client, ts1.URL+"/compile", compileRequest(t, prog))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: status %d", resp.StatusCode)
+	}
+	ctxResp, resp := postJSON[ContextResponse](t, client, ts1.URL+"/contexts", ContextRequest{
+		ProgramID: comp.ID,
+		Keygen:    &KeygenJSON{Seed: 7},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("contexts: status %d", resp.StatusCode)
+	}
+
+	batch := ExecuteBatch{Values: map[string][]float64{
+		"x": {1, 2, 3, 4, 5, 6, 7, 8},
+		"y": {8, 7, 6, 5, 4, 3, 2, 1},
+	}}
+	// Reference run before the restart, for comparing output values after.
+	execResp, resp := postJSON[ExecuteResponse](t, client, ts1.URL+"/execute/"+comp.ID, ExecuteRequest{
+		ContextID: ctxResp.ContextID,
+		Batches:   []ExecuteBatch{batch},
+	})
+	if resp.StatusCode != http.StatusOK || execResp.Results[0].Error != "" {
+		t.Fatalf("pre-restart execute: status %d, err %q", resp.StatusCode, execResp.Results[0].Error)
+	}
+	want := execResp.Results[0].Values["out"]
+	if len(want) == 0 {
+		t.Fatal("pre-restart execute returned no output")
+	}
+
+	// A job that completes before the restart, result left unfetched.
+	jobSt, resp := postJSON[JobStatus](t, client, ts1.URL+"/jobs", JobRequest{
+		ProgramID: comp.ID,
+		ContextID: ctxResp.ContextID,
+		Batches:   []ExecuteBatch{batch},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job submit: status %d", resp.StatusCode)
+	}
+	waitJobDone(t, client, ts1.URL, jobSt.JobID)
+
+	// "Crash" the node: close the HTTP frontend, the job subsystem, and the
+	// store handle.
+	ts1.Close()
+	s1.Close()
+	st1.Close()
+
+	// Restart onto the same data directory.
+	ts2, s2, st2 := persistentServer(t, dir)
+	defer func() { ts2.Close(); s2.Close(); st2.Close() }()
+	client2 := ts2.Client()
+
+	// (a) Execute against the pre-restart program and context ids without
+	// any /compile or /contexts round-trip.
+	execResp2, resp := postJSON[ExecuteResponse](t, client2, ts2.URL+"/execute/"+comp.ID, ExecuteRequest{
+		ContextID: ctxResp.ContextID,
+		Batches:   []ExecuteBatch{batch},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart execute: status %d", resp.StatusCode)
+	}
+	if execResp2.Results[0].Error != "" {
+		t.Fatalf("post-restart execute: %s", execResp2.Results[0].Error)
+	}
+	got := execResp2.Results[0].Values["out"]
+	if len(got) != len(want) {
+		t.Fatalf("post-restart output has %d values, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-3 {
+			t.Fatalf("post-restart output[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// The restored program id must be served from the store, not require a
+	// client recompile: the registry counts it as a store load.
+	if stats := s2.Registry().Stats(); stats.StoreLoads == 0 {
+		t.Errorf("expected store loads after restart, got %+v", stats)
+	}
+
+	// (b) The pre-restart job's status and result survive; the result obeys
+	// fetch-once.
+	if st := getJSON[JobStatus](t, client2, ts2.URL+"/jobs/"+jobSt.JobID); st.Status != "done" {
+		t.Fatalf("post-restart job status %q, want done", st.Status)
+	}
+	jr := getJSON[JobResult](t, client2, ts2.URL+"/jobs/"+jobSt.JobID+"/result")
+	if len(jr.Results) != 1 || jr.Results[0].Error != "" {
+		t.Fatalf("post-restart job result: %+v", jr)
+	}
+	for i, v := range jr.Results[0].Values["out"] {
+		if math.Abs(v-want[i]) > 1e-3 {
+			t.Fatalf("job result[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	refetch, err := client2.Get(ts2.URL + "/jobs/" + jobSt.JobID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refetch.Body.Close()
+	if refetch.StatusCode == http.StatusOK {
+		t.Fatal("job result was fetchable twice after a restart")
+	}
+
+	// The metrics report must expose the store section.
+	metrics := getJSON[MetricsReport](t, client2, ts2.URL+"/metrics")
+	if metrics.Store == nil || metrics.Store.Backend != "fs" || metrics.Store.Entries == 0 {
+		t.Errorf("metrics store section: %+v", metrics.Store)
+	}
+}
+
+// TestResultPersistsAcrossTTL: with a store configured, a result whose
+// in-memory record was TTL-evicted is still fetchable exactly once.
+func TestResultPersistsAcrossTTL(t *testing.T) {
+	st := store.NewMemory()
+	s := NewServer(Config{Store: st, AllowServerKeygen: true, JobResultTTL: 30 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+	client := ts.Client()
+	prog := e2eProgram(t)
+
+	comp, _ := postJSON[CompileResponse](t, client, ts.URL+"/compile", compileRequest(t, prog))
+	ctxResp, _ := postJSON[ContextResponse](t, client, ts.URL+"/contexts", ContextRequest{
+		ProgramID: comp.ID, Keygen: &KeygenJSON{Seed: 3},
+	})
+	jobSt, resp := postJSON[JobStatus](t, client, ts.URL+"/jobs", JobRequest{
+		ProgramID: comp.ID,
+		ContextID: ctxResp.ContextID,
+		Batches: []ExecuteBatch{{Values: map[string][]float64{
+			"x": {1, 1, 1, 1, 1, 1, 1, 1}, "y": {2, 2, 2, 2, 2, 2, 2, 2},
+		}}},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitJobDone(t, client, ts.URL, jobSt.JobID)
+
+	// Outlive the TTL so the in-memory job record is evicted.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := s.Jobs().Get(jobSt.JobID); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job record never TTL-evicted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	jr := getJSON[JobResult](t, client, ts.URL+"/jobs/"+jobSt.JobID+"/result")
+	if len(jr.Results) != 1 || jr.Results[0].Error != "" {
+		t.Fatalf("post-TTL fetch: %+v", jr)
+	}
+	second, err := client.Get(ts.URL + "/jobs/" + jobSt.JobID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.Body.Close()
+	if second.StatusCode == http.StatusOK {
+		t.Fatal("fetch-once violated after TTL eviction")
+	}
+}
+
+// TestResultRetentionSweep: persisted results abandoned past the retention
+// window are reclaimed by the janitor.
+func TestResultRetentionSweep(t *testing.T) {
+	st := store.NewMemory()
+	s := NewServer(Config{Store: st, AllowServerKeygen: true, ResultRetention: 50 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+	client := ts.Client()
+	prog := e2eProgram(t)
+
+	comp, _ := postJSON[CompileResponse](t, client, ts.URL+"/compile", compileRequest(t, prog))
+	ctxResp, _ := postJSON[ContextResponse](t, client, ts.URL+"/contexts", ContextRequest{
+		ProgramID: comp.ID, Keygen: &KeygenJSON{Seed: 4},
+	})
+	jobSt, _ := postJSON[JobStatus](t, client, ts.URL+"/jobs", JobRequest{
+		ProgramID: comp.ID, ContextID: ctxResp.ContextID,
+		Batches: []ExecuteBatch{{Values: map[string][]float64{
+			"x": {1, 1, 1, 1, 1, 1, 1, 1}, "y": {1, 1, 1, 1, 1, 1, 1, 1},
+		}}},
+	})
+	waitJobDone(t, client, ts.URL, jobSt.JobID)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ids, err := st.List("result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned result never swept: %v", ids)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestContextBundleTransfer: exporting a context's bundle and installing it
+// on a second server yields a context that executes (and, for demo
+// contexts, decrypts) identically — the replication primitive the cluster
+// tier is built on.
+func TestContextBundleTransfer(t *testing.T) {
+	tsA, sA := newTestServer(t, Config{AllowServerKeygen: true, AllowContextTransfer: true})
+	tsB, _ := newTestServer(t, Config{AllowServerKeygen: true, AllowContextTransfer: true})
+	client := tsA.Client()
+	prog := e2eProgram(t)
+
+	comp, _ := postJSON[CompileResponse](t, client, tsA.URL+"/compile", compileRequest(t, prog))
+	ctxResp, _ := postJSON[ContextResponse](t, client, tsA.URL+"/contexts", ContextRequest{
+		ProgramID: comp.ID, ContextID: "shared-ctx-1", Keygen: &KeygenJSON{Seed: 9},
+	})
+	if ctxResp.ContextID != "shared-ctx-1" {
+		t.Fatalf("assigned context id not honored: %q", ctxResp.ContextID)
+	}
+
+	bundle := getJSON[ContextBundle](t, client, tsA.URL+"/contexts/shared-ctx-1/bundle")
+	if !bundle.Demo || bundle.Secret == "" || bundle.Relin == "" {
+		t.Fatalf("demo bundle incomplete: %+v", bundle)
+	}
+
+	// The peer needs the program first (the cluster router ships it through
+	// /compile with the exact original options).
+	source, opts, ok := sA.ProgramSource(comp.ID)
+	if !ok {
+		t.Fatal("program source unavailable on the origin node")
+	}
+	optsJSON := OptionsJSON(opts)
+	compB, resp := postJSON[CompileResponse](t, client, tsB.URL+"/compile", CompileRequest{
+		Program: source, Options: &optsJSON,
+	})
+	if resp.StatusCode != http.StatusOK || compB.ID != comp.ID {
+		t.Fatalf("peer compile: status %d id %s want %s", resp.StatusCode, compB.ID, comp.ID)
+	}
+
+	installResp, resp := postJSON[ContextResponse](t, client, tsB.URL+"/contexts", ContextRequest{
+		ProgramID: comp.ID, ContextID: "shared-ctx-1", Bundle: &bundle,
+	})
+	if resp.StatusCode != http.StatusOK || installResp.ContextID != "shared-ctx-1" {
+		t.Fatalf("bundle install: status %d, %+v", resp.StatusCode, installResp)
+	}
+	// Replays are idempotent.
+	_, resp = postJSON[ContextResponse](t, client, tsB.URL+"/contexts", ContextRequest{
+		ProgramID: comp.ID, ContextID: "shared-ctx-1", Bundle: &bundle,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bundle replay: status %d", resp.StatusCode)
+	}
+
+	batch := ExecuteBatch{Values: map[string][]float64{
+		"x": {3, 1, 4, 1, 5, 9, 2, 6}, "y": {2, 7, 1, 8, 2, 8, 1, 8},
+	}}
+	outA, _ := postJSON[ExecuteResponse](t, client, tsA.URL+"/execute/"+comp.ID, ExecuteRequest{
+		ContextID: "shared-ctx-1", Batches: []ExecuteBatch{batch},
+	})
+	outB, _ := postJSON[ExecuteResponse](t, client, tsB.URL+"/execute/"+comp.ID, ExecuteRequest{
+		ContextID: "shared-ctx-1", Batches: []ExecuteBatch{batch},
+	})
+	if outA.Results[0].Error != "" || outB.Results[0].Error != "" {
+		t.Fatalf("execute errors: %q / %q", outA.Results[0].Error, outB.Results[0].Error)
+	}
+	a, b := outA.Results[0].Values["out"], outB.Results[0].Values["out"]
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("output lengths %d vs %d", len(a), len(b))
+	}
+	// Each node encrypts the demo inputs with fresh randomness, so the
+	// outputs agree to CKKS approximation error, not bit-exactly.
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-3 {
+			t.Fatalf("replicated context diverged at [%d]: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBundleTransferGated: without AllowContextTransfer both the export and
+// the import surface are 403.
+func TestBundleTransferGated(t *testing.T) {
+	ts, _ := newTestServer(t, Config{AllowServerKeygen: true})
+	client := ts.Client()
+	prog := e2eProgram(t)
+	comp, _ := postJSON[CompileResponse](t, client, ts.URL+"/compile", compileRequest(t, prog))
+	_, _ = postJSON[ContextResponse](t, client, ts.URL+"/contexts", ContextRequest{
+		ProgramID: comp.ID, ContextID: "gated", Keygen: &KeygenJSON{Seed: 1},
+	})
+	resp, err := client.Get(ts.URL + "/contexts/gated/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("bundle export without transfer enabled: status %d, want 403", resp.StatusCode)
+	}
+	_, postResp := postJSON[apiError](t, client, ts.URL+"/contexts", ContextRequest{
+		ProgramID: comp.ID, ContextID: "gated2", Bundle: &ContextBundle{ProgramID: comp.ID},
+	})
+	if postResp.StatusCode != http.StatusForbidden {
+		t.Errorf("bundle import without transfer enabled: status %d, want 403", postResp.StatusCode)
+	}
+}
+
+// TestOptionsJSONRoundTrip: OptionsJSON → toOptions must reproduce the
+// exact options struct, otherwise a program shipped between nodes would
+// hash to a different id on arrival.
+func TestOptionsJSONRoundTrip(t *testing.T) {
+	cases := []*CompileOptionsJSON{
+		nil,
+		{AllowInsecure: true},
+		{MaxRescaleLog: 40, WaterlineLog: 25, Rescale: "always", ModSwitch: "lazy", MinLogN: 12, Optimize: true},
+		{Rescale: "fixed", ModSwitch: "none", AllowInsecure: true},
+	}
+	for i, c := range cases {
+		opts, err := c.toOptions()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		wire := OptionsJSON(opts)
+		back, err := wire.toOptions()
+		if err != nil {
+			t.Fatalf("case %d round-trip: %v", i, err)
+		}
+		if !reflect.DeepEqual(opts, back) {
+			t.Errorf("case %d: %+v round-tripped to %+v", i, opts, back)
+		}
+	}
+}

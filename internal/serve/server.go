@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,6 +43,7 @@ import (
 	"eva/internal/jobs"
 	"eva/internal/lang"
 	"eva/internal/rewrite"
+	"eva/internal/store"
 )
 
 // Config configures a Server.
@@ -84,6 +86,32 @@ type Config struct {
 	// JobResultTTL is how long finished jobs and unfetched results are
 	// retained (0 = 2 minutes).
 	JobResultTTL time.Duration
+
+	// Store is the durable artifact store. When set, compiled programs,
+	// installed contexts (their evaluation-key bundles in the ckks wire
+	// format), and finished job results are persisted through it, the LRU
+	// registry and context table become caches in front of it, and a server
+	// restarted onto the same store serves every previously issued program,
+	// context, and unfetched result id. Nil disables durability (the
+	// pre-store, in-memory-only behavior).
+	Store store.Store
+	// ResultRetention bounds how long a persisted, unfetched job result is
+	// kept in the store before a background sweep reclaims it (0 = 24h;
+	// negative = keep forever). This is deliberately much longer than
+	// JobResultTTL — the in-memory TTL bounds the job table, the store
+	// retention bounds the disk — but still finite, so abandoned results
+	// cannot grow the store without bound.
+	ResultRetention time.Duration
+	// NodeID labels this server in /healthz, /programs, and /metrics so
+	// responses are attributable in a cluster. Empty outside clusters.
+	NodeID string
+	// AllowContextTransfer enables the context replication surface used by
+	// the cluster tier: GET /contexts/{id}/bundle exports an installed
+	// context's key bundle and POST /contexts accepts a "bundle" clause
+	// that installs one verbatim. Bundles of demo-mode contexts include the
+	// secret key, so this must stay off unless every client of this server
+	// is a trusted peer node.
+	AllowContextTransfer bool
 }
 
 // Server is the evaserve HTTP service. Create one with NewServer and mount
@@ -99,6 +127,15 @@ type Server struct {
 	ctxMu    sync.Mutex
 	contexts map[string]*list.Element // values are *contextEntry
 	ctxLRU   *list.List               // front = most recently used
+
+	// resultMu serializes the store-fallback result fetch (get+delete must
+	// be atomic to honor fetch-once); the in-memory path is atomic inside
+	// the jobs manager.
+	resultMu sync.Mutex
+
+	janitorStop chan struct{}
+	janitorWG   sync.WaitGroup
+	closeOnce   sync.Once
 }
 
 // contextEntry is one installed execution context: the CKKS runtime objects
@@ -111,29 +148,39 @@ type contextEntry struct {
 	Ctx       *execute.Context
 	Keys      *execute.KeyMaterial // nil unless created by server-side keygen
 	CreatedAt time.Time
+	// Bundle is the portable key bundle, retained only when the server
+	// allows context transfer (the cluster replication surface).
+	Bundle *ContextBundle
 }
 
 // NewServer builds an evaserve service.
 func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
-		registry: NewRegistry(cfg.CacheCapacity),
+		registry: NewRegistryWithStore(cfg.CacheCapacity, cfg.Store),
 		metrics:  NewMetrics(),
-		jobs: jobs.NewManager(jobs.Config{
-			Workers:           cfg.JobWorkers,
-			QueueDepth:        cfg.JobQueueDepth,
-			MemoryBudgetBytes: cfg.JobMemoryBudgetBytes,
-			ResultTTL:         cfg.JobResultTTL,
-		}),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		contexts: map[string]*list.Element{},
 		ctxLRU:   list.New(),
 	}
+	s.jobs = jobs.NewManager(jobs.Config{
+		Workers:           cfg.JobWorkers,
+		QueueDepth:        cfg.JobQueueDepth,
+		MemoryBudgetBytes: cfg.JobMemoryBudgetBytes,
+		ResultTTL:         cfg.JobResultTTL,
+		// Persist finished results before they become visible: a client that
+		// observes "done" can rely on the result surviving a restart, and
+		// the fetch-once contract is served from the store after the TTL
+		// evicts the in-memory copy.
+		OnFinish: s.persistJobResult,
+	})
 	s.mux.HandleFunc("POST /compile", s.route("compile", s.handleCompile))
 	s.mux.HandleFunc("GET /programs", s.route("programs", s.handlePrograms))
 	s.mux.HandleFunc("GET /programs/{id}", s.route("program", s.handleProgram))
+	s.mux.HandleFunc("GET /programs/{id}/source", s.route("program_source", s.handleProgramSource))
 	s.mux.HandleFunc("POST /contexts", s.route("contexts", s.handleContexts))
+	s.mux.HandleFunc("GET /contexts/{id}/bundle", s.route("context_bundle", s.handleContextBundle))
 	s.mux.HandleFunc("POST /execute/{id}", s.route("execute", s.handleExecute))
 	s.mux.HandleFunc("POST /jobs", s.route("jobs_submit", s.handleJobSubmit))
 	s.mux.HandleFunc("GET /jobs/{id}", s.route("jobs_status", s.handleJobStatus))
@@ -142,6 +189,11 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.route("jobs_cancel", s.handleJobCancel))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	if cfg.Store != nil && cfg.ResultRetention >= 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorWG.Add(1)
+		go s.resultJanitor()
+	}
 	return s
 }
 
@@ -154,10 +206,53 @@ func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 // Close stops the async job subsystem: running jobs are cancelled and the
 // worker pool drains. The HTTP handlers remain usable for synchronous
 // requests, but further job submissions fail.
-func (s *Server) Close() { s.jobs.Close() }
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.janitorStop != nil {
+			close(s.janitorStop)
+		}
+	})
+	s.jobs.Close()
+	s.janitorWG.Wait()
+}
+
+// Drain gracefully stops the async job subsystem: new submissions are
+// rejected immediately while queued and running jobs get until ctx expires
+// to finish (their results are persisted on the way out when a store is
+// configured); the remainder is then cancelled. The HTTP handlers remain
+// usable for synchronous requests.
+func (s *Server) Drain(ctx context.Context) error { return s.jobs.Drain(ctx) }
 
 // Registry exposes the program registry (for tests and tooling).
 func (s *Server) Registry() *Registry { return s.registry }
+
+// Store exposes the durable artifact store (nil when durability is off).
+func (s *Server) Store() store.Store { return s.cfg.Store }
+
+// NodeID returns the configured node label (empty outside clusters).
+func (s *Server) NodeID() string { return s.cfg.NodeID }
+
+// ProgramSource returns the canonical serialized source and exact compile
+// options for a program id, from the cache or the durable store. The
+// cluster tier uses it to ship programs to peer nodes.
+func (s *Server) ProgramSource(id string) (json.RawMessage, compile.Options, bool) {
+	return s.registry.Source(id)
+}
+
+// InstallProgram compiles (or looks up) a program from its canonical
+// serialized source and exact options, returning the program id. It is the
+// programmatic twin of POST /compile for node-to-node transfer.
+func (s *Server) InstallProgram(source json.RawMessage, opts compile.Options) (string, error) {
+	prog, err := core.DeserializeBytes(source)
+	if err != nil {
+		return "", fmt.Errorf("serve: installing program: %w", err)
+	}
+	entry, _, err := s.registry.GetOrCompile(prog, opts)
+	if err != nil {
+		return "", err
+	}
+	return entry.ID, nil
+}
 
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	maxBody := s.cfg.MaxBodyBytes
@@ -263,6 +358,23 @@ func (o *CompileOptionsJSON) toOptions() (compile.Options, error) {
 	return opts, nil
 }
 
+// OptionsJSON converts resolved compile options back to their wire form,
+// such that round-tripping through CompileOptionsJSON.toOptions yields the
+// identical options struct (and therefore the identical program id). The
+// cluster tier relies on this to re-submit a program to a peer node through
+// the ordinary /compile endpoint.
+func OptionsJSON(opts compile.Options) CompileOptionsJSON {
+	return CompileOptionsJSON{
+		MaxRescaleLog: opts.MaxRescaleLog,
+		WaterlineLog:  opts.WaterlineLog,
+		Rescale:       opts.Rescale.String(),
+		ModSwitch:     opts.ModSwitch.String(),
+		MinLogN:       opts.MinLogN,
+		AllowInsecure: opts.AllowInsecure,
+		Optimize:      opts.Optimize,
+	}
+}
+
 // CompileRequest is the body of POST /compile: a program in exactly one of
 // two forms — Program, the JSON program format (the paper's Figure 1
 // schema), or Source, textual .eva source — plus optional compile options.
@@ -307,6 +419,35 @@ type CompileResponse struct {
 	InputScales   map[string]float64 `json:"input_scales"`
 	RotationSteps []int              `json:"rotation_steps"`
 	Instructions  int                `json:"instructions"`
+}
+
+// CanonicalCompile resolves a compile request — either submission form — to
+// the registry id it would compile under, without compiling: the program is
+// parsed, canonically serialized, and hashed together with the resolved
+// options. The cluster router uses it to place a program on the hash ring
+// before deciding which node should compile it.
+func CanonicalCompile(req CompileRequest) (string, error) {
+	if (len(req.Program) == 0) == (req.Source == "") {
+		return "", fmt.Errorf("exactly one of \"program\" or \"source\" is required")
+	}
+	var prog *core.Program
+	var err error
+	if req.Source != "" {
+		if prog, err = lang.ParseProgram(req.Source); err != nil {
+			return "", err
+		}
+	} else if prog, err = core.DeserializeBytes(req.Program); err != nil {
+		return "", fmt.Errorf("invalid program: %w", err)
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		return "", fmt.Errorf("invalid options: %w", err)
+	}
+	source, err := prog.SerializeBytes()
+	if err != nil {
+		return "", err
+	}
+	return ProgramID(source, opts)
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -434,11 +575,18 @@ type KeygenJSON struct {
 }
 
 // ContextRequest is the body of POST /contexts. Exactly one of Keys (the
-// paper's client-keygen model) or Keygen (trusted demo mode) must be set.
+// paper's client-keygen model), Keygen (trusted demo mode), or Bundle (a
+// portable bundle exported by a peer node; requires AllowContextTransfer)
+// must be set. ContextID optionally pins the new context's id — the cluster
+// router assigns ids up front so a context's placement on the hash ring is
+// known before it exists; when the id is already installed for the same
+// program, the request is idempotent and returns the existing context.
 type ContextRequest struct {
-	ProgramID string        `json:"program_id"`
-	Keys      *EvalKeysJSON `json:"keys,omitempty"`
-	Keygen    *KeygenJSON   `json:"keygen,omitempty"`
+	ProgramID string         `json:"program_id"`
+	ContextID string         `json:"context_id,omitempty"`
+	Keys      *EvalKeysJSON  `json:"keys,omitempty"`
+	Keygen    *KeygenJSON    `json:"keygen,omitempty"`
+	Bundle    *ContextBundle `json:"bundle,omitempty"`
 }
 
 // ContextResponse is the body returned by POST /contexts.
@@ -448,24 +596,90 @@ type ContextResponse struct {
 	KeygenMillis float64 `json:"keygen_ms,omitempty"`
 }
 
+// validContextID restricts caller-assigned context ids to path-safe tokens
+// that cannot collide with store internals (a ".tmp" suffix would be swept
+// as crash residue at the next reopen) or cluster id syntax.
+func validContextID(id string) bool {
+	if id == "" || len(id) > 64 || id[0] == '.' || strings.HasSuffix(id, ".tmp") {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
 	var req ContextRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
+	modes := 0
+	for _, set := range []bool{req.Keys != nil, req.Keygen != nil, req.Bundle != nil} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		writeError(w, http.StatusBadRequest, "exactly one of \"keys\", \"keygen\", or \"bundle\" is required")
+		return
+	}
+	if req.ProgramID == "" && req.Bundle != nil {
+		req.ProgramID = req.Bundle.ProgramID
+	}
+	if req.ContextID != "" {
+		if !validContextID(req.ContextID) {
+			writeError(w, http.StatusBadRequest, "invalid context id %q", req.ContextID)
+			return
+		}
+		// Idempotent replay: an id already installed for the same program
+		// is returned as-is, so cluster replication and retries are safe.
+		if existing, ok := s.lookupContext(req.ContextID); ok {
+			if existing.Entry.ID != req.ProgramID {
+				writeError(w, http.StatusConflict, "context %q already belongs to program %q", req.ContextID, existing.Entry.ID)
+				return
+			}
+			writeJSON(w, http.StatusOK, ContextResponse{ContextID: existing.ID, ProgramID: existing.Entry.ID})
+			return
+		}
+	}
 	entry, ok := s.registry.Get(req.ProgramID)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown program %q; POST /compile first", req.ProgramID)
 		return
 	}
-	if (req.Keys == nil) == (req.Keygen == nil) {
-		writeError(w, http.StatusBadRequest, "exactly one of \"keys\" or \"keygen\" is required")
-		return
-	}
 
 	ce := &contextEntry{Entry: entry, CreatedAt: time.Now()}
+	var rlk *ckks.RelinearizationKey
+	var rtk *ckks.RotationKeySet
 	switch {
+	case req.Bundle != nil:
+		if !s.cfg.AllowContextTransfer {
+			writeError(w, http.StatusForbidden, "context transfer is disabled on this server")
+			return
+		}
+		if req.ContextID == "" {
+			writeError(w, http.StatusBadRequest, "a bundle install requires \"context_id\"")
+			return
+		}
+		if req.Bundle.ProgramID != "" && req.Bundle.ProgramID != req.ProgramID {
+			writeError(w, http.StatusBadRequest, "bundle belongs to program %q, not %q", req.Bundle.ProgramID, req.ProgramID)
+			return
+		}
+		req.Bundle.ProgramID = req.ProgramID
+		restored, err := s.restoreContext(req.ContextID, req.Bundle)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		ce = restored
 	case req.Keygen != nil:
 		if !s.cfg.AllowServerKeygen {
 			writeError(w, http.StatusForbidden, "server-side keygen is disabled; supply client-generated evaluation keys")
@@ -481,8 +695,10 @@ func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		ce.Ctx, ce.Keys = ctx, keys
+		rlk, rtk = keys.Relin, keys.Rot
 	default:
-		rlk, rtk, err := decodeEvalKeys(req.Keys)
+		var err error
+		rlk, rtk, err = decodeEvalKeys(req.Keys)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -495,29 +711,63 @@ func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
 		ce.Ctx = ctx
 	}
 
-	id, err := randomID()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
+	id := req.ContextID
+	if id == "" {
+		var err error
+		if id, err = randomID(); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
 	}
 	ce.ID = id
-	maxContexts := s.cfg.MaxContexts
-	if maxContexts <= 0 {
-		maxContexts = 256
+
+	// Build the portable bundle when durability or replication needs it:
+	// the store record and the cluster transfer body are the same document.
+	if ce.Bundle == nil && (s.cfg.Store != nil || s.cfg.AllowContextTransfer) {
+		bundle, err := buildBundle(entry.ID, ce.Keys, rlk, rtk, ce.CreatedAt)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if s.cfg.AllowContextTransfer {
+			ce.Bundle = bundle
+		}
+		if err := s.persistContext(id, bundle); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	} else if ce.Bundle != nil {
+		if err := s.persistContext(id, ce.Bundle); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
 	}
-	s.ctxMu.Lock()
-	s.contexts[id] = s.ctxLRU.PushFront(ce)
-	for s.ctxLRU.Len() > maxContexts {
-		oldest := s.ctxLRU.Back()
-		s.ctxLRU.Remove(oldest)
-		delete(s.contexts, oldest.Value.(*contextEntry).ID)
-	}
-	s.ctxMu.Unlock()
+
+	installed := s.installContext(ce)
 	writeJSON(w, http.StatusOK, ContextResponse{
 		ContextID:    id,
 		ProgramID:    entry.ID,
-		KeygenMillis: float64(ce.Ctx.KeyGenTime) / float64(time.Millisecond),
+		KeygenMillis: float64(installed.Ctx.KeyGenTime) / float64(time.Millisecond),
 	})
+}
+
+// ProgramSourceResponse is the body of GET /programs/{id}/source: the
+// canonical serialized program and the exact compile options its id was
+// derived from, so a peer node can rebuild an identical registry entry.
+type ProgramSourceResponse struct {
+	ID      string          `json:"id"`
+	Program json.RawMessage `json:"program"`
+	Options compile.Options `json:"options"`
+}
+
+func (s *Server) handleProgramSource(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	source, opts, ok := s.registry.Source(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown program %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, ProgramSourceResponse{ID: id, Program: source, Options: opts})
 }
 
 func decodeEvalKeys(keys *EvalKeysJSON) (*ckks.RelinearizationKey, *ckks.RotationKeySet, error) {
@@ -813,6 +1063,7 @@ func decodeBatchInputs(res *compile.Result, params *ckks.Parameters, batch *Exec
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
 	Status        string  `json:"status"`
+	Node          string  `json:"node,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Programs      int     `json:"programs"`
 	Contexts      int     `json:"contexts"`
@@ -825,6 +1076,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.ctxMu.Unlock()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
+		Node:          s.cfg.NodeID,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Programs:      s.registry.Stats().Size,
 		Contexts:      contexts,
@@ -832,6 +1084,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// MetricsReport assembles the document served by GET /metrics. The cluster
+// tier calls it directly so it can graft its own section onto the report.
+func (s *Server) MetricsReport() MetricsReport {
+	var storeStats *store.Stats
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		storeStats = &st
+	}
+	rep := s.metrics.Report(s.registry.Stats(), s.jobs.Stats(), storeStats)
+	rep.Node = s.cfg.NodeID
+	return rep
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Report(s.registry.Stats(), s.jobs.Stats()))
+	writeJSON(w, http.StatusOK, s.MetricsReport())
 }

@@ -1,0 +1,343 @@
+package store
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// The on-disk record format: a fixed header followed by the payload. The
+// header carries the payload length and a SHA-256 checksum, so a record
+// truncated by a crash (or corrupted at rest) is detected rather than
+// returned: the length guards against truncation, the checksum against
+// bit rot and torn sector writes.
+//
+//	offset  size  field
+//	0       8     magic "EVASTOR1"
+//	8       8     payload length (uint64 little-endian)
+//	16      32    SHA-256(payload)
+//	48      n     payload
+var fsMagic = [8]byte{'E', 'V', 'A', 'S', 'T', 'O', 'R', '1'}
+
+const fsHeaderSize = 8 + 8 + 32
+
+// tmpSuffix marks in-progress writes. Writes land in "<id>.<rand>.tmp" next
+// to their record and are renamed into place; any *.tmp file seen at open is
+// the residue of a crash mid-write and is deleted during the index rebuild.
+const tmpSuffix = ".tmp"
+
+// FS is the filesystem-backed store: one directory per kind, one file per
+// record, atomic replace-on-write, and an in-memory index rebuilt by
+// scanning the tree at open.
+type FS struct {
+	root string
+
+	mu     sync.Mutex
+	index  map[string]map[string]int64 // kind → id → payload bytes
+	closed bool
+
+	counters counters
+}
+
+// OpenFS opens (creating if needed) a filesystem store rooted at dir and
+// rebuilds its index by walking the tree: stray temp files from interrupted
+// writes are deleted, and records whose header or length is implausible are
+// dropped, so a crash mid-write can never resurface as a torn or phantom
+// entry.
+func OpenFS(dir string) (*FS, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &FS{root: dir, index: map[string]map[string]int64{}}
+	if err := s.rebuild(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// rebuild scans the tree into the index, removing write residue and torn
+// records as it goes.
+func (s *FS) rebuild() error {
+	kinds, err := os.ReadDir(s.root)
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", s.root, err)
+	}
+	for _, kd := range kinds {
+		if !kd.IsDir() || !validName(kd.Name()) {
+			continue
+		}
+		kind := kd.Name()
+		entries, err := os.ReadDir(filepath.Join(s.root, kind))
+		if err != nil {
+			return fmt.Errorf("store: scanning kind %s: %w", kind, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			name := e.Name()
+			path := filepath.Join(s.root, kind, name)
+			if strings.HasSuffix(name, tmpSuffix) {
+				// Residue of a write interrupted before its rename: the
+				// record it was replacing (if any) is still intact.
+				os.Remove(path)
+				s.counters.drop()
+				continue
+			}
+			if !validName(name) {
+				continue
+			}
+			n, ok := s.verifyHeader(path)
+			if !ok {
+				// Torn record: the header is incomplete or the payload is
+				// shorter than the header promises. It can never be read
+				// back, so drop it rather than index a phantom.
+				os.Remove(path)
+				s.counters.drop()
+				continue
+			}
+			if s.index[kind] == nil {
+				s.index[kind] = map[string]int64{}
+			}
+			s.index[kind][name] = n
+		}
+	}
+	return nil
+}
+
+// verifyHeader checks a record's magic and that the file holds the full
+// payload the header promises, returning the payload length. It reads only
+// the header, so reopening a large store stays cheap; full checksum
+// verification happens on Get.
+func (s *FS) verifyHeader(path string) (int64, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var hdr [fsHeaderSize]byte
+	if _, err := f.Read(hdr[:]); err != nil {
+		return 0, false
+	}
+	if !bytes.Equal(hdr[:8], fsMagic[:]) {
+		return 0, false
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	fi, err := f.Stat()
+	if err != nil || n > (1<<40) || fi.Size() != int64(n)+fsHeaderSize {
+		return 0, false
+	}
+	return int64(n), true
+}
+
+func (s *FS) path(kind, id string) string { return filepath.Join(s.root, kind, id) }
+
+// Put implements Store. The record is written to a temp file in the kind's
+// directory, fsync'd, renamed over the final name, and the directory is
+// fsync'd — the standard atomic-replace recipe, so a crash at any point
+// leaves either the old record or the new one.
+func (s *FS) Put(kind, id string, data []byte) error {
+	if err := checkNames(kind, id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("store: closed")
+	}
+	s.mu.Unlock()
+
+	dir := filepath.Join(s.root, kind)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	var hdr [fsHeaderSize]byte
+	copy(hdr[:8], fsMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(data)))
+	sum := sha256.Sum256(data)
+	copy(hdr[16:48], sum[:])
+
+	var nonce [6]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return fmt.Errorf("store: temp name: %w", err)
+	}
+	tmp := filepath.Join(dir, id+"."+hex.EncodeToString(nonce[:])+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(data)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing %s/%s: %w", kind, id, err)
+	}
+	if err := os.Rename(tmp, s.path(kind, id)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: installing %s/%s: %w", kind, id, err)
+	}
+	syncDir(dir)
+
+	s.mu.Lock()
+	if s.index[kind] == nil {
+		s.index[kind] = map[string]int64{}
+	}
+	s.index[kind][id] = int64(len(data))
+	s.mu.Unlock()
+	s.counters.put()
+	return nil
+}
+
+// Get implements Store, verifying the record's checksum before returning it.
+// A record that fails verification is dropped (and counted), so corruption
+// surfaces as ErrNotFound rather than as garbage artifacts.
+func (s *FS) Get(kind, id string) ([]byte, error) {
+	if err := checkNames(kind, id); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: closed")
+	}
+	_, ok := s.index[kind][id]
+	s.mu.Unlock()
+	if !ok {
+		s.counters.get(false)
+		return nil, ErrNotFound
+	}
+	raw, err := os.ReadFile(s.path(kind, id))
+	if err != nil {
+		s.counters.get(false)
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: reading %s/%s: %w", kind, id, err)
+	}
+	data, err := decodeRecord(raw)
+	if err != nil {
+		// Corrupt at rest: drop it so the failure is permanent and visible
+		// in the stats, not a flaky read.
+		s.dropRecord(kind, id)
+		s.counters.get(false)
+		return nil, fmt.Errorf("store: %s/%s: %w", kind, id, err)
+	}
+	s.counters.get(true)
+	return data, nil
+}
+
+func decodeRecord(raw []byte) ([]byte, error) {
+	if len(raw) < fsHeaderSize || !bytes.Equal(raw[:8], fsMagic[:]) {
+		return nil, fmt.Errorf("%w (truncated or foreign record)", ErrNotFound)
+	}
+	n := binary.LittleEndian.Uint64(raw[8:16])
+	if uint64(len(raw)-fsHeaderSize) != n {
+		return nil, fmt.Errorf("%w (torn record)", ErrNotFound)
+	}
+	payload := raw[fsHeaderSize:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], raw[16:48]) {
+		return nil, fmt.Errorf("%w (checksum mismatch)", ErrNotFound)
+	}
+	return payload, nil
+}
+
+func (s *FS) dropRecord(kind, id string) {
+	os.Remove(s.path(kind, id))
+	s.mu.Lock()
+	delete(s.index[kind], id)
+	s.mu.Unlock()
+	s.counters.drop()
+}
+
+// Delete implements Store.
+func (s *FS) Delete(kind, id string) error {
+	if err := checkNames(kind, id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("store: closed")
+	}
+	_, existed := s.index[kind][id]
+	delete(s.index[kind], id)
+	s.mu.Unlock()
+	if existed {
+		if err := os.Remove(s.path(kind, id)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: deleting %s/%s: %w", kind, id, err)
+		}
+		syncDir(filepath.Join(s.root, kind))
+	}
+	s.counters.del()
+	return nil
+}
+
+// List implements Store.
+func (s *FS) List(kind string) ([]string, error) {
+	if !validName(kind) {
+		return nil, fmt.Errorf("store: invalid kind %q", kind)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	return sortedIDs(s.index[kind]), nil
+}
+
+// Stats implements Store.
+func (s *FS) Stats() Stats {
+	st := Stats{Backend: "fs", Path: s.root, PerKind: map[string]KindStats{}}
+	s.mu.Lock()
+	for kind, ids := range s.index {
+		ks := KindStats{Entries: len(ids)}
+		for _, n := range ids {
+			ks.Bytes += n
+		}
+		if ks.Entries > 0 {
+			st.PerKind[kind] = ks
+			st.Entries += ks.Entries
+			st.Bytes += ks.Bytes
+		}
+	}
+	s.mu.Unlock()
+	s.counters.fill(&st)
+	return st
+}
+
+// Close implements Store. Writes are already fsync'd individually, so Close
+// only marks the store unusable.
+func (s *FS) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed record survives power loss.
+// Errors are ignored: some filesystems reject directory fsync, and the
+// rename itself already ordered the data writes.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

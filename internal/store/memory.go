@@ -1,0 +1,119 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Memory is the in-memory Store: the same semantics as FS minus durability.
+// It backs tests and nodes that run without a -data-dir.
+type Memory struct {
+	mu     sync.Mutex
+	kinds  map[string]map[string][]byte
+	closed bool
+
+	counters counters
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{kinds: map[string]map[string][]byte{}}
+}
+
+// Put implements Store.
+func (s *Memory) Put(kind, id string, data []byte) error {
+	if err := checkNames(kind, id); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.kinds[kind] == nil {
+		s.kinds[kind] = map[string][]byte{}
+	}
+	s.kinds[kind][id] = cp
+	s.counters.put()
+	return nil
+}
+
+// Get implements Store.
+func (s *Memory) Get(kind, id string) ([]byte, error) {
+	if err := checkNames(kind, id); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	data, ok := s.kinds[kind][id]
+	s.counters.get(ok)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete implements Store.
+func (s *Memory) Delete(kind, id string) error {
+	if err := checkNames(kind, id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	delete(s.kinds[kind], id)
+	s.counters.del()
+	return nil
+}
+
+// List implements Store.
+func (s *Memory) List(kind string) ([]string, error) {
+	if !validName(kind) {
+		return nil, fmt.Errorf("store: invalid kind %q", kind)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	sizes := make(map[string]int64, len(s.kinds[kind]))
+	for id := range s.kinds[kind] {
+		sizes[id] = 0
+	}
+	return sortedIDs(sizes), nil
+}
+
+// Stats implements Store.
+func (s *Memory) Stats() Stats {
+	st := Stats{Backend: "memory", PerKind: map[string]KindStats{}}
+	s.mu.Lock()
+	for kind, ids := range s.kinds {
+		ks := KindStats{Entries: len(ids)}
+		for _, data := range ids {
+			ks.Bytes += int64(len(data))
+		}
+		if ks.Entries > 0 {
+			st.PerKind[kind] = ks
+			st.Entries += ks.Entries
+			st.Bytes += ks.Bytes
+		}
+	}
+	s.mu.Unlock()
+	s.counters.fill(&st)
+	return st
+}
+
+// Close implements Store.
+func (s *Memory) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.kinds = map[string]map[string][]byte{}
+	s.mu.Unlock()
+	return nil
+}

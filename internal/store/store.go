@@ -1,0 +1,151 @@
+// Package store is evaserve's durable artifact layer. The EVA deployment
+// model (paper §3) treats programs, encryption parameters, evaluation keys,
+// and ciphertext results as serialized artifacts that flow between a client
+// and an untrusted compute provider; this package gives those artifacts a
+// home that survives process restarts, so a served node restarts warm
+// instead of forgetting every compiled program, installed context, and
+// unfetched job result.
+//
+// A Store is a flat keyspace of (kind, id) → bytes. Kinds partition the
+// artifact classes ("program", "context", "result", "cjob"); ids are
+// caller-chosen — compiled programs use the canonical-serialize SHA-256
+// content hash, so the program namespace is content-addressed. Two backends
+// implement the interface: FS, a stdlib-only filesystem store whose writes
+// are atomic (temp file + rename, fsync'd) and whose records carry a
+// SHA-256 checksum so torn or corrupted entries are detected and dropped
+// when the store reopens; and Memory, for tests and for nodes that opt out
+// of durability.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound reports that no record exists under the requested (kind, id).
+var ErrNotFound = errors.New("store: not found")
+
+// Store is a durable keyed blob store. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// Put durably writes data under (kind, id), replacing any previous value.
+	// The write is atomic: a concurrent crash leaves either the old record,
+	// the new record, or a stray temp file that reopening cleans up — never a
+	// torn record that Get would return.
+	Put(kind, id string, data []byte) error
+	// Get returns the record under (kind, id), or ErrNotFound.
+	Get(kind, id string) ([]byte, error)
+	// Delete removes the record under (kind, id). Deleting a missing record
+	// is not an error.
+	Delete(kind, id string) error
+	// List returns the ids of every record of a kind, sorted.
+	List(kind string) ([]string, error)
+	// Stats snapshots entry/byte counts and hit/miss counters.
+	Stats() Stats
+	// Close flushes and releases the store. A closed store rejects all
+	// further operations.
+	Close() error
+}
+
+// KindStats counts one kind's records.
+type KindStats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Stats is a snapshot of a store's contents and traffic.
+type Stats struct {
+	// Backend names the implementation ("fs" or "memory").
+	Backend string `json:"backend"`
+	// Path is the filesystem root (fs backend only).
+	Path string `json:"path,omitempty"`
+	// Entries and Bytes total the live records across every kind.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// PerKind breaks the totals down by artifact kind.
+	PerKind map[string]KindStats `json:"per_kind,omitempty"`
+	// Gets/Hits/Misses count Get outcomes; Puts and Deletes count writes.
+	Gets    uint64 `json:"gets"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Puts    uint64 `json:"puts"`
+	Deletes uint64 `json:"deletes"`
+	// Dropped counts records discarded as torn or corrupt (fs backend: at
+	// reopen or on a failed checksum during Get).
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// validName reports whether a kind or id is safe as a single path component:
+// non-empty, no separators, no leading dot, and not ending in the temp-file
+// suffix — a record named "*.tmp" would be deleted as crash residue by the
+// next reopen, so such ids must never be accepted in the first place.
+func validName(s string) bool {
+	if s == "" || len(s) > 128 || s[0] == '.' || strings.HasSuffix(s, tmpSuffix) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == '~':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func checkNames(kind, id string) error {
+	if !validName(kind) {
+		return fmt.Errorf("store: invalid kind %q", kind)
+	}
+	if !validName(id) {
+		return fmt.Errorf("store: invalid id %q", id)
+	}
+	return nil
+}
+
+// counters is the shared traffic bookkeeping of both backends.
+type counters struct {
+	mu      sync.Mutex
+	gets    uint64
+	hits    uint64
+	misses  uint64
+	puts    uint64
+	deletes uint64
+	dropped uint64
+}
+
+func (c *counters) get(hit bool) {
+	c.mu.Lock()
+	c.gets++
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+}
+
+func (c *counters) put()  { c.mu.Lock(); c.puts++; c.mu.Unlock() }
+func (c *counters) del()  { c.mu.Lock(); c.deletes++; c.mu.Unlock() }
+func (c *counters) drop() { c.mu.Lock(); c.dropped++; c.mu.Unlock() }
+
+func (c *counters) fill(s *Stats) {
+	c.mu.Lock()
+	s.Gets, s.Hits, s.Misses = c.gets, c.hits, c.misses
+	s.Puts, s.Deletes, s.Dropped = c.puts, c.deletes, c.dropped
+	c.mu.Unlock()
+}
+
+func sortedIDs(m map[string]int64) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

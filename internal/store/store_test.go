@@ -1,0 +1,312 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// backends returns one fresh store per implementation, plus a reopen
+// function (nil for backends without durability).
+func backends(t *testing.T) map[string]func(t *testing.T) (Store, func() Store) {
+	return map[string]func(t *testing.T) (Store, func() Store){
+		"memory": func(t *testing.T) (Store, func() Store) {
+			return NewMemory(), nil
+		},
+		"fs": func(t *testing.T) (Store, func() Store) {
+			dir := t.TempDir()
+			s, err := OpenFS(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s, func() Store {
+				s2, err := OpenFS(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s2
+			}
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s, reopen := mk(t)
+			defer s.Close()
+
+			if _, err := s.Get("program", "nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing record: got %v, want ErrNotFound", err)
+			}
+			data := []byte("compiled program artifact")
+			if err := s.Put("program", "abc123", data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get("program", "abc123")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("got %q, want %q", got, data)
+			}
+			// Overwrite.
+			if err := s.Put("program", "abc123", []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := s.Get("program", "abc123"); string(got) != "v2" {
+				t.Fatalf("after overwrite: got %q", got)
+			}
+			// Second kind, same id: independent namespaces.
+			if err := s.Put("result", "abc123", []byte("r")); err != nil {
+				t.Fatal(err)
+			}
+			ids, err := s.List("program")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ids, []string{"abc123"}) {
+				t.Fatalf("List(program) = %v", ids)
+			}
+			st := s.Stats()
+			if st.Entries != 2 || st.PerKind["program"].Entries != 1 || st.PerKind["result"].Entries != 1 {
+				t.Fatalf("stats: %+v", st)
+			}
+			if err := s.Delete("program", "abc123"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get("program", "abc123"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("after delete: got %v, want ErrNotFound", err)
+			}
+			if err := s.Delete("program", "abc123"); err != nil {
+				t.Fatalf("double delete must be a no-op: %v", err)
+			}
+
+			if reopen != nil {
+				s.Close()
+				s2 := reopen()
+				defer s2.Close()
+				got, err := s2.Get("result", "abc123")
+				if err != nil || string(got) != "r" {
+					t.Fatalf("after reopen: %q, %v", got, err)
+				}
+				if _, err := s2.Get("program", "abc123"); !errors.Is(err, ErrNotFound) {
+					t.Fatalf("deleted record resurfaced after reopen: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s, _ := mk(t)
+			defer s.Close()
+			// "backup.tmp" would be swept as crash residue at the next
+			// reopen, so it must be rejected up front.
+			for _, bad := range []string{"", ".", "..", "a/b", "a\\b", ".hidden", "a b", "x\x00y", "backup.tmp"} {
+				if err := s.Put(bad, "id", nil); err == nil {
+					t.Errorf("Put accepted kind %q", bad)
+				}
+				if err := s.Put("kind", bad, nil); err == nil {
+					t.Errorf("Put accepted id %q", bad)
+				}
+			}
+		})
+	}
+}
+
+func TestClosedStoreRejects(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s, _ := mk(t)
+			s.Close()
+			if err := s.Put("k", "id", []byte("x")); err == nil {
+				t.Error("Put on closed store succeeded")
+			}
+			if _, err := s.Get("k", "id"); err == nil {
+				t.Error("Get on closed store succeeded")
+			}
+		})
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s, _ := mk(t)
+			defer s.Close()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 20; i++ {
+						id := fmt.Sprintf("id-%d-%d", g, i)
+						if err := s.Put("k", id, []byte(id)); err != nil {
+							t.Error(err)
+							return
+						}
+						if got, err := s.Get("k", id); err != nil || string(got) != id {
+							t.Errorf("Get(%s): %q, %v", id, got, err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			ids, err := s.List("k")
+			if err != nil || len(ids) != 160 {
+				t.Fatalf("List: %d ids, %v", len(ids), err)
+			}
+		})
+	}
+}
+
+// TestCrashConsistency simulates a process killed mid-write: stray temp
+// files and torn (truncated) records are left on disk, and reopening must
+// rebuild an index with no torn or phantom entries while keeping every
+// intact record readable.
+func TestCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("program", "intact", []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("program", "torn", bytes.Repeat([]byte("x"), 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("result", "job1", []byte("result-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Crash residue 1: an in-progress temp write that never got renamed.
+	tmp := filepath.Join(dir, "program", "victim.a1b2c3.tmp")
+	if err := os.WriteFile(tmp, []byte("half a record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Crash residue 2: a record truncated below the header size.
+	short := filepath.Join(dir, "result", "shorty")
+	if err := os.WriteFile(short, []byte("EVA"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Crash residue 3: a record whose payload is shorter than its header
+	// promises (torn tail).
+	raw, err := os.ReadFile(filepath.Join(dir, "program", "torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "program", "torn"), raw[:len(raw)-1000], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	// The intact records survive.
+	if got, err := s2.Get("program", "intact"); err != nil || string(got) != "survives" {
+		t.Fatalf("intact record: %q, %v", got, err)
+	}
+	if got, err := s2.Get("result", "job1"); err != nil || string(got) != "result-bytes" {
+		t.Fatalf("result record: %q, %v", got, err)
+	}
+	// The torn and phantom records are gone from the index and from disk.
+	for _, probe := range []struct{ kind, id string }{
+		{"program", "torn"}, {"result", "shorty"}, {"program", "victim"},
+	} {
+		if _, err := s2.Get(probe.kind, probe.id); !errors.Is(err, ErrNotFound) {
+			t.Errorf("%s/%s: got %v, want ErrNotFound", probe.kind, probe.id, err)
+		}
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("stray temp file survived the reopen")
+	}
+	ids, err := s2.List("program")
+	if err != nil || !reflect.DeepEqual(ids, []string{"intact"}) {
+		t.Fatalf("List(program) after crash = %v, %v", ids, err)
+	}
+	if st := s2.Stats(); st.Dropped == 0 {
+		t.Error("dropped counter did not record the cleanup")
+	}
+}
+
+// TestCorruptionDetectedOnGet flips payload bytes in place: the checksum
+// must catch it, the record must be dropped, and the failure must be
+// permanent (ErrNotFound afterwards), not a flaky read.
+func TestCorruptionDetectedOnGet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("context", "ctx1", bytes.Repeat([]byte("k"), 1024)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "context", "ctx1")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[fsHeaderSize+10] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("context", "ctx1"); err == nil {
+		t.Fatal("corrupted record returned without error")
+	}
+	if _, err := s.Get("context", "ctx1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second read: got %v, want ErrNotFound", err)
+	}
+	if st := s.Stats(); st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", st.Dropped)
+	}
+}
+
+// TestAtomicOverwrite: a Put over an existing record either fully replaces
+// it or leaves the old value — the temp+rename dance means a reader can
+// never observe a mix. Exercised by hammering overwrites against readers.
+func TestAtomicOverwrite(t *testing.T) {
+	s, err := OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	vals := [][]byte{bytes.Repeat([]byte("A"), 2048), bytes.Repeat([]byte("B"), 2048)}
+	if err := s.Put("k", "id", vals[0]); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := s.Put("k", "id", vals[i%2]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		got, err := s.Get("k", "id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, vals[0]) && !bytes.Equal(got, vals[1]) {
+			t.Fatal("observed a torn record during concurrent overwrite")
+		}
+	}
+	<-done
+}
