@@ -9,11 +9,19 @@
 //
 //	evaload [-addr http://host:8080] [-jobs 50] [-concurrency 8] [-batches 2]
 //	        [-job-workers 2] [-job-queue 64] [-job-memory-mb 512]
-//	        [-cluster 0] [-kill-owner]
+//	        [-coalesce] [-cluster 0] [-kill-owner]
 //
 // With no -addr, evaload starts an in-process evaserve (demo mode) on a
 // loopback port and drives that, making it a self-contained smoke test: it
 // exits non-zero if any job loses its result or fails.
+//
+// With -coalesce, evaload benchmarks the request coalescer: it drives the
+// same narrow-width rotation-free program first through the plain jobs API
+// (one execution per request) and then through POST /jobs?coalesce=1 (up to
+// 8 concurrent callers packed into one shared execution), verifies every
+// caller's results against the cleartext reference in both phases, and
+// reports amortized per-request latency percentiles, throughput, and the
+// coalesced-over-unbatched speedup plus the server's occupancy metrics.
 //
 // With -cluster N (N >= 2), evaload instead boots an in-process N-node
 // evaserve cluster (each node durable in its own temp directory) and drives
@@ -26,6 +34,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -66,6 +75,18 @@ r = rotl(s, 1);
 out = (s + r) * 0.5@30;
 output out @30;`
 
+// coalesceSource is the program the -coalesce benchmark drives: width-8
+// inputs in a 64-slot vector give the coalescer a capacity of 8 callers per
+// shared batch, and the squaring keeps relinearize + rescale on the hot
+// path. loadSource itself rotates, which coalescing forbids (rotations would
+// mix co-batched callers' slot ranges).
+const coalesceSource = `program coalesce vec=64;
+input x width=8 @30;
+input y width=8 @30;
+s = x * x + y;
+out = s * 0.5@30;
+output out @30;`
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("evaload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -80,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jobMemMB    = fs.Int64("job-memory-mb", 0, "in-process server: job memory budget in MiB (0 = 8192)")
 		clusterN    = fs.Int("cluster", 0, "boot an in-process N-node cluster and drive it through a router (0 = single node)")
 		killOwner   = fs.Bool("kill-owner", false, "cluster mode: kill the context owner after 25% of jobs complete")
+		coalesce    = fs.Bool("coalesce", false, "benchmark POST /jobs?coalesce=1 against the unbatched jobs API")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +110,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	defer cancel()
 	if *clusterN != 0 && *addr != "" {
 		return fmt.Errorf("-cluster starts its own in-process nodes; drop -addr")
+	}
+	if *coalesce && *clusterN != 0 {
+		return fmt.Errorf("-coalesce measures a single node; drop -cluster")
 	}
 	if *clusterN != 0 && *clusterN < 2 {
 		return fmt.Errorf("-cluster needs at least 2 nodes")
@@ -128,6 +153,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "in-process evaserve on %s\n", node.url)
 	default:
 		client = eva.NewClient(*addr)
+	}
+
+	if *coalesce {
+		return runCoalesceBench(ctx, stdout, client, *jobCount, *concurrency)
 	}
 
 	comp, err := client.Compile(ctx, eva.CompileRequest{
@@ -420,6 +449,172 @@ type outcome struct {
 	wait    float64
 	retries int
 	err     error
+}
+
+// runCoalesceBench drives coalesceSource through the plain jobs API (the
+// unbatched baseline) and then through POST /jobs?coalesce=1, verifying
+// every caller's decrypted output against the cleartext reference, and
+// reports amortized per-request latency percentiles, throughput, and the
+// coalesced-over-unbatched speedup.
+func runCoalesceBench(ctx context.Context, stdout io.Writer, client *eva.Client, jobCount, concurrency int) error {
+	comp, err := client.Compile(ctx, eva.CompileRequest{
+		Source:  coalesceSource,
+		Options: &serve.CompileOptionsJSON{AllowInsecure: true},
+	})
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	ectx, err := client.NewKeygenContext(ctx, comp.ID, 42)
+	if err != nil {
+		return fmt.Errorf("context (the server must run -demo): %w", err)
+	}
+	fmt.Fprintf(stdout, "coalesce bench: program %s, context %s, %d requests, concurrency %d\n",
+		comp.ID, ectx.ContextID, jobCount, concurrency)
+
+	// inputs gives caller i its own width-8 vectors; check verifies a
+	// caller's decrypted slice against the cleartext (x²+y)·0.5 within the
+	// CKKS approximation tolerance — co-batched callers must come back with
+	// exactly their own data.
+	inputs := func(i int) (x, y []float64) {
+		x, y = make([]float64, 8), make([]float64, 8)
+		for k := range x {
+			x[k] = float64(i%7+1) + float64(k)*0.25
+			y[k] = float64(k + 1)
+		}
+		return
+	}
+	check := func(i int, out []float64) error {
+		x, y := inputs(i)
+		if len(out) < len(x) {
+			return fmt.Errorf("request %d: %d output slots; want >= %d", i, len(out), len(x))
+		}
+		for k := range x {
+			want := (x[k]*x[k] + y[k]) * 0.5
+			if math.Abs(out[k]-want) > 1e-2 {
+				return fmt.Errorf("request %d slot %d: got %v, want %v", i, k, out[k], want)
+			}
+		}
+		return nil
+	}
+	request := func(i int) eva.JobRequest {
+		x, y := inputs(i)
+		return eva.JobRequest{
+			ProgramID: comp.ID,
+			ContextID: ectx.ContextID,
+			Batches:   []eva.ExecuteBatch{{Values: map[string][]float64{"x": x, "y": y}}},
+		}
+	}
+	retry := eva.RetryPolicy{MaxAttempts: -1, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second}
+
+	// Phase 1: unbatched baseline — one full job per request.
+	baseLat, baseElapsed, err := drivePhase(ctx, jobCount, concurrency, func(ctx context.Context, i int) error {
+		req := request(i)
+		var status eva.JobStatusInfo
+		err := client.DoWithRetry(ctx, retry, func(ctx context.Context) error {
+			var err error
+			status, err = client.SubmitJob(ctx, req)
+			return err
+		}, nil)
+		if err != nil {
+			return fmt.Errorf("submit: %w", err)
+		}
+		final, err := client.WaitJob(ctx, status.JobID)
+		if err != nil {
+			return fmt.Errorf("wait: %w", err)
+		}
+		if final.Status != "done" {
+			return fmt.Errorf("terminal status %q: %s", final.Status, final.Error)
+		}
+		res, err := client.FetchJobResult(ctx, status.JobID)
+		if err != nil {
+			return fmt.Errorf("fetch: %w", err)
+		}
+		if len(res.Results) != 1 {
+			return fmt.Errorf("%d results; want 1", len(res.Results))
+		}
+		if res.Results[0].Error != "" {
+			return fmt.Errorf("batch: %s", res.Results[0].Error)
+		}
+		return check(i, res.Results[0].Values["out"])
+	})
+	if err != nil {
+		return fmt.Errorf("unbatched phase: %w", err)
+	}
+	baseTput := float64(jobCount) / baseElapsed.Seconds()
+	fmt.Fprintf(stdout, "unbatched: %d requests in %.2fs (%.1f req/s)  p50 %.1fms  p90 %.1fms  p99 %.1fms\n",
+		jobCount, baseElapsed.Seconds(), baseTput,
+		ms(pct(baseLat, 0.50)), ms(pct(baseLat, 0.90)), ms(pct(baseLat, 0.99)))
+
+	// Phase 2: coalesced — concurrent callers share batched executions; each
+	// call blocks until its batch ran, so its wall time IS the amortized
+	// per-request latency.
+	coalLat, coalElapsed, err := drivePhase(ctx, jobCount, concurrency, func(ctx context.Context, i int) error {
+		req := request(i)
+		var resp eva.CoalesceResponse
+		err := client.DoWithRetry(ctx, retry, func(ctx context.Context) error {
+			var err error
+			resp, err = client.SubmitCoalesced(ctx, req)
+			return err
+		}, nil)
+		if err != nil {
+			return fmt.Errorf("submit: %w", err)
+		}
+		if resp.Result.Error != "" {
+			return fmt.Errorf("batch %s: %s", resp.BatchJobID, resp.Result.Error)
+		}
+		return check(i, resp.Result.Values["out"])
+	})
+	if err != nil {
+		return fmt.Errorf("coalesced phase: %w", err)
+	}
+	coalTput := float64(jobCount) / coalElapsed.Seconds()
+	fmt.Fprintf(stdout, "coalesced: %d requests in %.2fs (%.1f req/s)  amortized p50 %.1fms  p90 %.1fms  p99 %.1fms\n",
+		jobCount, coalElapsed.Seconds(), coalTput,
+		ms(pct(coalLat, 0.50)), ms(pct(coalLat, 0.90)), ms(pct(coalLat, 0.99)))
+	fmt.Fprintf(stdout, "speedup: %.1fx throughput over unbatched\n", coalTput/baseTput)
+
+	if resp, err := client.DoRaw(ctx, http.MethodGet, "/metrics", nil, nil); err == nil {
+		defer resp.Body.Close()
+		var rep serve.MetricsReport
+		if json.NewDecoder(resp.Body).Decode(&rep) == nil && rep.Coalesce != nil {
+			cs := rep.Coalesce
+			fmt.Fprintf(stdout, "server coalesce metrics: %d batches for %d requests (mean size %.1f), slot occupancy %.2f, amortized %.1fms/request\n",
+				cs.Batches, cs.Requests, cs.MeanBatchSize, cs.Occupancy, cs.AmortizedRequestMS)
+		}
+	}
+	return nil
+}
+
+// drivePhase runs jobCount requests through one at the given concurrency and
+// returns the sorted per-request latencies plus the phase's wall time. Any
+// request failure fails the whole phase — this is a correctness smoke as
+// much as a benchmark.
+func drivePhase(ctx context.Context, jobCount, concurrency int, one func(ctx context.Context, i int) error) ([]time.Duration, time.Duration, error) {
+	latencies := make([]time.Duration, jobCount)
+	errs := make([]error, jobCount)
+	sem := make(chan struct{}, max(1, concurrency))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < jobCount; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			reqStart := time.Now()
+			errs[i] = one(ctx, i)
+			latencies[i] = time.Since(reqStart)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return nil, elapsed, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	return latencies, elapsed, nil
 }
 
 // pct returns the q-quantile of an ascending-sorted slice (nearest-rank).

@@ -24,8 +24,15 @@
 //
 //	evaserve [-addr :8080] [-cache 128] [-workers 0] [-batches 0] [-demo]
 //	         [-job-workers 2] [-job-queue 64] [-job-memory-mb 8192] [-result-ttl 2m]
+//	         [-coalesce-max 64] [-coalesce-wait 25ms]
 //	         [-data-dir /var/lib/evaserve] [-drain-timeout 30s]
 //	         [-node-id n1] [-peers n2=http://host2:8080,n3=http://host3:8080]
+//
+// POST /jobs?coalesce=1 opts a submission into cross-request coalescing:
+// compatible concurrent callers (same program and context, rotation-free,
+// narrow input width) are packed into disjoint slot ranges of one shared
+// execution — -coalesce-max bounds how many callers share a batch and
+// -coalesce-wait bounds how long the first caller waits for company.
 //
 // -demo enables server-side key generation ("keygen" contexts): the server
 // then holds secret keys and accepts plaintext values, which breaks the
@@ -107,6 +114,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		jobQueue  = fs.Int("job-queue", 0, "async job queue depth (0 = 64)")
 		jobMemMB  = fs.Int64("job-memory-mb", 0, "admitted-jobs ciphertext memory budget in MiB (0 = 8192)")
 		resultTTL = fs.Duration("result-ttl", 0, "retention of finished jobs and unfetched results (0 = 2m)")
+		coalMax   = fs.Int("coalesce-max", 0, "max callers packed into one coalesced batch (0 = 64)")
+		coalWait  = fs.Duration("coalesce-wait", 0, "max wait for co-batched company before a coalesced batch runs (0 = 25ms)")
 		resultRet = fs.Duration("result-retention", 0, "retention of persisted unfetched results in the store (0 = 24h, <0 = forever)")
 		dataDir   = fs.String("data-dir", "", "durable artifact store directory (empty = in-memory only)")
 		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
@@ -144,6 +153,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		JobQueueDepth:        *jobQueue,
 		JobMemoryBudgetBytes: *jobMemMB << 20,
 		JobResultTTL:         *resultTTL,
+		CoalesceMaxBatch:     *coalMax,
+		CoalesceMaxWait:      *coalWait,
 		ResultRetention:      *resultRet,
 		Store:                st,
 		NodeID:               *nodeID,

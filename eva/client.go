@@ -42,6 +42,8 @@ type (
 	JobStatusInfo = serve.JobStatus
 	// JobResult is the body of GET /jobs/{id}/result.
 	JobResult = serve.JobResult
+	// CoalesceResponse is the body returned by POST /jobs?coalesce=1.
+	CoalesceResponse = serve.CoalesceResponse
 	// JobEvent is one entry of a job's progress stream (SSE payload).
 	JobEvent = jobs.Event
 )
@@ -271,6 +273,21 @@ func (c *Client) Execute(ctx context.Context, programID string, req ExecuteReque
 func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (JobStatusInfo, error) {
 	var out JobStatusInfo
 	err := c.do(ctx, http.MethodPost, "/jobs", req, &out)
+	return out, err
+}
+
+// SubmitCoalesced submits a single-batch job to the server's request
+// coalescer (POST /jobs?coalesce=1): the server packs compatible concurrent
+// callers into disjoint slot ranges of one shared execution and the call
+// blocks until that batch has run, returning this caller's own slice of the
+// results. The program must be rotation-free with a narrow input width, the
+// context must be a server-keygen (demo) context, and co-batched callers
+// share a ciphertext — see the README's "Request coalescing" section for the
+// compatibility rules and trust model. Cancelling ctx while waiting evicts
+// only this caller; co-batched requests proceed.
+func (c *Client) SubmitCoalesced(ctx context.Context, req JobRequest) (CoalesceResponse, error) {
+	var out CoalesceResponse
+	err := c.do(ctx, http.MethodPost, "/jobs?coalesce=1", req, &out)
 	return out, err
 }
 

@@ -1,0 +1,59 @@
+package coalesce
+
+import (
+	"fmt"
+
+	"eva/internal/compile"
+	"eva/internal/core"
+)
+
+// Compatible decides whether a compiled program can host coalesced
+// execution, and at what stride. The rules:
+//
+//   - The program must not rotate. A rotation moves data across slot-range
+//     boundaries, so caller j's slots would read caller j±1's data; the
+//     unbatched replicated encoding is immune (rotating a w-periodic vector
+//     is a per-period rotation) but a packed one is not. Both compiler-era
+//     and source rotations count — a rotation on an all-plain operand needs
+//     no Galois key yet still crosses ranges.
+//
+//   - The stride is the widest leaf of the program (inputs and constants;
+//     widths are powers of two, so the max is also the least common
+//     multiple). Constants narrower than the stride tile identically into
+//     every stride-aligned range, which keeps packed slots equal to the
+//     unbatched cleartext.
+//
+//   - At least two callers must fit (stride·2 ≤ VecSize); a full-width
+//     program has nothing to amortize.
+func Compatible(res *compile.Result) (stride int, err error) {
+	prog := res.Program
+	for _, t := range prog.Terms() {
+		if t.Op.IsRotation() {
+			return 0, fmt.Errorf("coalesce: program %q rotates (op %s); rotations cross slot-range boundaries", prog.Name, t.Op)
+		}
+		if t.IsLeaf() && t.VecWidth > stride {
+			stride = t.VecWidth
+		}
+	}
+	if stride <= 0 {
+		stride = 1
+	}
+	if stride*2 > prog.VecSize {
+		return 0, fmt.Errorf("coalesce: program %q has width %d of %d slots; nothing to coalesce", prog.Name, stride, prog.VecSize)
+	}
+	return stride, nil
+}
+
+// CipherInputs returns the names of the program's encrypted inputs — the
+// inputs a coalesced caller must supply as plaintext values (the server
+// packs and encrypts them), since client-encrypted ciphertexts cannot be
+// packed without one masking multiply per caller.
+func CipherInputs(prog *core.Program) []string {
+	var names []string
+	for _, in := range prog.Inputs() {
+		if in.InType == core.TypeCipher {
+			names = append(names, in.Name)
+		}
+	}
+	return names
+}

@@ -1,0 +1,93 @@
+package coalesce
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzDemux throws adversarial batch layouts and result vectors at Demux.
+// The ranges are decoded raw from fuzz data — arbitrary starts and widths,
+// including negative, zero, overlapping, and out-of-range — because Demux is
+// the boundary where a corrupt layout would hand one tenant another
+// tenant's slots. Invariants, for every input whatsoever:
+//
+//   - Demux never panics;
+//   - on success, every returned slice has exactly its range's width, its
+//     values are exactly the shared vector's slots for that range (no slot
+//     from outside the range ever appears), and no slice aliases the shared
+//     vector or another caller's slice;
+//   - a layout with any out-of-range rule violation is rejected with an
+//     error, never partially demuxed.
+func FuzzDemux(f *testing.F) {
+	// Seeds: a valid 2-caller layout, an overlapping one, a negative start,
+	// a width past the vector, and an empty everything.
+	f.Add(16, 4, 2, []byte{0, 4, 4, 4}, 16)
+	f.Add(16, 4, 2, []byte{0, 8, 4, 8}, 16)
+	f.Add(16, 4, 1, []byte{255, 4}, 16)
+	f.Add(16, 4, 1, []byte{12, 8}, 16)
+	f.Add(0, 0, 0, []byte{}, 0)
+
+	f.Fuzz(func(t *testing.T, vecSize, stride, n int, rangeData []byte, vecLen int) {
+		if vecLen < 0 || vecLen > 1<<14 {
+			return
+		}
+		if n < 0 || n > 1<<10 {
+			return
+		}
+		vec := make([]float64, vecLen)
+		for i := range vec {
+			vec[i] = math.Sqrt(float64(i + 1)) // distinct per slot, so leaks are visible
+		}
+
+		// Decode n ranges from the raw bytes: two signed values each, byte
+		// pairs little-endian-ish, sign-extended via int16 so negatives occur.
+		l := Layout{VecSize: vecSize, Stride: stride, Ranges: make([]Range, n)}
+		for j := range l.Ranges {
+			var s, w int16
+			if len(rangeData) >= 4*(j+1) {
+				s = int16(binary.LittleEndian.Uint16(rangeData[4*j:]))
+				w = int16(binary.LittleEndian.Uint16(rangeData[4*j+2:]))
+			}
+			l.Ranges[j] = Range{Start: int(s), Width: int(w)}
+		}
+
+		out, err := Demux(l, vec) // must not panic, whatever the layout
+		if err != nil {
+			if out != nil {
+				t.Fatalf("Demux returned both slices and error %v", err)
+			}
+			return
+		}
+		if len(out) != n {
+			t.Fatalf("Demux returned %d slices for %d ranges", len(out), n)
+		}
+		for j, s := range out {
+			r := l.Ranges[j]
+			// Success implies every range was in bounds.
+			if r.Start < 0 || r.Width <= 0 || r.End() > len(vec) {
+				t.Fatalf("Demux accepted out-of-range rule %d: [%d,%d) over %d slots", j, r.Start, r.End(), len(vec))
+			}
+			if len(s) != r.Width {
+				t.Fatalf("caller %d: %d slots for a width-%d range", j, len(s), r.Width)
+			}
+			for i := range s {
+				if s[i] != vec[r.Start+i] {
+					t.Fatalf("caller %d slot %d: got %v, want slot %d = %v — slots leaked across ranges", j, i, s[i], r.Start+i, vec[r.Start+i])
+				}
+			}
+		}
+		// No aliasing: scribble over every slice; the shared vector and the
+		// other slices must keep their per-slot-unique values.
+		for _, s := range out {
+			for i := range s {
+				s[i] = -1
+			}
+		}
+		for i := range vec {
+			if vec[i] != math.Sqrt(float64(i+1)) {
+				t.Fatalf("demuxed slice aliases the shared vector at slot %d", i)
+			}
+		}
+	})
+}

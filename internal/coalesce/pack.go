@@ -1,0 +1,144 @@
+// Package coalesce implements cross-request SIMD batching for evaserve: it
+// groups compatible submissions — same compiled program, same execution
+// context — into one shared homomorphic execution, packing each caller's
+// inputs into a disjoint slot range of the program's vector and
+// demultiplexing per-caller result slices afterwards. EVA's whole premise is
+// vector semantics over thousands of CKKS slots, yet one narrow request
+// would otherwise occupy an entire ciphertext: a width-4 job wastes 4092 of
+// 4096 slots. Packing k callers into one run amortizes every homomorphic
+// operation k ways.
+//
+// The package has two layers. This file is the pure slot arithmetic —
+// layouts, packing, demultiplexing — with no concurrency and no FHE
+// dependencies, so it can be property-tested and fuzzed exhaustively; a
+// packing bug here silently hands one tenant another tenant's slots, which
+// is why the test layer is as load-bearing as the code. coalesce.go adds the
+// runtime: a bounded batch per (program, context) key with a max-wait timer
+// and a per-caller response channel.
+//
+// Slot semantics. An unbatched width-w caller has its inputs replicated
+// across the full vector (full[i] = v[i mod len(v)]), so for a program with
+// no rotations slot i of every result depends only on slot i of the inputs.
+// Packing therefore writes caller j's tiled inputs into slots
+// [j·w, (j+1)·w) and reads its results back from the same range; the
+// cleartext in those slots is identical to the first w slots of the caller's
+// own unbatched run. Rotations break this (they move data across range
+// boundaries), which is why compat.go rejects programs that rotate.
+package coalesce
+
+import (
+	"fmt"
+
+	"eva/internal/execute"
+)
+
+// Range is one caller's slot range within a shared vector.
+type Range struct {
+	Start int `json:"start"`
+	Width int `json:"width"`
+}
+
+// End returns the exclusive upper slot bound.
+func (r Range) End() int { return r.Start + r.Width }
+
+// Layout assigns disjoint, width-aligned slot ranges of a shared vector to
+// the callers of one sealed batch, in submission order.
+type Layout struct {
+	VecSize int
+	Stride  int
+	Ranges  []Range
+}
+
+// Occupancy is the fraction of the vector's slots carrying caller data.
+func (l Layout) Occupancy() float64 {
+	if l.VecSize == 0 {
+		return 0
+	}
+	used := 0
+	for _, r := range l.Ranges {
+		used += r.Width
+	}
+	return float64(used) / float64(l.VecSize)
+}
+
+// PlanLayout lays out n callers of width stride over a vecSize-slot vector:
+// caller j gets slots [j·stride, (j+1)·stride). Both sizes must be powers of
+// two (CKKS slot counts and EVA vector widths always are) with
+// n·stride ≤ vecSize, so every range is stride-aligned and the ranges
+// exactly tile a prefix of the vector.
+func PlanLayout(vecSize, stride, n int) (Layout, error) {
+	if vecSize <= 0 || vecSize&(vecSize-1) != 0 {
+		return Layout{}, fmt.Errorf("coalesce: vector size %d is not a positive power of two", vecSize)
+	}
+	if stride <= 0 || stride&(stride-1) != 0 {
+		return Layout{}, fmt.Errorf("coalesce: stride %d is not a positive power of two", stride)
+	}
+	if stride > vecSize {
+		return Layout{}, fmt.Errorf("coalesce: stride %d exceeds vector size %d", stride, vecSize)
+	}
+	if n < 1 {
+		return Layout{}, fmt.Errorf("coalesce: a layout needs at least one caller, got %d", n)
+	}
+	if n*stride > vecSize {
+		return Layout{}, fmt.Errorf("coalesce: %d callers of width %d exceed the %d slots available", n, stride, vecSize)
+	}
+	l := Layout{VecSize: vecSize, Stride: stride, Ranges: make([]Range, n)}
+	for j := range l.Ranges {
+		l.Ranges[j] = Range{Start: j * stride, Width: stride}
+	}
+	return l, nil
+}
+
+// Capacity returns how many width-stride callers fit into a vecSize-slot
+// vector, additionally bounded by maxBatch when maxBatch > 0.
+func Capacity(vecSize, stride, maxBatch int) int {
+	if stride <= 0 || vecSize < stride {
+		return 0
+	}
+	c := vecSize / stride
+	if maxBatch > 0 && c > maxBatch {
+		c = maxBatch
+	}
+	return c
+}
+
+// Pack tiles each caller's input vector into its slot range of a fresh
+// shared vector using execute.Replicate — the executor's own input-widening
+// rule — so the cleartext a caller's slots carry is identical to its
+// unbatched run: packed[range_j.Start+i] = inputs[j][i mod len(inputs[j])].
+// Slots owned by no caller (a partially filled batch) are zero. Every input
+// must have between 1 and stride values.
+func Pack(l Layout, inputs [][]float64) ([]float64, error) {
+	if len(inputs) != len(l.Ranges) {
+		return nil, fmt.Errorf("coalesce: %d inputs for a layout of %d callers", len(inputs), len(l.Ranges))
+	}
+	packed := make([]float64, l.VecSize)
+	for j, v := range inputs {
+		if len(v) == 0 || len(v) > l.Stride {
+			return nil, fmt.Errorf("coalesce: caller %d has %d values; want 1..%d", j, len(v), l.Stride)
+		}
+		r := l.Ranges[j]
+		copy(packed[r.Start:r.End()], execute.Replicate(v, r.Width))
+	}
+	return packed, nil
+}
+
+// Demux slices one shared result vector back into per-caller copies:
+// out[j][i] = vec[range_j.Start+i]. Every returned slice is a fresh copy —
+// never an alias of vec or of another caller's slice — so handing a caller
+// its result cannot leak co-batched tenants' slots, and the shared vector
+// can be recycled. vec must cover every range of the layout.
+func Demux(l Layout, vec []float64) ([][]float64, error) {
+	for j, r := range l.Ranges {
+		if r.Start < 0 || r.Width <= 0 || r.End() > len(vec) {
+			return nil, fmt.Errorf("coalesce: caller %d range [%d,%d) is outside the %d-slot result", j, r.Start, r.End(), len(vec))
+		}
+	}
+	out := make([][]float64, len(l.Ranges))
+	for j, r := range l.Ranges {
+		s := make([]float64, r.Width)
+		copy(s, vec[r.Start:r.End()])
+		out[j] = s
+	}
+	return out, nil
+}

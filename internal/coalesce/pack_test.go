@@ -1,0 +1,220 @@
+package coalesce
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"eva/internal/execute"
+)
+
+// instance is one randomly generated packing problem: a vector size, a
+// stride, and per-caller input vectors of random lengths in 1..stride.
+type instance struct {
+	VecSize int
+	Stride  int
+	Inputs  [][]float64
+}
+
+// Generate implements quick.Generator: power-of-two geometry with
+// 1..capacity callers, so every generated instance is admissible.
+func (instance) Generate(r *rand.Rand, _ int) reflect.Value {
+	vecSize := 1 << (2 + r.Intn(11)) // 4..8192
+	stride := 1 << r.Intn(log2(vecSize))
+	n := 1 + r.Intn(vecSize/stride)
+	inputs := make([][]float64, n)
+	for j := range inputs {
+		v := make([]float64, 1+r.Intn(stride))
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		inputs[j] = v
+	}
+	return reflect.ValueOf(instance{VecSize: vecSize, Stride: stride, Inputs: inputs})
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// TestLayoutProperties: for random admissible instances, PlanLayout's ranges
+// are disjoint, width-aligned, in order, and within the vector.
+func TestLayoutProperties(t *testing.T) {
+	prop := func(in instance) bool {
+		l, err := PlanLayout(in.VecSize, in.Stride, len(in.Inputs))
+		if err != nil {
+			t.Errorf("PlanLayout(%d,%d,%d): %v", in.VecSize, in.Stride, len(in.Inputs), err)
+			return false
+		}
+		if len(l.Ranges) != len(in.Inputs) {
+			return false
+		}
+		prevEnd := 0
+		for _, r := range l.Ranges {
+			if r.Width != in.Stride {
+				t.Errorf("range width %d != stride %d", r.Width, in.Stride)
+				return false
+			}
+			if r.Start%r.Width != 0 {
+				t.Errorf("range start %d not aligned to width %d", r.Start, r.Width)
+				return false
+			}
+			if r.Start < prevEnd {
+				t.Errorf("range [%d,%d) overlaps previous end %d", r.Start, r.End(), prevEnd)
+				return false
+			}
+			if r.End() > in.VecSize {
+				t.Errorf("range end %d exceeds vec size %d", r.End(), in.VecSize)
+				return false
+			}
+			prevEnd = r.End()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackDemuxRoundTrip: pack → demux returns every caller's replicated
+// plaintext exactly (pure float copying, no tolerance), and slots owned by
+// no caller stay zero.
+func TestPackDemuxRoundTrip(t *testing.T) {
+	prop := func(in instance) bool {
+		l, err := PlanLayout(in.VecSize, in.Stride, len(in.Inputs))
+		if err != nil {
+			t.Errorf("PlanLayout: %v", err)
+			return false
+		}
+		packed, err := Pack(l, in.Inputs)
+		if err != nil {
+			t.Errorf("Pack: %v", err)
+			return false
+		}
+		if len(packed) != in.VecSize {
+			return false
+		}
+		for i := len(in.Inputs) * in.Stride; i < in.VecSize; i++ {
+			if packed[i] != 0 {
+				t.Errorf("unowned slot %d = %v; want 0", i, packed[i])
+				return false
+			}
+		}
+		out, err := Demux(l, packed)
+		if err != nil {
+			t.Errorf("Demux: %v", err)
+			return false
+		}
+		for j, v := range in.Inputs {
+			want := execute.Replicate(v, in.Stride)
+			got := out[j]
+			if len(got) != len(want) {
+				t.Errorf("caller %d: %d slots; want %d", j, len(got), len(want))
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] { // exact: packing is copying
+					t.Errorf("caller %d slot %d: got %v, want %v", j, i, got[i], want[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDemuxNeverAliases: mutating one caller's demuxed slice must not leak
+// into another caller's slice or the shared vector.
+func TestDemuxNeverAliases(t *testing.T) {
+	l, err := PlanLayout(16, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]float64, 16)
+	for i := range vec {
+		vec[i] = float64(i)
+	}
+	out, err := Demux(l, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out[0] {
+		out[0][i] = -1
+	}
+	if vec[0] != 0 {
+		t.Error("mutating a demuxed slice wrote through to the shared vector")
+	}
+	for j := 1; j < len(out); j++ {
+		for i, v := range out[j] {
+			if v != float64(l.Ranges[j].Start+i) {
+				t.Fatalf("caller %d slot %d changed to %v after mutating caller 0", j, i, v)
+			}
+		}
+	}
+}
+
+// TestPlanLayoutErrors: geometry violations are rejected, never mis-planned.
+func TestPlanLayoutErrors(t *testing.T) {
+	cases := []struct {
+		name               string
+		vecSize, stride, n int
+	}{
+		{"zero vec", 0, 1, 1},
+		{"non-pow2 vec", 12, 4, 1},
+		{"zero stride", 16, 0, 1},
+		{"non-pow2 stride", 16, 3, 1},
+		{"stride over vec", 8, 16, 1},
+		{"zero callers", 16, 4, 0},
+		{"over capacity", 16, 4, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := PlanLayout(tc.vecSize, tc.stride, tc.n); err == nil {
+				t.Errorf("PlanLayout(%d,%d,%d) succeeded; want error", tc.vecSize, tc.stride, tc.n)
+			}
+		})
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	l, err := PlanLayout(16, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pack(l, [][]float64{{1}}); err == nil {
+		t.Error("Pack with wrong caller count succeeded")
+	}
+	if _, err := Pack(l, [][]float64{{1}, {}}); err == nil {
+		t.Error("Pack with empty input succeeded")
+	}
+	if _, err := Pack(l, [][]float64{{1}, {1, 2, 3, 4, 5}}); err == nil {
+		t.Error("Pack with over-wide input succeeded")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	cases := []struct {
+		vecSize, stride, maxBatch, want int
+	}{
+		{4096, 4, 0, 1024},
+		{4096, 4, 64, 64},
+		{16, 8, 0, 2},
+		{16, 16, 0, 1},
+		{16, 32, 0, 0},
+		{16, 0, 8, 0},
+	}
+	for _, tc := range cases {
+		if got := Capacity(tc.vecSize, tc.stride, tc.maxBatch); got != tc.want {
+			t.Errorf("Capacity(%d,%d,%d) = %d; want %d", tc.vecSize, tc.stride, tc.maxBatch, got, tc.want)
+		}
+	}
+}

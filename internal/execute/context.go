@@ -274,10 +274,15 @@ func PreparePlain(res *compile.Result, name string, v []float64) ([]float64, err
 	if len(v) == 0 || len(v) > res.Program.VecSize {
 		return nil, fmt.Errorf("execute: input %q has %d values; want 1..%d", name, len(v), res.Program.VecSize)
 	}
-	return replicate(v, res.Program.VecSize), nil
+	return Replicate(v, res.Program.VecSize), nil
 }
 
-func replicate(v []float64, size int) []float64 {
+// Replicate tiles a vector to the given size: out[i] = v[i mod len(v)]. This
+// is the executor's input-widening rule (inputs, constants, and plain wire
+// inputs all widen this way); internal/coalesce packs callers into slot
+// ranges with the same formula so a packed range carries exactly the
+// cleartext an unbatched run would.
+func Replicate(v []float64, size int) []float64 {
 	out := make([]float64, size)
 	for i := range out {
 		out[i] = v[i%len(v)]

@@ -21,7 +21,7 @@ func RunReference(p *core.Program, values Inputs) (map[string][]float64, error) 
 		if len(v) == 0 || len(v) > p.VecSize {
 			return nil, fmt.Errorf("execute: input %q has %d values; want 1..%d", in.Name, len(v), p.VecSize)
 		}
-		env[in] = replicate(v, p.VecSize)
+		env[in] = Replicate(v, p.VecSize)
 	}
 	for _, t := range p.TopoSort() {
 		if t.Op == core.OpInput {
@@ -43,7 +43,7 @@ func RunReference(p *core.Program, values Inputs) (map[string][]float64, error) 
 func evalReference(t *core.Term, env map[*core.Term][]float64, vecSize int) ([]float64, error) {
 	switch t.Op {
 	case core.OpConstant:
-		return replicate(t.Value, vecSize), nil
+		return Replicate(t.Value, vecSize), nil
 	case core.OpNegate:
 		return mapVec(env[t.Parm(0)], func(x float64) float64 { return -x }), nil
 	case core.OpAdd:

@@ -446,7 +446,7 @@ func (st *runState) eval(t *core.Term) (*value, error) {
 		}
 		return nil, fmt.Errorf("execute: no value supplied for input %q", t.Name)
 	case core.OpConstant:
-		return &value{plain: replicate(t.Value, st.vecSize)}, nil
+		return &value{plain: Replicate(t.Value, st.vecSize)}, nil
 	case core.OpNegate:
 		a, err := st.operand(t.Parm(0))
 		if err != nil {

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"eva/internal/coalesce"
+	"eva/internal/core"
+	"eva/internal/execute"
+)
+
+// Request coalescing (POST /jobs?coalesce=1) packs many compatible narrow
+// requests into one shared homomorphic execution: same program, same
+// context, width·k ≤ VecSize, no rotations. The handler validates each
+// caller up front (a bad request is rejected with 400 and never joins a
+// batch), blocks in the coalescer until its batch runs, and returns that
+// caller's demuxed slice synchronously. The batch itself is one ordinary
+// job through the manager — admission control charges the shared
+// ciphertexts once, not once per caller, and GET /jobs/{batch_job_id}
+// reports the batch (stats only; per-caller values are delivered to the
+// callers and never retained).
+//
+// Trust model: co-batched callers share a ciphertext, so coalescing is
+// limited to server-keygen (demo/shared-key) contexts — the server packs
+// plaintext values and encrypts once. Client-encrypted ciphertexts cannot
+// be packed without a masking multiply per caller. Programs whose inputs
+// are all plain need no keys and coalesce on any context.
+
+// CoalesceResponse is the body returned to one caller of a coalesced
+// submission: its own demuxed result plus where it rode — the underlying
+// batch job, how many callers shared it, the caller's slot range, and the
+// slot occupancy of the packed ciphertext. Stats inside Result are the
+// whole batch's (the amortized per-caller cost is WallMillis/BatchSize).
+type CoalesceResponse struct {
+	ProgramID  string         `json:"program_id"`
+	ContextID  string         `json:"context_id"`
+	BatchJobID string         `json:"batch_job_id"`
+	BatchSize  int            `json:"batch_size"`
+	Slot       coalesce.Range `json:"slot"`
+	Occupancy  float64        `json:"occupancy"`
+	WaitMillis float64        `json:"wait_ms"`
+	Result     BatchResult    `json:"result"`
+}
+
+// coalesceRequested reports whether a /jobs submission opted into
+// cross-request batching.
+func coalesceRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("coalesce") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// handleCoalescedSubmit validates one caller's submission and parks it in
+// the coalescer. Everything that can be wrong with a request is rejected
+// here, before it joins a batch, so one malformed caller can never poison
+// co-batched peers.
+func (s *Server) handleCoalescedSubmit(w http.ResponseWriter, r *http.Request, req *JobRequest) {
+	ce, entry, status, err := s.resolveExecution(req.ProgramID, req.ContextID)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	if len(req.Batches) != 1 {
+		writeError(w, http.StatusBadRequest, "a coalesced submission carries exactly one batch, got %d", len(req.Batches))
+		return
+	}
+	stride, err := coalesce.Compatible(entry.Result)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	batch := &req.Batches[0]
+	if len(batch.Cipher) > 0 {
+		writeError(w, http.StatusBadRequest, "coalescing cannot pack client-encrypted ciphertexts; submit plaintext \"values\" against a server-keygen (demo) context, or POST /jobs without coalesce=1")
+		return
+	}
+	prog := entry.Result.Program
+	inputs := make(map[string][]float64, len(prog.Inputs()))
+	for _, in := range prog.Inputs() {
+		var v []float64
+		var ok bool
+		if in.InType == core.TypeCipher {
+			if ce.Keys == nil {
+				writeError(w, http.StatusBadRequest, "coalescing encrypted input %q needs a server-keygen (demo) context; this context has no keys", in.Name)
+				return
+			}
+			v, ok = batch.Values[in.Name]
+		} else {
+			v, ok = batch.Plain[in.Name]
+		}
+		if !ok {
+			writeError(w, http.StatusBadRequest, "missing value for input %q", in.Name)
+			return
+		}
+		if len(v) == 0 || len(v) > stride {
+			writeError(w, http.StatusBadRequest, "input %q has %d values; a coalesced caller supplies 1..%d (the program's slot stride)", in.Name, len(v), stride)
+			return
+		}
+		inputs[in.Name] = v
+	}
+
+	d, err := s.coalescer.Submit(r.Context(), &coalesce.Request{
+		Key:     coalesce.Key{Program: entry.ID, Context: ce.ID},
+		VecSize: prog.VecSize,
+		Stride:  stride,
+		Inputs:  inputs,
+	})
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			// The caller is gone; there is no one to answer.
+		case errors.Is(err, coalesce.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			// Admission errors surface with their usual status codes
+			// (429/413/503); anything else failed inside the shared run.
+			s.writeAdmissionError(w, err)
+		}
+		return
+	}
+	result, ok := d.Payload.(BatchResult)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "coalesced batch carries an unexpected result type")
+		return
+	}
+	writeJSON(w, http.StatusOK, CoalesceResponse{
+		ProgramID:  entry.ID,
+		ContextID:  ce.ID,
+		BatchJobID: d.BatchID,
+		BatchSize:  d.BatchSize,
+		Slot:       d.Slot,
+		Occupancy:  d.Occupancy,
+		WaitMillis: d.WaitMS,
+		Result:     result,
+	})
+}
+
+// runCoalescedBatch executes one sealed batch: pack every caller's inputs
+// into shared full-width vectors, run them as ONE job through the manager
+// (admission control sees the batch once), demux each output back into
+// per-caller slices, and deliver. It is the coalescer's Config.Run hook.
+func (s *Server) runCoalescedBatch(b *coalesce.Batch) {
+	// Re-resolve: the context may have been LRU-evicted (and store-restored)
+	// between submission and seal.
+	ce, entry, _, err := s.resolveExecution(b.Key.Program, b.Key.Context)
+	if err != nil {
+		b.FailAll(err)
+		return
+	}
+	layout := b.Layout()
+	reqs := b.Requests()
+	prog := entry.Result.Program
+
+	packed := &ExecuteBatch{Values: map[string][]float64{}, Plain: map[string][]float64{}}
+	pendingValues := 0
+	for _, in := range prog.Inputs() {
+		per := make([][]float64, len(reqs))
+		for j, req := range reqs {
+			per[j] = req.Inputs[in.Name]
+		}
+		vec, err := coalesce.Pack(layout, per)
+		if err != nil {
+			b.FailAll(err)
+			return
+		}
+		if in.InType == core.TypeCipher {
+			packed.Values[in.Name] = vec
+			pendingValues++
+		} else {
+			packed.Plain[in.Name] = vec
+		}
+	}
+
+	// One admission charge for the whole batch: the packed plain vectors by
+	// their real size, one fresh ciphertext per encrypted input (not per
+	// caller), and the cost model's peak once.
+	est := estimateJobBytes(entry, []*execute.EncryptedInputs{{Plain: packed.Plain}}, pendingValues)
+	ropts, _ := s.runOptions(0, "") // shared runs use the server's defaults
+	snap, err := s.jobs.Submit(1, est, func(jctx context.Context, batchDone func(int)) (any, error) {
+		start := time.Now()
+		result := s.runBatch(jctx, entry, ce, packed, nil, ropts)
+		b.Done(time.Since(start))
+		batchDone(0)
+		if result.Error != "" {
+			err := fmt.Errorf("coalesced execution: %s", result.Error)
+			b.FailAll(err)
+			return nil, err
+		}
+		perCaller := make([]BatchResult, len(reqs))
+		for j := range perCaller {
+			perCaller[j] = BatchResult{Values: map[string][]float64{}, Stats: result.Stats}
+		}
+		for name, vec := range result.Values {
+			parts, err := coalesce.Demux(layout, vec)
+			if err != nil {
+				err = fmt.Errorf("demultiplexing output %q: %w", name, err)
+				b.FailAll(err)
+				return nil, err
+			}
+			for j := range parts {
+				perCaller[j].Values[name] = parts[j]
+			}
+		}
+		for j := range perCaller {
+			b.Deliver(j, perCaller[j], nil)
+		}
+		// The job's retained result is the batch's stats only: per-caller
+		// values were just delivered and are never stored where another
+		// tenant could fetch them.
+		return []BatchResult{{Stats: result.Stats}}, nil
+	})
+	if err != nil {
+		b.FailAll(err)
+		return
+	}
+	b.SetID(snap.ID)
+	// If every caller abandons the sealed batch, cancel the shared job too.
+	b.SetCancel(func() { s.jobs.Cancel(snap.ID) })
+}

@@ -109,6 +109,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
+	if coalesceRequested(r) {
+		s.handleCoalescedSubmit(w, r, &req)
+		return
+	}
 	ce, entry, status, err := s.resolveExecution(req.ProgramID, req.ContextID)
 	if err != nil {
 		writeError(w, status, "%v", err)

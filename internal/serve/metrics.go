@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"eva/internal/coalesce"
 	"eva/internal/execute"
 	"eva/internal/jobs"
 	"eva/internal/store"
@@ -112,8 +113,12 @@ type MetricsReport struct {
 	// artifact kind, hit/miss traffic); the registry's hit/miss of the
 	// cache in front of it is in Cache.StoreLoads / Cache.StoreMisses.
 	// Omitted when the server runs without durability.
-	Store *store.Stats           `json:"store,omitempty"`
-	PerOp map[string]OpHistogram `json:"per_op_latency"`
+	Store *store.Stats `json:"store,omitempty"`
+	// Coalesce reports cross-request batching: batches dispatched, requests
+	// coalesced, per-batch slot occupancy, and the amortized per-request
+	// execution cost of the shared runs.
+	Coalesce *coalesce.Stats        `json:"coalesce,omitempty"`
+	PerOp    map[string]OpHistogram `json:"per_op_latency"`
 }
 
 // Report snapshots the metrics against the registry's cache counters, the

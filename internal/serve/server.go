@@ -37,6 +37,7 @@ import (
 
 	"eva/internal/analysis"
 	"eva/internal/ckks"
+	"eva/internal/coalesce"
 	"eva/internal/compile"
 	"eva/internal/core"
 	"eva/internal/execute"
@@ -87,6 +88,14 @@ type Config struct {
 	// retained (0 = 2 minutes).
 	JobResultTTL time.Duration
 
+	// CoalesceMaxBatch caps how many callers POST /jobs?coalesce=1 packs
+	// into one shared execution (0 = 64); each batch is additionally bounded
+	// by its program's slot capacity VecSize/width.
+	CoalesceMaxBatch int
+	// CoalesceMaxWait bounds how long the first coalescing caller waits for
+	// co-batched company before its batch runs anyway (0 = 25ms).
+	CoalesceMaxWait time.Duration
+
 	// Store is the durable artifact store. When set, compiled programs,
 	// installed contexts (their evaluation-key bundles in the ckks wire
 	// format), and finished job results are persisted through it, the LRU
@@ -117,12 +126,13 @@ type Config struct {
 // Server is the evaserve HTTP service. Create one with NewServer and mount
 // Handler on an http.Server.
 type Server struct {
-	cfg      Config
-	registry *Registry
-	metrics  *Metrics
-	jobs     *jobs.Manager
-	mux      *http.ServeMux
-	start    time.Time
+	cfg       Config
+	registry  *Registry
+	metrics   *Metrics
+	jobs      *jobs.Manager
+	coalescer *coalesce.Coalescer
+	mux       *http.ServeMux
+	start     time.Time
 
 	ctxMu    sync.Mutex
 	contexts map[string]*list.Element // values are *contextEntry
@@ -175,6 +185,11 @@ func NewServer(cfg Config) *Server {
 		// evicts the in-memory copy.
 		OnFinish: s.persistJobResult,
 	})
+	s.coalescer = coalesce.New(coalesce.Config{
+		MaxBatch: cfg.CoalesceMaxBatch,
+		MaxWait:  cfg.CoalesceMaxWait,
+		Run:      s.runCoalescedBatch,
+	})
 	s.mux.HandleFunc("POST /compile", s.route("compile", s.handleCompile))
 	s.mux.HandleFunc("GET /programs", s.route("programs", s.handlePrograms))
 	s.mux.HandleFunc("GET /programs/{id}", s.route("program", s.handleProgram))
@@ -203,6 +218,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Jobs exposes the async job manager (for tests and tooling).
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
+// Coalescer exposes the request coalescer (for tests and tooling).
+func (s *Server) Coalescer() *coalesce.Coalescer { return s.coalescer }
+
 // Close stops the async job subsystem: running jobs are cancelled and the
 // worker pool drains. The HTTP handlers remain usable for synchronous
 // requests, but further job submissions fail.
@@ -212,6 +230,7 @@ func (s *Server) Close() {
 			close(s.janitorStop)
 		}
 	})
+	s.coalescer.Close()
 	s.jobs.Close()
 	s.janitorWG.Wait()
 }
@@ -1094,6 +1113,8 @@ func (s *Server) MetricsReport() MetricsReport {
 	}
 	rep := s.metrics.Report(s.registry.Stats(), s.jobs.Stats(), storeStats)
 	rep.Node = s.cfg.NodeID
+	cs := s.coalescer.Stats()
+	rep.Coalesce = &cs
 	return rep
 }
 
