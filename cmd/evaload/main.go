@@ -9,7 +9,12 @@
 //
 //	evaload [-addr http://host:8080] [-jobs 50] [-concurrency 8] [-batches 2]
 //	        [-job-workers 2] [-job-queue 64] [-job-memory-mb 512]
-//	        [-coalesce] [-cluster 0] [-kill-owner]
+//	        [-coalesce] [-cluster 0] [-kill-owner] [-trace]
+//
+// With -trace, evaload ends the run by fetching the slowest completed job's
+// server-side trace (GET /jobs/{id}/trace) and printing its span tree — the
+// phase breakdown of where that job's latency went (queue wait, per-opcode
+// execution, store write; routing hops in cluster mode).
 //
 // With no -addr, evaload starts an in-process evaserve (demo mode) on a
 // loopback port and drives that, making it a self-contained smoke test: it
@@ -43,12 +48,14 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"eva/eva"
 	"eva/internal/cluster"
+	"eva/internal/obs"
 	"eva/internal/serve"
 	"eva/internal/store"
 )
@@ -102,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		clusterN    = fs.Int("cluster", 0, "boot an in-process N-node cluster and drive it through a router (0 = single node)")
 		killOwner   = fs.Bool("kill-owner", false, "cluster mode: kill the context owner after 25% of jobs complete")
 		coalesce    = fs.Bool("coalesce", false, "benchmark POST /jobs?coalesce=1 against the unbatched jobs API")
+		traceFlag   = fs.Bool("trace", false, "after the run, print the slowest job's phase breakdown from its server-side trace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -262,6 +270,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			ms(pct(latencies, 0.50)), ms(pct(latencies, 0.90)), ms(pct(latencies, 0.99)), ms(latencies[len(latencies)-1]))
 		fmt.Fprintf(stdout, "queue wait p50 %.1fms  p90 %.1fms\n",
 			pct(waits, 0.50), pct(waits, 0.90))
+	}
+	if *traceFlag {
+		slowest := -1
+		for i, o := range outcomes {
+			if o.err == nil && o.jobID != "" && (slowest < 0 || o.latency > outcomes[slowest].latency) {
+				slowest = i
+			}
+		}
+		if slowest >= 0 {
+			printJobTrace(ctx, stdout, client, outcomes[slowest].jobID, outcomes[slowest].latency)
+		}
 	}
 	if *clusterN > 0 && *killOwner && owner != nil {
 		var requeues uint64
@@ -439,16 +458,52 @@ func runJob(ctx context.Context, client *eva.Client, programID, contextID string
 				return outcome{retries: retries, err: fmt.Errorf("batch %d: missing output", i)}
 			}
 		}
-		return outcome{latency: time.Since(start), wait: final.WaitMillis, retries: retries}
+		return outcome{jobID: status.JobID, latency: time.Since(start), wait: final.WaitMillis, retries: retries}
 	}
 }
 
 // outcome is the result of driving one job end to end.
 type outcome struct {
+	jobID   string
 	latency time.Duration
 	wait    float64
 	retries int
 	err     error
+}
+
+// printJobTrace fetches a job's server-side trace and prints its span tree —
+// the phase breakdown (queue wait vs coalesce wait vs execution vs store
+// write) of where the job's latency went.
+func printJobTrace(ctx context.Context, stdout io.Writer, client *eva.Client, jobID string, latency time.Duration) {
+	tr, err := client.FetchJobTrace(ctx, jobID)
+	if err != nil {
+		fmt.Fprintf(stdout, "trace: slowest job %s: %v\n", jobID, err)
+		return
+	}
+	fmt.Fprintf(stdout, "slowest job %s: %.1fms client-observed (trace %s, node %s, %.1fms server-side):\n",
+		jobID, ms(latency), tr.TraceID, tr.Node, tr.DurationMS)
+	var walk func(sp obs.SpanJSON, depth int)
+	walk = func(sp obs.SpanJSON, depth int) {
+		line := fmt.Sprintf("  %s%s", strings.Repeat("  ", depth), sp.Name)
+		fmt.Fprintf(stdout, "%-36s %9.2fms", line, sp.DurationMS)
+		if len(sp.Attrs) > 0 {
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(stdout, "  %s=%s", k, sp.Attrs[k])
+			}
+		}
+		fmt.Fprintln(stdout)
+		for _, ch := range sp.Children {
+			walk(ch, depth+1)
+		}
+	}
+	for _, sp := range tr.Spans {
+		walk(sp, 0)
+	}
 }
 
 // runCoalesceBench drives coalesceSource through the plain jobs API (the

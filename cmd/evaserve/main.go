@@ -27,6 +27,14 @@
 //	         [-coalesce-max 64] [-coalesce-wait 25ms]
 //	         [-data-dir /var/lib/evaserve] [-drain-timeout 30s]
 //	         [-node-id n1] [-peers n2=http://host2:8080,n3=http://host3:8080]
+//	         [-log-level info] [-log-format text] [-slow-trace 0]
+//	         [-pprof-addr 127.0.0.1:6060]
+//
+// Observability: every response carries an X-Eva-Trace id; GET /traces and
+// GET /jobs/{id}/trace expose per-request span trees, GET /metrics serves a
+// JSON report or (with ?format=prometheus) the Prometheus text exposition,
+// -slow-trace logs a structured phase breakdown of slow requests, and
+// -pprof-addr serves net/http/pprof on a separate (operator-only) listener.
 //
 // POST /jobs?coalesce=1 opts a submission into cross-request coalescing:
 // compatible concurrent callers (same program and context, rotation-free,
@@ -51,8 +59,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -61,6 +71,7 @@ import (
 	"time"
 
 	"eva/internal/cluster"
+	"eva/internal/obs"
 	"eva/internal/serve"
 	"eva/internal/store"
 )
@@ -121,6 +132,10 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
 		nodeID    = fs.String("node-id", "", "this node's id in a cluster (required with -peers)")
 		peersFlag = fs.String("peers", "", "static cluster membership as id=url[,id=url...]")
+		logLevel  = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logFormat = fs.String("log-format", "text", "log output format: text or json")
+		slowTrace = fs.Duration("slow-trace", 0, "log a structured phase breakdown for requests slower than this (0 = off)")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,6 +146,14 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 	}
 	if len(peers) > 0 && *nodeID == "" {
 		return fmt.Errorf("-peers requires -node-id")
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(stderr, level, *logFormat)
+	if err != nil {
+		return err
 	}
 
 	var st store.Store
@@ -158,6 +181,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		ResultRetention:      *resultRet,
 		Store:                st,
 		NodeID:               *nodeID,
+		Logger:               logger,
+		SlowTraceThreshold:   *slowTrace,
 		// Peer nodes replicate contexts through the bundle surface, which
 		// for demo-keygen contexts includes the secret key and has no
 		// node-to-node authentication — run a cluster only on a network
@@ -170,9 +195,10 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 	handler := srv.Handler()
 	if len(peers) > 0 {
 		cl, err := cluster.New(srv, cluster.Config{
-			Self:  *nodeID,
-			Peers: peers,
-			Store: st,
+			Self:   *nodeID,
+			Peers:  peers,
+			Store:  st,
+			Logger: logger,
 		})
 		if err != nil {
 			return err
@@ -190,6 +216,26 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The profiler gets its own listener so it is never exposed on the
+	// public API address: an operator opts in with -pprof-addr 127.0.0.1:0
+	// (or a fixed port) and scrapes /debug/pprof/ there.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go pprofSrv.Serve(pln)
+		defer pprofSrv.Close()
+		fmt.Fprintf(stdout, "evaserve pprof listening on %s\n", pln.Addr())
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	mode := "standalone"
@@ -199,6 +245,11 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		mode = fmt.Sprintf("cluster node %s of %v", *nodeID, ids)
 	}
 	fmt.Fprintf(stdout, "evaserve listening on %s (demo mode: %v, durable: %v, %s)\n", ln.Addr(), *demo, st != nil, mode)
+	logger.Info("evaserve started",
+		slog.String("addr", ln.Addr().String()),
+		slog.Bool("demo", *demo),
+		slog.Bool("durable", st != nil),
+		slog.String("mode", mode))
 	if started != nil {
 		started(ln.Addr().String())
 	}
@@ -214,15 +265,18 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		// results are persisted, then exit; the deferred store close
 		// flushes whatever the drain produced.
 		fmt.Fprintln(stdout, "evaserve: shutting down (draining jobs)")
+		logger.Info("shutting down: draining jobs", slog.Duration("timeout", *drainTO))
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(stdout, "evaserve: http shutdown: %v\n", err)
+			logger.Warn("http shutdown", slog.String("error", err.Error()))
 		}
 		if err := srv.Drain(ctx); err != nil {
 			fmt.Fprintf(stdout, "evaserve: drain cut %v in-flight work short\n", err)
+			logger.Warn("drain cut in-flight work short", slog.String("error", err.Error()))
 		} else {
 			fmt.Fprintln(stdout, "evaserve: drained cleanly")
+			logger.Info("drained cleanly")
 		}
 	}
 	return nil

@@ -200,3 +200,79 @@ func TestRunBadAddr(t *testing.T) {
 		t.Error("expected an error for an unbindable address")
 	}
 }
+
+// TestPprofEndpoint boots the server with -pprof-addr on an ephemeral port,
+// parses the announced profiler address from stdout, and smoke-tests the
+// pprof index and a sample profile. The profiler must NOT be reachable on
+// the public API address.
+func TestPprofEndpoint(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0"},
+			&out, io.Discard, sig, func(addr string) { addrCh <- addr })
+	}()
+
+	var apiAddr string
+	select {
+	case apiAddr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("server exited before starting: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	defer func() {
+		sig <- os.Interrupt
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}()
+
+	// The pprof line is printed before the started callback fires.
+	var pprofAddr string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "evaserve pprof listening on "); ok {
+			pprofAddr = strings.TrimSpace(rest)
+		}
+	}
+	if pprofAddr == "" {
+		t.Fatalf("no pprof address announced:\n%s", out.String())
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", pprofAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%.300s", body)
+	}
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/goroutine?debug=1", pprofAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("goroutine profile: status %d", resp.StatusCode)
+	}
+
+	// Isolation: the public API must not expose the profiler.
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/", apiAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("profiler reachable on the public API address")
+	}
+}

@@ -14,8 +14,14 @@ import (
 	"time"
 
 	"eva/internal/jobs"
+	"eva/internal/obs"
 	"eva/internal/serve"
 )
+
+// TraceHeader is the header evaserve uses to propagate (and answer with) a
+// request's trace id. Every response carries it; clients may also set it on
+// a request to adopt a caller-chosen id.
+const TraceHeader = obs.TraceHeader
 
 // Wire types of the evaserve HTTP API, re-exported so client code does not
 // reach into internal packages.
@@ -46,6 +52,9 @@ type (
 	CoalesceResponse = serve.CoalesceResponse
 	// JobEvent is one entry of a job's progress stream (SSE payload).
 	JobEvent = jobs.Event
+	// JobTrace is the span tree of one job's trace
+	// (GET /jobs/{id}/trace).
+	JobTrace = obs.TraceJSON
 )
 
 // APIError is a non-2xx response from evaserve, carrying the decoded error
@@ -310,6 +319,17 @@ func (c *Client) CancelJob(ctx context.Context, jobID string) (JobStatusInfo, er
 func (c *Client) FetchJobResult(ctx context.Context, jobID string) (JobResult, error) {
 	var out JobResult
 	err := c.do(ctx, http.MethodGet, "/jobs/"+jobID+"/result", nil, &out)
+	return out, err
+}
+
+// FetchJobTrace fetches a job's span tree (GET /jobs/{id}/trace): the
+// end-to-end breakdown of where the job spent its time (queue wait, per-op
+// execution, store write; on a cluster, the routing hops too). Traces live
+// in a bounded ring on the worker node, so an old job's trace may be gone
+// (HTTP 404).
+func (c *Client) FetchJobTrace(ctx context.Context, jobID string) (JobTrace, error) {
+	var out JobTrace
+	err := c.do(ctx, http.MethodGet, "/jobs/"+jobID+"/trace", nil, &out)
 	return out, err
 }
 

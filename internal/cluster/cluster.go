@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"eva/eva"
+	"eva/internal/obs"
 	"eva/internal/serve"
 	"eva/internal/store"
 )
@@ -53,6 +55,9 @@ type Config struct {
 	// decisions survive a router restart. Usually the same store the serve
 	// layer uses; may be nil.
 	Store store.Store
+	// Logger receives structured cluster events (peer health transitions,
+	// routed-job requeues). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Cluster is one node's view of the sharded tier: the ring, per-peer
@@ -63,6 +68,7 @@ type Cluster struct {
 	local   *serve.Server
 	ring    *ring
 	clients map[string]*eva.Client
+	log     *slog.Logger
 
 	mu    sync.Mutex
 	peers map[string]*peerState
@@ -149,11 +155,16 @@ func New(local *serve.Server, cfg Config) (*Cluster, error) {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = time.Second
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		local:     local,
 		ring:      r,
 		clients:   clients,
+		log:       logger.With(slog.String(obs.LogNodeID, cfg.Self)),
 		peers:     peers,
 		cjobs:     map[string]*routedJob{},
 		forwarded: map[string]uint64{},
@@ -221,8 +232,10 @@ func (c *Cluster) markDown(node string, err error) {
 	if c.isSelf(node) {
 		return
 	}
+	wentDown := false
 	c.mu.Lock()
 	if p, ok := c.peers[node]; ok {
+		wentDown = p.healthy
 		p.healthy = false
 		p.lastProbe = time.Now()
 		if err != nil {
@@ -230,19 +243,31 @@ func (c *Cluster) markDown(node string, err error) {
 		}
 	}
 	c.mu.Unlock()
+	if wentDown {
+		attrs := []any{slog.String("peer", node)}
+		if err != nil {
+			attrs = append(attrs, slog.String("error", err.Error()))
+		}
+		c.log.Warn("peer marked down", attrs...)
+	}
 }
 
 func (c *Cluster) markUp(node string) {
 	if c.isSelf(node) {
 		return
 	}
+	recovered := false
 	c.mu.Lock()
 	if p, ok := c.peers[node]; ok {
+		recovered = !p.healthy
 		p.healthy = true
 		p.lastProbe = time.Now()
 		p.lastErr = ""
 	}
 	c.mu.Unlock()
+	if recovered {
+		c.log.Info("peer recovered", slog.String("peer", node))
+	}
 }
 
 // probeLoop drives periodic health probes until Close.
@@ -296,7 +321,13 @@ func (c *Cluster) Probe(ctx context.Context) {
 // routedJobRetention bounds how long a routed-job record outlives its
 // admission: the worker-side result is itself swept after the serve
 // layer's retention window, so a record this old can never deliver again.
-const routedJobRetention = 24 * time.Hour
+// retiredJobRetention bounds how long a delivered or cancelled record
+// lingers — it exists only so GET /jobs/{id}/trace can still find the
+// worker after the result is gone.
+const (
+	routedJobRetention  = 24 * time.Hour
+	retiredJobRetention = 10 * time.Minute
+)
 
 // sweepRoutedJobs drops records for jobs abandoned past the retention
 // window, bounding the router table and its store kind. Runs at most once
@@ -309,9 +340,19 @@ func (c *Cluster) sweepRoutedJobs() {
 	}
 	c.lastSweep = time.Now()
 	cutoff := time.Now().Add(-routedJobRetention)
+	retiredCutoff := time.Now().Add(-retiredJobRetention)
 	var expired []*routedJob
 	for _, rec := range c.cjobs {
-		if rec.CreatedAt.Before(cutoff) {
+		switch {
+		case rec.Delivered || rec.Cancelled:
+			at := rec.RetiredAt
+			if at.IsZero() {
+				at = rec.CreatedAt
+			}
+			if at.Before(retiredCutoff) {
+				expired = append(expired, rec)
+			}
+		case rec.CreatedAt.Before(cutoff):
 			expired = append(expired, rec)
 		}
 	}
@@ -326,6 +367,13 @@ func (c *Cluster) sweepRoutedJobs() {
 // handler; peer calls go through the peer's eva.Client and mark the peer
 // down on transport failure.
 func (c *Cluster) roundTrip(ctx context.Context, node, method, path string, body []byte) (int, []byte, error) {
+	// Node-to-node calls carry the originating trace id (when the caller's
+	// context has one) so the receiving serve layer adopts it instead of
+	// minting a fresh trace.
+	traceID := ""
+	if t := obs.TraceFromContext(ctx); t != nil {
+		traceID = t.ID()
+	}
 	if c.isSelf(node) {
 		rec := httptest.NewRecorder()
 		var rd io.Reader
@@ -338,6 +386,9 @@ func (c *Cluster) roundTrip(ctx context.Context, node, method, path string, body
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set(headerForwarded, c.cfg.Self)
+		if traceID != "" {
+			req.Header.Set(obs.TraceHeader, traceID)
+		}
 		c.local.Handler().ServeHTTP(rec, req)
 		return rec.Code, rec.Body.Bytes(), nil
 	}
@@ -348,6 +399,9 @@ func (c *Cluster) roundTrip(ctx context.Context, node, method, path string, body
 	header := http.Header{}
 	header.Set("Content-Type", "application/json")
 	header.Set(headerForwarded, c.cfg.Self)
+	if traceID != "" {
+		header.Set(obs.TraceHeader, traceID)
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)

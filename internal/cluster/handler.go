@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 
+	"eva/internal/obs"
 	"eva/internal/serve"
 )
 
@@ -28,6 +30,7 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs", c.routed("jobs_submit", c.handleJobSubmit))
 	mux.HandleFunc("GET /jobs/{id}", c.handleJobGet("jobs_status", c.jobStatus))
 	mux.HandleFunc("GET /jobs/{id}/result", c.handleJobGet("jobs_result", c.jobResult))
+	mux.HandleFunc("GET /jobs/{id}/trace", c.handleJobGet("jobs_trace", c.jobTrace))
 	mux.HandleFunc("DELETE /jobs/{id}", c.handleJobGet("jobs_cancel", c.jobCancel))
 	mux.HandleFunc("GET /jobs/{id}/events", c.handleJobEvents)
 	mux.HandleFunc("GET /programs", c.handleProgramsScatter)
@@ -40,7 +43,10 @@ func (c *Cluster) Handler() http.Handler {
 
 // routed wraps a routing handler: forwarded requests bypass routing and go
 // straight to the local server, and the body is buffered so it can be
-// re-sent to a peer (or replayed locally).
+// re-sent to a peer (or replayed locally). This is the cluster's ingress:
+// the trace is minted here (or adopted from the client's X-Eva-Trace) and
+// travels with every hop the request takes, so the owner node's spans land
+// in the same trace the ingress node answers with.
 func (c *Cluster) routed(route string, h func(w http.ResponseWriter, r *http.Request, body []byte)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Header.Get(headerForwarded) != "" {
@@ -48,6 +54,12 @@ func (c *Cluster) routed(route string, h func(w http.ResponseWriter, r *http.Req
 			c.local.Handler().ServeHTTP(w, r)
 			return
 		}
+		t := c.local.Tracer().Start(r.Header.Get(obs.TraceHeader))
+		defer t.Release()
+		w.Header().Set(obs.TraceHeader, t.ID())
+		sp := t.StartSpan("cluster:"+route, nil)
+		defer sp.End()
+		r = r.WithContext(obs.ContextWithSpan(obs.ContextWithTrace(r.Context(), t), sp))
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRoutedBody))
 		if err != nil {
 			writeError(w, http.StatusRequestEntityTooLarge, "reading request: %v", err)
@@ -57,12 +69,17 @@ func (c *Cluster) routed(route string, h func(w http.ResponseWriter, r *http.Req
 	}
 }
 
-// serveLocal replays a buffered request into the local handler.
+// serveLocal replays a buffered request into the local handler. The ingress
+// trace id rides along as a header, so the serve layer joins the routing
+// trace instead of minting its own.
 func (c *Cluster) serveLocal(route string, w http.ResponseWriter, r *http.Request, body []byte) {
 	c.countServed(route)
 	r2 := r.Clone(r.Context())
 	r2.Body = io.NopCloser(bytes.NewReader(body))
 	r2.ContentLength = int64(len(body))
+	if t := obs.TraceFromContext(r.Context()); t != nil {
+		r2.Header.Set(obs.TraceHeader, t.ID())
+	}
 	c.local.Handler().ServeHTTP(w, r2)
 }
 
@@ -85,12 +102,22 @@ func (c *Cluster) forward(route string, w http.ResponseWriter, r *http.Request, 
 	}
 	header.Set(headerForwarded, c.cfg.Self)
 	header.Set(headerHops, strconv.Itoa(hops+1))
+	if t := obs.TraceFromContext(r.Context()); t != nil {
+		header.Set(obs.TraceHeader, t.ID())
+	} else if tid := r.Header.Get(obs.TraceHeader); tid != "" {
+		header.Set(obs.TraceHeader, tid)
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
+	fsp := obs.TraceFromContext(r.Context()).StartSpan("forward", obs.SpanFromContext(r.Context()))
+	fsp.SetAttr("to", node)
+	fsp.SetAttr("route", route)
+	defer fsp.End()
 	resp, err := client.DoRaw(r.Context(), r.Method, r.URL.RequestURI(), header, rd)
 	if err != nil {
+		fsp.SetAttr("error", err.Error())
 		if r.Context().Err() != nil {
 			// The client went away; nothing to fail over for.
 			return true
@@ -104,8 +131,14 @@ func (c *Cluster) forward(route string, w http.ResponseWriter, r *http.Request, 
 	return true
 }
 
+// copyResponse relays a proxied response. Headers the routing layer already
+// set (X-Eva-Trace at ingress) win over the worker's copy — both name the
+// same trace, and clients must not see the value twice.
 func copyResponse(w http.ResponseWriter, resp *http.Response) {
 	for k, vs := range resp.Header {
+		if len(w.Header().Values(k)) > 0 {
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
@@ -407,7 +440,17 @@ func (c *Cluster) handleProgramsScatter(w http.ResponseWriter, r *http.Request) 
 
 // handleMetrics serves the local metrics report with the cluster section
 // grafted on; ?scope=cluster scatter-gathers every node's full report.
+// ?format=prometheus renders the local exposition with the eva_cluster_*
+// families appended (Prometheus scrapes each node; it does not scatter).
 func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := c.local.WritePrometheus(w); err != nil {
+			return
+		}
+		c.writePrometheus(w)
+		return
+	}
 	type clusterReport struct {
 		serve.MetricsReport
 		Cluster Stats `json:"cluster"`
@@ -437,6 +480,52 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		nodes[node] = data
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"scope": "cluster", "nodes": nodes})
+}
+
+// writePrometheus appends the cluster tier's families to an exposition the
+// serve layer already wrote.
+func (c *Cluster) writePrometheus(w io.Writer) error {
+	st := c.Stats()
+	p := obs.NewPromWriter(w)
+	p.Meta("eva_cluster_nodes", "Cluster members (including this node).", "gauge")
+	p.Sample("eva_cluster_nodes", nil, float64(st.Nodes))
+	healthy := 0
+	for _, peer := range st.Peers {
+		if peer.Healthy {
+			healthy++
+		}
+	}
+	p.Meta("eva_cluster_peers_healthy", "Peers currently believed alive.", "gauge")
+	p.Sample("eva_cluster_peers_healthy", nil, float64(healthy))
+	p.Meta("eva_cluster_routed_jobs", "Live routed-job records homed on this node.", "gauge")
+	p.Sample("eva_cluster_routed_jobs", nil, float64(st.RoutedJobs))
+	p.Meta("eva_cluster_requeues_total", "Routed jobs moved off a failed node.", "counter")
+	p.Sample("eva_cluster_requeues_total", nil, float64(st.Requeues))
+	p.Meta("eva_cluster_replication_errors_total", "Best-effort replications that failed.", "counter")
+	p.Sample("eva_cluster_replication_errors_total", nil, float64(st.ReplicationErrors))
+	if len(st.Forwarded) > 0 {
+		routes := make([]string, 0, len(st.Forwarded))
+		for route := range st.Forwarded {
+			routes = append(routes, route)
+		}
+		sort.Strings(routes)
+		p.Meta("eva_cluster_forwarded_total", "Requests proxied to a peer, by route.", "counter")
+		for _, route := range routes {
+			p.Sample("eva_cluster_forwarded_total", map[string]string{"route": route}, float64(st.Forwarded[route]))
+		}
+	}
+	if len(st.Served) > 0 {
+		routes := make([]string, 0, len(st.Served))
+		for route := range st.Served {
+			routes = append(routes, route)
+		}
+		sort.Strings(routes)
+		p.Meta("eva_cluster_served_total", "Requests handled locally, by route.", "counter")
+		for _, route := range routes {
+			p.Sample("eva_cluster_served_total", map[string]string{"route": route}, float64(st.Served[route]))
+		}
+	}
+	return p.Err()
 }
 
 func truncate(data []byte) string {

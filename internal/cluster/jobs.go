@@ -3,9 +3,11 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"time"
 
+	"eva/internal/obs"
 	"eva/internal/serve"
 )
 
@@ -37,6 +39,7 @@ type routedJob struct {
 	Cancelled bool            `json:"cancelled"`
 	Failed    string          `json:"failed,omitempty"` // terminal routing failure
 	CreatedAt time.Time       `json:"created_at"`
+	RetiredAt time.Time       `json:"retired_at,omitempty"` // when Delivered/Cancelled was set
 
 	requeueing bool `json:"-"` // guards concurrent requeue attempts
 }
@@ -219,7 +222,7 @@ func (c *Cluster) clusterJobID(rec *routedJob) string { return c.cfg.Self + "~" 
 func (c *Cluster) jobStatus(w http.ResponseWriter, r *http.Request, rec *routedJob) {
 	c.mu.Lock()
 	node, localID := rec.Node, rec.LocalID
-	failed, cancelled := rec.Failed, rec.Cancelled
+	failed, cancelled, delivered := rec.Failed, rec.Cancelled, rec.Delivered
 	c.mu.Unlock()
 	if failed != "" {
 		writeJSON(w, http.StatusOK, serve.JobStatus{JobID: c.clusterJobID(rec), Status: "failed", Error: failed})
@@ -241,6 +244,12 @@ func (c *Cluster) jobStatus(w http.ResponseWriter, r *http.Request, rec *routedJ
 	}
 	if cancelled {
 		writeJSON(w, http.StatusOK, serve.JobStatus{JobID: c.clusterJobID(rec), Status: "cancelled"})
+		return
+	}
+	if delivered {
+		// Delivered records linger only so the trace stays reachable; a
+		// worker that forgot the job is not a failover trigger.
+		writeJSON(w, http.StatusOK, serve.JobStatus{JobID: c.clusterJobID(rec), Status: "done"})
 		return
 	}
 	if err == nil && status != http.StatusOK && status != http.StatusNotFound {
@@ -277,10 +286,14 @@ func (c *Cluster) jobResult(w http.ResponseWriter, r *http.Request, rec *routedJ
 			var jr serve.JobResult
 			if uerr := json.Unmarshal(data, &jr); uerr == nil {
 				jr.JobID = c.clusterJobID(rec)
+				// Mark delivered but keep the record for a retirement
+				// window: GET /jobs/{id}/trace still needs to find the
+				// worker after the result is gone. The sweep drops it.
 				c.mu.Lock()
 				rec.Delivered = true
+				rec.RetiredAt = time.Now()
 				c.mu.Unlock()
-				c.dropRoutedJob(rec)
+				c.persistRoutedJob(rec)
 				writeJSON(w, http.StatusOK, jr)
 				return
 			}
@@ -306,6 +319,16 @@ func (c *Cluster) jobResult(w http.ResponseWriter, r *http.Request, rec *routedJ
 	if r.Context().Err() != nil {
 		return
 	}
+	c.mu.Lock()
+	delivered := rec.Delivered
+	c.mu.Unlock()
+	if delivered {
+		// The worker already forgot the job and the result is long gone;
+		// there is nothing to requeue.
+		c.dropRoutedJob(rec)
+		writeError(w, http.StatusGone, "job %q: the result was already delivered", c.clusterJobID(rec))
+		return
+	}
 	if c.requeue(rec, node) {
 		writeError(w, http.StatusConflict, "job %q was requeued after its node failed; poll GET /jobs/%s until it is done",
 			c.clusterJobID(rec), c.clusterJobID(rec))
@@ -317,12 +340,40 @@ func (c *Cluster) jobResult(w http.ResponseWriter, r *http.Request, rec *routedJ
 	writeError(w, http.StatusGone, "job %q is failed: %s", c.clusterJobID(rec), failed)
 }
 
+// jobTrace proxies GET /jobs/{id}/trace to the job's current worker — the
+// node whose tracer holds the span tree — rewriting the job id back to the
+// cluster-visible one. No requeue here: a missing trace is a 404, not a
+// reason to re-execute the job.
+func (c *Cluster) jobTrace(w http.ResponseWriter, r *http.Request, rec *routedJob) {
+	c.mu.Lock()
+	node, localID := rec.Node, rec.LocalID
+	c.mu.Unlock()
+	status, data, err := c.roundTrip(r.Context(), node, http.MethodGet, "/jobs/"+localID+"/trace", nil)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusBadGateway, "cluster: job worker %q is unreachable: %v", node, err)
+		return
+	}
+	if status == http.StatusOK {
+		var tj obs.TraceJSON
+		if json.Unmarshal(data, &tj) == nil {
+			tj.JobID = c.clusterJobID(rec)
+			writeJSON(w, http.StatusOK, tj)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
 // jobCancel cancels the job wherever it currently runs and retires the
 // record.
 func (c *Cluster) jobCancel(w http.ResponseWriter, r *http.Request, rec *routedJob) {
 	c.mu.Lock()
 	node, localID := rec.Node, rec.LocalID
 	rec.Cancelled = true
+	rec.RetiredAt = time.Now()
 	c.mu.Unlock()
 	c.persistRoutedJob(rec)
 	status, data, err := c.roundTrip(r.Context(), node, http.MethodDelete, "/jobs/"+localID, nil)
@@ -391,6 +442,9 @@ func (c *Cluster) forwardStream(w http.ResponseWriter, r *http.Request, node, pa
 	}
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
+		if len(w.Header().Values(k)) > 0 {
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
@@ -459,15 +513,24 @@ func (c *Cluster) requeue(rec *routedJob, failedNode string) bool {
 		c.mu.Lock()
 		rec.Node, rec.LocalID = node, st.JobID
 		rec.Attempts++
+		attempts := rec.Attempts
 		c.requeues++
 		c.mu.Unlock()
 		c.persistRoutedJob(rec)
+		c.log.Info("routed job requeued",
+			slog.String(obs.LogJobID, c.clusterJobID(rec)),
+			slog.String("from", failedNode),
+			slog.String("to", node),
+			slog.Int("attempts", attempts))
 		return true
 	}
 	c.mu.Lock()
 	rec.Failed = "no healthy replica could take the job after node " + failedNode + " failed"
 	c.mu.Unlock()
 	c.persistRoutedJob(rec)
+	c.log.Warn("routed job failed: no healthy replica",
+		slog.String(obs.LogJobID, c.clusterJobID(rec)),
+		slog.String("from", failedNode))
 	return false
 }
 

@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
+
+	"eva/internal/obs"
 )
 
 // This file is the coalescer runtime: one bounded batch per (program,
@@ -80,6 +83,7 @@ type Batch struct {
 	live     int // waiters that have not abandoned the sealed batch
 	cancel   func()
 	allGone  bool
+	opened   time.Time
 	sealedAt time.Time
 }
 
@@ -166,6 +170,9 @@ type Config struct {
 	// inputs per Layout, run the shared execution, Deliver each caller's
 	// slice (or FailAll), and record Done. Required.
 	Run func(b *Batch)
+	// Logger receives structured batch-seal records at debug level. Nil
+	// discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +181,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWait <= 0 {
 		c.MaxWait = 25 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -248,7 +258,7 @@ func (c *Coalescer) Submit(ctx context.Context, req *Request) (Delivery, error) 
 	}
 	b := c.open[req.Key]
 	if b == nil {
-		b = &Batch{Key: req.Key, VecSize: req.VecSize, Stride: req.Stride, c: c}
+		b = &Batch{Key: req.Key, VecSize: req.VecSize, Stride: req.Stride, c: c, opened: time.Now()}
 		b.timer = time.AfterFunc(c.cfg.MaxWait, func() { c.sealExpired(b) })
 		c.open[req.Key] = b
 	}
@@ -319,6 +329,12 @@ func (c *Coalescer) sealLocked(b *Batch) {
 	c.stats.SlotsTotal += uint64(b.VecSize)
 	c.stats.LastBatchSize = n
 	c.stats.LastBatchOccupancy = layout.Occupancy()
+	c.cfg.Logger.Debug("batch sealed",
+		slog.String("program", b.Key.Program),
+		slog.String("context", b.Key.Context),
+		slog.Int("callers", n),
+		slog.Float64("occupancy", layout.Occupancy()),
+		slog.Duration("open_for", time.Since(b.opened)))
 	go c.cfg.Run(b)
 }
 

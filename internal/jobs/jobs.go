@@ -20,8 +20,11 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
+
+	"eva/internal/obs"
 )
 
 // Status is a job's lifecycle state.
@@ -87,6 +90,9 @@ type Config struct {
 	// client that observes "done" can already rely on the hook's side
 	// effects (a persisted result is durable before the result is visible).
 	OnFinish func(snap Snapshot, result any)
+	// Logger receives structured lifecycle records (admission sheds at
+	// debug, job completion at debug, failures at warn). Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResultTTL <= 0 {
 		c.ResultTTL = 2 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -289,15 +298,26 @@ func (m *Manager) Config() Config { return m.cfg }
 // ErrJobTooLarge. estBytes is the caller's footprint estimate; batches is the
 // number of batchDone calls run will make.
 func (m *Manager) Submit(batches int, estBytes int64, run RunFunc) (Snapshot, error) {
+	id, err := NewID()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return m.SubmitWithID(id, batches, estBytes, run)
+}
+
+// SubmitWithID is Submit with a caller-minted id (see NewID). Submit makes
+// the job visible to workers before it returns, so a caller that must bind
+// the id to external state first — evaserve binds job ids to traces before
+// the finish hook can fire — mints the id, binds it, then submits.
+func (m *Manager) SubmitWithID(id string, batches int, estBytes int64, run RunFunc) (Snapshot, error) {
+	if id == "" {
+		return Snapshot{}, errors.New("jobs: empty job id")
+	}
 	if batches < 1 {
 		batches = 1
 	}
 	if estBytes < 0 {
 		estBytes = 0
-	}
-	id, err := newID()
-	if err != nil {
-		return Snapshot{}, err
 	}
 	j := &job{
 		id:      id,
@@ -314,15 +334,21 @@ func (m *Manager) Submit(batches int, estBytes int64, run RunFunc) (Snapshot, er
 		m.mu.Unlock()
 		return Snapshot{}, ErrClosed
 	}
+	if _, dup := m.jobs[id]; dup {
+		m.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("jobs: duplicate job id %q", id)
+	}
 	if estBytes > m.cfg.MemoryBudgetBytes {
 		m.stats.Rejected++
 		m.mu.Unlock()
+		m.cfg.Logger.Debug("job rejected: too large", slog.String(obs.LogJobID, id), slog.Int64("est_bytes", estBytes))
 		return Snapshot{}, fmt.Errorf("%w: estimated %d bytes, budget %d", ErrJobTooLarge, estBytes, m.cfg.MemoryBudgetBytes)
 	}
 	if m.admitted+estBytes > m.cfg.MemoryBudgetBytes {
 		admitted := m.admitted
 		m.stats.Shed++
 		m.mu.Unlock()
+		m.cfg.Logger.Debug("job shed: over budget", slog.String(obs.LogJobID, id), slog.Int64("est_bytes", estBytes), slog.Int64("admitted_bytes", admitted))
 		return Snapshot{}, fmt.Errorf("%w: %d bytes admitted, job needs %d, budget %d", ErrOverBudget, admitted, estBytes, m.cfg.MemoryBudgetBytes)
 	}
 	// Record the queued event before the job becomes visible to a worker, so
@@ -333,6 +359,7 @@ func (m *Manager) Submit(batches int, estBytes int64, run RunFunc) (Snapshot, er
 	default:
 		m.stats.Shed++
 		m.mu.Unlock()
+		m.cfg.Logger.Debug("job shed: queue full", slog.String(obs.LogJobID, id))
 		return Snapshot{}, fmt.Errorf("%w: %d jobs queued", ErrQueueFull, m.cfg.QueueDepth)
 	}
 	m.admitted += estBytes
@@ -550,8 +577,20 @@ func (m *Manager) runJob(j *job) {
 	j.cancelRun = nil
 	j.result = result
 	j.finishLocked(status, msg)
+	run := j.finished.Sub(j.started)
 	j.mu.Unlock()
 	m.finalize(j, status, false)
+	attrs := []any{
+		slog.String(obs.LogJobID, j.id),
+		slog.String("status", string(status)),
+		slog.Duration("wait", wait),
+		slog.Duration("run", run),
+	}
+	if status == StatusFailed {
+		m.cfg.Logger.Warn("job failed", append(attrs, slog.String("error", msg))...)
+	} else {
+		m.cfg.Logger.Debug("job finished", attrs...)
+	}
 }
 
 // safeRun invokes the job's RunFunc, converting a panic into an ordinary
@@ -657,7 +696,9 @@ func (j *job) snapshotLocked() Snapshot {
 	}
 }
 
-func newID() (string, error) {
+// NewID mints a job id. Exported so callers that must know the id before
+// the job becomes visible (see SubmitWithID) can pre-mint it.
+func NewID() (string, error) {
 	var b [12]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		return "", fmt.Errorf("jobs: generating id: %w", err)

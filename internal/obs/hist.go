@@ -1,0 +1,56 @@
+package obs
+
+// Histogram is a fixed-bound latency histogram in seconds, shaped for
+// Prometheus cumulative exposition. It is NOT internally synchronized: the
+// owner (Tracer, serve.Metrics) guards it with its own mutex, which keeps
+// the hot Observe path to a couple of adds under an already-held lock.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implied
+	counts []uint64  // len(bounds)+1; last is overflow
+	sum    float64
+	total  uint64
+}
+
+// DurationBounds are the default request/phase latency bucket upper bounds
+// (seconds): 1ms to 10s, roughly geometric.
+var DurationBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (seconds). The bounds slice is retained, not copied.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value (seconds).
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			h.sum += v
+			h.total++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+	h.sum += v
+	h.total++
+}
+
+// HistogramSnapshot is a point-in-time copy safe to render after the
+// owner's lock is released.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds (seconds), ascending; +Inf implied
+	Counts []uint64  // per-bucket (non-cumulative); len(Bounds)+1
+	Sum    float64   // sum of observed values (seconds)
+	Count  uint64    // total observations
+}
+
+// Snapshot copies the histogram. Call with the owner's lock held.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.total,
+	}
+}

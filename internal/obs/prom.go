@@ -1,0 +1,450 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders the Prometheus text exposition format (version 0.0.4)
+// by hand — the repo takes no external dependencies. Errors are sticky:
+// rendering continues silently and the first error is reported by Err.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err reports the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Meta emits the # HELP and # TYPE lines for a metric family. typ is one of
+// "counter", "gauge", or "histogram".
+func (p *PromWriter) Meta(name, help, typ string) {
+	esc := strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(help)
+	p.printf("# HELP %s %s\n", name, esc)
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample line with optional labels.
+func (p *PromWriter) Sample(name string, labels map[string]string, value float64) {
+	p.printf("%s%s %s\n", name, renderLabels(labels), formatValue(value))
+}
+
+// Histogram emits the _bucket/_sum/_count triplet for one histogram series,
+// converting the snapshot's per-bucket counts to Prometheus cumulative
+// form and appending the +Inf bucket.
+func (p *PromWriter) Histogram(name string, labels map[string]string, snap HistogramSnapshot) {
+	var cum uint64
+	for i, b := range snap.Bounds {
+		cum += snap.Counts[i]
+		p.printf("%s_bucket%s %d\n", name, renderLabels(withLE(labels, formatValue(b))), cum)
+	}
+	p.printf("%s_bucket%s %d\n", name, renderLabels(withLE(labels, "+Inf")), snap.Count)
+	p.printf("%s_sum%s %s\n", name, renderLabels(labels), formatValue(snap.Sum))
+	p.printf("%s_count%s %d\n", name, renderLabels(labels), snap.Count)
+}
+
+func withLE(labels map[string]string, le string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	out["le"] = le
+	return out
+}
+
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(esc.Replace(labels[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// --- strict exposition parser (used by conformance tests and tooling) ---
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+	Line   int
+}
+
+// PromFamily collects what the parser learned about one metric family.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParseExposition parses Prometheus text exposition strictly, rejecting
+// anything a real scraper would: malformed names or labels, samples without
+// a preceding # TYPE, duplicate HELP/TYPE lines, duplicate series,
+// histograms with non-cumulative buckets or missing +Inf/_sum/_count. It
+// returns the families keyed by base metric name (histogram _bucket/_sum/
+// _count samples are grouped under their family).
+func ParseExposition(data []byte) (map[string]*PromFamily, error) {
+	families := map[string]*PromFamily{}
+	seenSeries := map[string]int{}
+	var lastMeta string // most recent family introduced by # TYPE
+
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if line == "" {
+			if i != len(lines)-1 {
+				return nil, fmt.Errorf("line %d: blank line inside exposition", ln)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", ln, line)
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", ln, name)
+			}
+			fam := families[name]
+			if fam == nil {
+				fam = &PromFamily{Name: name}
+				families[name] = fam
+			}
+			switch fields[1] {
+			case "HELP":
+				if fam.Help != "" {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %q", ln, name)
+				}
+				if len(fields) < 4 || fields[3] == "" {
+					return nil, fmt.Errorf("line %d: empty HELP text for %q", ln, name)
+				}
+				fam.Help = fields[3]
+			case "TYPE":
+				if fam.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", ln, name)
+				}
+				if len(fam.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %q after its samples", ln, name)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: invalid TYPE %q for %q", ln, typ, name)
+				}
+				fam.Type = typ
+				lastMeta = name
+			}
+			continue
+		}
+
+		sample, err := parseSampleLine(line, ln)
+		if err != nil {
+			return nil, err
+		}
+		famName, ok := familyFor(families, sample.Name)
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", ln, sample.Name)
+		}
+		fam := families[famName]
+		if famName != lastMeta {
+			return nil, fmt.Errorf("line %d: sample %q interleaved outside its %q family block", ln, sample.Name, famName)
+		}
+		series := sample.Name + renderLabels(sample.Labels)
+		if prev, dup := seenSeries[series]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s (first at line %d)", ln, series, prev)
+		}
+		seenSeries[series] = ln
+		fam.Samples = append(fam.Samples, sample)
+	}
+
+	for _, fam := range families {
+		if fam.Type == "" {
+			return nil, fmt.Errorf("family %q has HELP but no TYPE", fam.Name)
+		}
+		if len(fam.Samples) == 0 {
+			return nil, fmt.Errorf("family %q has no samples", fam.Name)
+		}
+		if fam.Type == "histogram" {
+			if err := checkHistogramFamily(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// familyFor maps a sample name to its family: exact for counters/gauges,
+// stripped of _bucket/_sum/_count for histogram members.
+func familyFor(families map[string]*PromFamily, sample string) (string, bool) {
+	if fam, ok := families[sample]; ok && fam.Type != "" {
+		return sample, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if fam, ok := families[base]; ok && fam.Type == "histogram" {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+func checkHistogramFamily(fam *PromFamily) error {
+	// Group by label set minus le, then check each series: cumulative
+	// buckets, +Inf present and equal to _count, _sum and _count present.
+	type series struct {
+		buckets []PromSample
+		sum     *PromSample
+		count   *PromSample
+	}
+	groups := map[string]*series{}
+	keyOf := func(s PromSample) string {
+		labels := make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			if k != "le" {
+				labels[k] = v
+			}
+		}
+		return renderLabels(labels)
+	}
+	for _, s := range fam.Samples {
+		g := groups[keyOf(s)]
+		if g == nil {
+			g = &series{}
+			groups[keyOf(s)] = g
+		}
+		sc := s
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("line %d: %s without le label", s.Line, s.Name)
+			}
+			g.buckets = append(g.buckets, sc)
+		case strings.HasSuffix(s.Name, "_sum"):
+			g.sum = &sc
+		case strings.HasSuffix(s.Name, "_count"):
+			g.count = &sc
+		default:
+			return fmt.Errorf("line %d: unexpected sample %q in histogram family %q", s.Line, s.Name, fam.Name)
+		}
+	}
+	for key, g := range groups {
+		if len(g.buckets) == 0 || g.sum == nil || g.count == nil {
+			return fmt.Errorf("histogram %s%s: missing _bucket, _sum, or _count", fam.Name, key)
+		}
+		prevBound := math.Inf(-1)
+		prevCum := -1.0
+		sawInf := false
+		for _, b := range g.buckets {
+			bound, err := parseLE(b.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q: %v", b.Line, b.Labels["le"], err)
+			}
+			if bound <= prevBound {
+				return fmt.Errorf("line %d: histogram %s buckets not in ascending le order", b.Line, fam.Name)
+			}
+			if b.Value < prevCum {
+				return fmt.Errorf("line %d: histogram %s bucket counts not cumulative", b.Line, fam.Name)
+			}
+			prevBound, prevCum = bound, b.Value
+			if math.IsInf(bound, +1) {
+				sawInf = true
+				if b.Value != g.count.Value {
+					return fmt.Errorf("line %d: histogram %s +Inf bucket (%g) != _count (%g)", b.Line, fam.Name, b.Value, g.count.Value)
+				}
+			}
+		}
+		if !sawInf {
+			return fmt.Errorf("histogram %s%s: missing +Inf bucket", fam.Name, key)
+		}
+	}
+	return nil
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(+1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseSampleLine(line string, ln int) (PromSample, error) {
+	s := PromSample{Line: ln, Labels: map[string]string{}}
+	rest := line
+	// Metric name.
+	end := 0
+	for end < len(rest) && isNameChar(rest[end], end == 0) {
+		end++
+	}
+	if end == 0 {
+		return s, fmt.Errorf("line %d: missing metric name in %q", ln, line)
+	}
+	s.Name = rest[:end]
+	rest = rest[end:]
+	// Optional label block.
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for {
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			le := 0
+			for le < len(rest) && isLabelChar(rest[le], le == 0) {
+				le++
+			}
+			if le == 0 || le >= len(rest) || rest[le] != '=' {
+				return s, fmt.Errorf("line %d: malformed label in %q", ln, line)
+			}
+			key := rest[:le]
+			rest = rest[le+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return s, fmt.Errorf("line %d: unquoted label value in %q", ln, line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for len(rest) > 0 {
+				c := rest[0]
+				if c == '\\' {
+					if len(rest) < 2 {
+						return s, fmt.Errorf("line %d: dangling escape in %q", ln, line)
+					}
+					switch rest[1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("line %d: invalid escape \\%c in %q", ln, rest[1], line)
+					}
+					rest = rest[2:]
+					continue
+				}
+				if c == '"' {
+					rest = rest[1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			if !closed {
+				return s, fmt.Errorf("line %d: unterminated label value in %q", ln, line)
+			}
+			if _, dup := s.Labels[key]; dup {
+				return s, fmt.Errorf("line %d: duplicate label %q in %q", ln, key, line)
+			}
+			s.Labels[key] = val.String()
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			} else if !strings.HasPrefix(rest, "}") {
+				return s, fmt.Errorf("line %d: expected ',' or '}' in label block of %q", ln, line)
+			}
+		}
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return s, fmt.Errorf("line %d: expected space before value in %q", ln, line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("line %d: expected value (and optional timestamp) in %q", ln, line)
+	}
+	v, err := parseLE(fields[0]) // accepts floats and +Inf
+	if err != nil {
+		if fields[0] == "-Inf" {
+			v = math.Inf(-1)
+		} else if fields[0] == "NaN" {
+			v = math.NaN()
+		} else {
+			return s, fmt.Errorf("line %d: bad value %q: %v", ln, fields[0], err)
+		}
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("line %d: bad timestamp %q", ln, fields[1])
+		}
+	}
+	return s, nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func isLabelChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}

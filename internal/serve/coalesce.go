@@ -5,11 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"eva/internal/coalesce"
 	"eva/internal/core"
 	"eva/internal/execute"
+	"eva/internal/jobs"
+	"eva/internal/obs"
 )
 
 // Request coalescing (POST /jobs?coalesce=1) packs many compatible narrow
@@ -104,12 +107,21 @@ func (s *Server) handleCoalescedSubmit(w http.ResponseWriter, r *http.Request, r
 		inputs[in.Name] = v
 	}
 
+	// The caller blocks here for its whole coalesced ride: waiting for the
+	// batch to fill, the shared execution, and the demux. The span's attrs
+	// record where it rode once the delivery arrives.
+	waitSpan := obs.TraceFromContext(r.Context()).StartSpan("coalesce_wait", obs.SpanFromContext(r.Context()))
 	d, err := s.coalescer.Submit(r.Context(), &coalesce.Request{
 		Key:     coalesce.Key{Program: entry.ID, Context: ce.ID},
 		VecSize: prog.VecSize,
 		Stride:  stride,
 		Inputs:  inputs,
 	})
+	if err == nil {
+		waitSpan.SetAttr("batch_job_id", d.BatchID)
+		waitSpan.SetAttr("batch_size", strconv.Itoa(d.BatchSize))
+	}
+	waitSpan.End()
 	if err != nil {
 		switch {
 		case r.Context().Err() != nil:
@@ -145,6 +157,13 @@ func (s *Server) handleCoalescedSubmit(w http.ResponseWriter, r *http.Request, r
 // (admission control sees the batch once), demux each output back into
 // per-caller slices, and deliver. It is the coalescer's Config.Run hook.
 func (s *Server) runCoalescedBatch(b *coalesce.Batch) {
+	// The shared execution gets its own trace (each caller's request trace
+	// records only that caller's wait); the batch trace is bound to the
+	// batch's job id, so GET /jobs/{batch_job_id}/trace shows the shared
+	// pack → queue → execute → demux pipeline.
+	bt := s.tracer.Start("")
+	defer bt.Release()
+
 	// Re-resolve: the context may have been LRU-evicted (and store-restored)
 	// between submission and seal.
 	ce, entry, _, err := s.resolveExecution(b.Key.Program, b.Key.Context)
@@ -156,6 +175,8 @@ func (s *Server) runCoalescedBatch(b *coalesce.Batch) {
 	reqs := b.Requests()
 	prog := entry.Result.Program
 
+	packSpan := bt.StartSpan("coalesce_pack", nil)
+	packSpan.SetAttr("callers", strconv.Itoa(len(reqs)))
 	packed := &ExecuteBatch{Values: map[string][]float64{}, Plain: map[string][]float64{}}
 	pendingValues := 0
 	for _, in := range prog.Inputs() {
@@ -175,13 +196,23 @@ func (s *Server) runCoalescedBatch(b *coalesce.Batch) {
 			packed.Plain[in.Name] = vec
 		}
 	}
+	packSpan.End()
 
 	// One admission charge for the whole batch: the packed plain vectors by
 	// their real size, one fresh ciphertext per encrypted input (not per
 	// caller), and the cost model's peak once.
 	est := estimateJobBytes(entry, []*execute.EncryptedInputs{{Plain: packed.Plain}}, pendingValues)
 	ropts, _ := s.runOptions(0, "") // shared runs use the server's defaults
-	snap, err := s.jobs.Submit(1, est, func(jctx context.Context, batchDone func(int)) (any, error) {
+	id, err := jobs.NewID()
+	if err != nil {
+		b.FailAll(err)
+		return
+	}
+	s.bindJobTrace(id, bt)
+	queueSpan := bt.StartSpan("queue_wait", nil)
+	snap, err := s.jobs.SubmitWithID(id, 1, est, func(jctx context.Context, batchDone func(int)) (any, error) {
+		queueSpan.End()
+		jctx = obs.ContextWithTrace(jctx, bt)
 		start := time.Now()
 		result := s.runBatch(jctx, entry, ce, packed, nil, ropts)
 		b.Done(time.Since(start))
@@ -191,6 +222,8 @@ func (s *Server) runCoalescedBatch(b *coalesce.Batch) {
 			b.FailAll(err)
 			return nil, err
 		}
+		demuxSpan := bt.StartSpan("coalesce_demux", nil)
+		defer demuxSpan.End()
 		perCaller := make([]BatchResult, len(reqs))
 		for j := range perCaller {
 			perCaller[j] = BatchResult{Values: map[string][]float64{}, Stats: result.Stats}
@@ -215,6 +248,11 @@ func (s *Server) runCoalescedBatch(b *coalesce.Batch) {
 		return []BatchResult{{Stats: result.Stats}}, nil
 	})
 	if err != nil {
+		// The job never became visible, so the finish hook will not fire;
+		// drop the binding and its reference.
+		if bound := s.takeJobTrace(id); bound != nil {
+			bound.Release()
+		}
 		b.FailAll(err)
 		return
 	}

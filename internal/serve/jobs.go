@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"eva/internal/analysis"
 	"eva/internal/execute"
 	"eva/internal/jobs"
+	"eva/internal/obs"
 )
 
 // The jobs API fronts long-running encrypted computations with a queue:
@@ -44,6 +46,9 @@ type JobStatus struct {
 	CreatedAt   string  `json:"created_at"`
 	WaitMillis  float64 `json:"wait_ms,omitempty"`
 	RunMillis   float64 `json:"run_ms,omitempty"`
+	// TraceID is the request trace the job is bound to; GET
+	// /jobs/{id}/trace serves its span tree.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobResult is the body of GET /jobs/{id}/result: the same per-batch results
@@ -157,7 +162,23 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	est := estimateJobBytes(entry, decoded, pendingValues)
 	batches := req.Batches
-	snap, err := s.jobs.Submit(len(batches), est, func(jctx context.Context, batchDone func(int)) (any, error) {
+
+	// Pre-mint the job id and bind the trace to it before submission: the
+	// manager makes a job visible — and finishable — before Submit returns,
+	// so binding afterwards would race the finish hook.
+	id, err := jobs.NewID()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	t := obs.TraceFromContext(r.Context())
+	routeSpan := obs.SpanFromContext(r.Context())
+	s.bindJobTrace(id, t)
+	admit := t.StartSpan("admission", routeSpan)
+	queueSpan := t.StartSpan("queue_wait", routeSpan)
+	snap, err := s.jobs.SubmitWithID(id, len(batches), est, func(jctx context.Context, batchDone func(int)) (any, error) {
+		queueSpan.End()
+		jctx = obs.ContextWithSpan(obs.ContextWithTrace(jctx, t), routeSpan)
 		results := make([]BatchResult, len(batches))
 		for i := range batches {
 			if err := jctx.Err(); err != nil {
@@ -169,12 +190,26 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return results, nil
 	})
+	admit.End()
 	if err != nil {
+		queueSpan.End()
+		// The job never became visible; the finish hook will not fire, so
+		// drop the binding and its reference here.
+		if bound := s.takeJobTrace(id); bound != nil {
+			bound.Release()
+		}
 		s.writeAdmissionError(w, err)
 		return
 	}
+	s.log.Debug("job submitted",
+		slog.String(obs.LogJobID, id),
+		slog.String(obs.LogTraceID, t.ID()),
+		slog.Int("batches", len(batches)),
+		slog.Int64("est_bytes", est))
 	w.Header().Set("Location", "/jobs/"+snap.ID)
-	writeJSON(w, http.StatusAccepted, jobStatusJSON(snap))
+	st := jobStatusJSON(snap)
+	st.TraceID = t.ID()
+	writeJSON(w, http.StatusAccepted, st)
 }
 
 func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
@@ -211,7 +246,9 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, jobStatusJSON(snap))
+	st := jobStatusJSON(snap)
+	st.TraceID = s.tracer.TraceIDForJob(id)
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

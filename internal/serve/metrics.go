@@ -8,6 +8,7 @@ import (
 	"eva/internal/coalesce"
 	"eva/internal/execute"
 	"eva/internal/jobs"
+	"eva/internal/obs"
 	"eva/internal/store"
 )
 
@@ -20,7 +21,7 @@ import (
 type Metrics struct {
 	mu         sync.Mutex
 	start      time.Time
-	requests   map[string]uint64
+	requests   map[string]*routeStats
 	executions uint64
 	execFailed uint64
 	execTotal  time.Duration
@@ -30,20 +31,45 @@ type Metrics struct {
 	predictedCost map[string]float64
 }
 
+// routeStats is one route's request accounting: total count, counts per
+// status class ("2xx".."5xx"), and a latency histogram.
+type routeStats struct {
+	count   uint64
+	byClass map[string]uint64
+	latency *obs.Histogram
+}
+
 // NewMetrics returns an empty metrics collector.
 func NewMetrics() *Metrics {
 	return &Metrics{
 		start:         time.Now(),
-		requests:      map[string]uint64{},
+		requests:      map[string]*routeStats{},
 		perOp:         map[string]*execute.OpStats{},
 		predictedCost: map[string]float64{},
 	}
 }
 
-// RecordRequest counts one request against a route label.
-func (m *Metrics) RecordRequest(route string) {
+// statusClass buckets an HTTP status code ("2xx", "4xx", ...).
+func statusClass(status int) string {
+	if status < 100 || status > 599 {
+		return "other"
+	}
+	return string([]byte{byte('0' + status/100), 'x', 'x'})
+}
+
+// RecordRequest counts one request against a route label with its response
+// status code and handling latency, so shed 4xx traffic is distinguishable
+// from served 2xx traffic.
+func (m *Metrics) RecordRequest(route string, status int, d time.Duration) {
 	m.mu.Lock()
-	m.requests[route]++
+	rs := m.requests[route]
+	if rs == nil {
+		rs = &routeStats{byClass: map[string]uint64{}, latency: obs.NewHistogram(obs.DurationBounds)}
+		m.requests[route] = rs
+	}
+	rs.count++
+	rs.byClass[statusClass(status)]++
+	rs.latency.Observe(d.Seconds())
 	m.mu.Unlock()
 }
 
@@ -97,14 +123,17 @@ type OpHistogram struct {
 
 // MetricsReport is the JSON document served by GET /metrics.
 type MetricsReport struct {
-	Node             string            `json:"node,omitempty"`
-	UptimeSeconds    float64           `json:"uptime_seconds"`
-	Requests         map[string]uint64 `json:"requests"`
-	Cache            CacheStats        `json:"cache"`
-	CacheHitRate     float64           `json:"cache_hit_rate"`
-	Executions       uint64            `json:"executions"`
-	ExecutionsFailed uint64            `json:"executions_failed"`
-	ExecTotalMS      float64           `json:"execution_total_ms"`
+	Node          string            `json:"node,omitempty"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      map[string]uint64 `json:"requests"`
+	// RequestsByClass splits each route's count by status class, so 4xx
+	// shed traffic is distinguishable from 2xx served traffic.
+	RequestsByClass  map[string]map[string]uint64 `json:"requests_by_class"`
+	Cache            CacheStats                   `json:"cache"`
+	CacheHitRate     float64                      `json:"cache_hit_rate"`
+	Executions       uint64                       `json:"executions"`
+	ExecutionsFailed uint64                       `json:"executions_failed"`
+	ExecTotalMS      float64                      `json:"execution_total_ms"`
 	// Jobs reports the async execution subsystem: queue depth, running
 	// jobs, admitted-versus-budget bytes, shed/rejected submissions, outcome
 	// counters, and the summed queue wait.
@@ -164,12 +193,19 @@ func (m *Metrics) Report(cache CacheStats, jobStats jobs.Stats, storeStats *stor
 	}
 
 	requests := make(map[string]uint64, len(m.requests))
-	for k, v := range m.requests {
-		requests[k] = v
+	byClass := make(map[string]map[string]uint64, len(m.requests))
+	for k, rs := range m.requests {
+		requests[k] = rs.count
+		classes := make(map[string]uint64, len(rs.byClass))
+		for c, n := range rs.byClass {
+			classes[c] = n
+		}
+		byClass[k] = classes
 	}
 	return MetricsReport{
 		UptimeSeconds:    time.Since(m.start).Seconds(),
 		Requests:         requests,
+		RequestsByClass:  byClass,
 		Cache:            cache,
 		CacheHitRate:     cache.HitRate(),
 		Executions:       m.executions,

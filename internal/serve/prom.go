@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"eva/internal/execute"
+	"eva/internal/obs"
+)
+
+// WritePrometheus renders the full metrics surface in the Prometheus text
+// exposition format: per-route request counters split by status class with
+// latency histograms, cache/execution counters, per-opcode latency
+// histograms (RunStats buckets converted to seconds), jobs/store/coalesce
+// gauges, and the tracer's per-phase duration histograms. The JSON report
+// (GET /metrics) is unchanged; this is GET /metrics?format=prometheus.
+func (s *Server) WritePrometheus(w io.Writer) error {
+	p := obs.NewPromWriter(w)
+
+	m := s.metrics
+	m.mu.Lock()
+	uptime := time.Since(m.start).Seconds()
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	p.Meta("eva_uptime_seconds", "Seconds since the server started.", "gauge")
+	p.Sample("eva_uptime_seconds", nil, uptime)
+
+	if len(routes) > 0 {
+		p.Meta("eva_requests_total", "HTTP requests by route and status class.", "counter")
+		for _, route := range routes {
+			rs := m.requests[route]
+			classes := make([]string, 0, len(rs.byClass))
+			for c := range rs.byClass {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			for _, c := range classes {
+				p.Sample("eva_requests_total", map[string]string{"route": route, "code": c}, float64(rs.byClass[c]))
+			}
+		}
+		p.Meta("eva_request_duration_seconds", "HTTP request handling latency by route.", "histogram")
+		for _, route := range routes {
+			p.Histogram("eva_request_duration_seconds", map[string]string{"route": route}, m.requests[route].latency.Snapshot())
+		}
+	}
+
+	p.Meta("eva_executions_total", "Batch executions completed.", "counter")
+	p.Sample("eva_executions_total", nil, float64(m.executions))
+	p.Meta("eva_execution_errors_total", "Batch executions failed (cancellations excluded).", "counter")
+	p.Sample("eva_execution_errors_total", nil, float64(m.execFailed))
+	p.Meta("eva_execution_seconds_total", "Summed wall time of batch executions.", "counter")
+	p.Sample("eva_execution_seconds_total", nil, m.execTotal.Seconds())
+
+	if len(m.perOp) > 0 {
+		opBounds := make([]float64, len(execute.OpLatencyBounds))
+		for i, b := range execute.OpLatencyBounds {
+			opBounds[i] = b.Seconds()
+		}
+		ops := make([]string, 0, len(m.perOp))
+		for op := range m.perOp {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		p.Meta("eva_op_duration_seconds", "Per-opcode instruction latency across all executions.", "histogram")
+		for _, op := range ops {
+			os := m.perOp[op]
+			snap := obs.HistogramSnapshot{
+				Bounds: opBounds,
+				Counts: make([]uint64, len(opBounds)+1),
+				Sum:    os.Total.Seconds(),
+				Count:  uint64(os.Count),
+			}
+			for i, n := range os.Buckets {
+				if i < len(snap.Counts) {
+					snap.Counts[i] = uint64(n)
+				}
+			}
+			p.Histogram("eva_op_duration_seconds", map[string]string{"op": op}, snap)
+		}
+	}
+
+	var predictedTotal float64
+	for _, c := range m.predictedCost {
+		predictedTotal += c
+	}
+	if predictedTotal > 0 {
+		predOps := make([]string, 0, len(m.predictedCost))
+		for op := range m.predictedCost {
+			predOps = append(predOps, op)
+		}
+		sort.Strings(predOps)
+		p.Meta("eva_op_predicted_cost_share", "Per-opcode share of the cost model's total predicted cost.", "gauge")
+		for _, op := range predOps {
+			p.Sample("eva_op_predicted_cost_share", map[string]string{"op": op}, m.predictedCost[op]/predictedTotal)
+		}
+	}
+	m.mu.Unlock()
+
+	cache := s.registry.Stats()
+	p.Meta("eva_cache_entries", "Compiled programs resident in the registry cache.", "gauge")
+	p.Sample("eva_cache_entries", nil, float64(cache.Size))
+	p.Meta("eva_cache_hits_total", "Registry cache hits.", "counter")
+	p.Sample("eva_cache_hits_total", nil, float64(cache.Hits))
+	p.Meta("eva_cache_misses_total", "Registry cache misses.", "counter")
+	p.Sample("eva_cache_misses_total", nil, float64(cache.Misses))
+	p.Meta("eva_cache_evictions_total", "Registry cache evictions.", "counter")
+	p.Sample("eva_cache_evictions_total", nil, float64(cache.Evictions))
+
+	js := s.jobs.Stats()
+	p.Meta("eva_jobs_queue_depth", "Jobs waiting for a worker.", "gauge")
+	p.Sample("eva_jobs_queue_depth", nil, float64(js.QueueDepth))
+	p.Meta("eva_jobs_running", "Jobs currently executing.", "gauge")
+	p.Sample("eva_jobs_running", nil, float64(js.Running))
+	p.Meta("eva_jobs_admitted_bytes", "Estimated resident bytes of admitted jobs.", "gauge")
+	p.Sample("eva_jobs_admitted_bytes", nil, float64(js.AdmittedBytes))
+	p.Meta("eva_jobs_budget_bytes", "Admission-control memory budget.", "gauge")
+	p.Sample("eva_jobs_budget_bytes", nil, float64(js.BudgetBytes))
+	p.Meta("eva_jobs_submitted_total", "Jobs admitted.", "counter")
+	p.Sample("eva_jobs_submitted_total", nil, float64(js.Submitted))
+	p.Meta("eva_jobs_completed_total", "Jobs finished successfully.", "counter")
+	p.Sample("eva_jobs_completed_total", nil, float64(js.Completed))
+	p.Meta("eva_jobs_failed_total", "Jobs that failed.", "counter")
+	p.Sample("eva_jobs_failed_total", nil, float64(js.Failed))
+	p.Meta("eva_jobs_cancelled_total", "Jobs cancelled.", "counter")
+	p.Sample("eva_jobs_cancelled_total", nil, float64(js.Cancelled))
+	p.Meta("eva_jobs_shed_total", "Submissions shed by queue or budget pressure.", "counter")
+	p.Sample("eva_jobs_shed_total", nil, float64(js.Shed))
+	p.Meta("eva_jobs_rejected_total", "Submissions rejected as too large for the budget.", "counter")
+	p.Sample("eva_jobs_rejected_total", nil, float64(js.Rejected))
+	p.Meta("eva_jobs_wait_seconds_total", "Summed queue wait of started jobs.", "counter")
+	p.Sample("eva_jobs_wait_seconds_total", nil, js.TotalWaitMillis/1000)
+
+	cs := s.coalescer.Stats()
+	p.Meta("eva_coalesce_open_waiters", "Callers waiting in unsealed batches.", "gauge")
+	p.Sample("eva_coalesce_open_waiters", nil, float64(cs.OpenWaiters))
+	p.Meta("eva_coalesce_batches_total", "Coalesced batches dispatched.", "counter")
+	p.Sample("eva_coalesce_batches_total", nil, float64(cs.Batches))
+	p.Meta("eva_coalesce_requests_total", "Callers sealed into dispatched batches.", "counter")
+	p.Sample("eva_coalesce_requests_total", nil, float64(cs.Requests))
+	p.Meta("eva_coalesce_evicted_total", "Callers cancelled before their batch sealed.", "counter")
+	p.Sample("eva_coalesce_evicted_total", nil, float64(cs.Evicted))
+	p.Meta("eva_coalesce_abandoned_total", "Callers cancelled after their batch sealed.", "counter")
+	p.Sample("eva_coalesce_abandoned_total", nil, float64(cs.Abandoned))
+	p.Meta("eva_coalesce_occupancy", "Cumulative slot occupancy of dispatched batches.", "gauge")
+	p.Sample("eva_coalesce_occupancy", nil, cs.Occupancy)
+
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Stats()
+		p.Meta("eva_store_entries", "Artifacts resident in the durable store.", "gauge")
+		p.Sample("eva_store_entries", nil, float64(ss.Entries))
+		p.Meta("eva_store_bytes", "Bytes resident in the durable store.", "gauge")
+		p.Sample("eva_store_bytes", nil, float64(ss.Bytes))
+		p.Meta("eva_store_gets_total", "Store read operations.", "counter")
+		p.Sample("eva_store_gets_total", nil, float64(ss.Gets))
+		p.Meta("eva_store_puts_total", "Store write operations.", "counter")
+		p.Sample("eva_store_puts_total", nil, float64(ss.Puts))
+		p.Meta("eva_store_misses_total", "Store reads that found nothing.", "counter")
+		p.Sample("eva_store_misses_total", nil, float64(ss.Misses))
+	}
+
+	phases := s.tracer.PhaseHistograms()
+	if len(phases) > 0 {
+		names := make([]string, 0, len(phases))
+		for name := range phases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		p.Meta("eva_trace_phase_duration_seconds", "Span durations of finished traces by phase.", "histogram")
+		for _, name := range names {
+			p.Histogram("eva_trace_phase_duration_seconds", map[string]string{"phase": name}, phases[name])
+		}
+	}
+	return p.Err()
+}

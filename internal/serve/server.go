@@ -28,7 +28,9 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -43,6 +45,7 @@ import (
 	"eva/internal/execute"
 	"eva/internal/jobs"
 	"eva/internal/lang"
+	"eva/internal/obs"
 	"eva/internal/rewrite"
 	"eva/internal/store"
 )
@@ -121,6 +124,16 @@ type Config struct {
 	// secret key, so this must stay off unless every client of this server
 	// is a trusted peer node.
 	AllowContextTransfer bool
+
+	// Logger receives structured records (job lifecycle, slow traces) with
+	// trace-id/node/job-id attributes. Nil discards.
+	Logger *slog.Logger
+	// TraceCapacity bounds the finished-trace ring buffer behind GET
+	// /traces and GET /jobs/{id}/trace (0 = 256).
+	TraceCapacity int
+	// SlowTraceThreshold is the end-to-end duration at or above which a
+	// finished trace is logged with its per-phase breakdown (0 = disabled).
+	SlowTraceThreshold time.Duration
 }
 
 // Server is the evaserve HTTP service. Create one with NewServer and mount
@@ -133,6 +146,13 @@ type Server struct {
 	coalescer *coalesce.Coalescer
 	mux       *http.ServeMux
 	start     time.Time
+	tracer    *obs.Tracer
+	log       *slog.Logger
+
+	// traceMu guards jobTraces, the job-id → held trace binding that lets
+	// the finish hook close a job's trace on whichever goroutine ends it.
+	traceMu   sync.Mutex
+	jobTraces map[string]*obs.Trace
 
 	ctxMu    sync.Mutex
 	contexts map[string]*list.Element // values are *contextEntry
@@ -165,30 +185,52 @@ type contextEntry struct {
 
 // NewServer builds an evaserve service.
 func NewServer(cfg Config) *Server {
-	s := &Server{
-		cfg:      cfg,
-		registry: NewRegistryWithStore(cfg.CacheCapacity, cfg.Store),
-		metrics:  NewMetrics(),
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		contexts: map[string]*list.Element{},
-		ctxLRU:   list.New(),
+	if cfg.NodeID == "" {
+		// Populate the node label even outside clusters, so /healthz,
+		// /metrics, and traces are attributable in single-node mode too.
+		if host, err := os.Hostname(); err == nil && host != "" {
+			cfg.NodeID = host
+		} else {
+			cfg.NodeID = "standalone"
+		}
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	s := &Server{
+		cfg:       cfg,
+		registry:  NewRegistryWithStore(cfg.CacheCapacity, cfg.Store),
+		metrics:   NewMetrics(),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		contexts:  map[string]*list.Element{},
+		ctxLRU:    list.New(),
+		log:       cfg.Logger.With(slog.String(obs.LogNodeID, cfg.NodeID)),
+		jobTraces: map[string]*obs.Trace{},
+	}
+	s.tracer = obs.NewTracer(obs.TracerConfig{
+		Node:          cfg.NodeID,
+		Capacity:      cfg.TraceCapacity,
+		SlowThreshold: cfg.SlowTraceThreshold,
+		Logger:        s.log,
+	})
 	s.jobs = jobs.NewManager(jobs.Config{
 		Workers:           cfg.JobWorkers,
 		QueueDepth:        cfg.JobQueueDepth,
 		MemoryBudgetBytes: cfg.JobMemoryBudgetBytes,
 		ResultTTL:         cfg.JobResultTTL,
-		// Persist finished results before they become visible: a client that
+		// Persist finished results before they become visible (a client that
 		// observes "done" can rely on the result surviving a restart, and
 		// the fetch-once contract is served from the store after the TTL
-		// evicts the in-memory copy.
-		OnFinish: s.persistJobResult,
+		// evicts the in-memory copy), then close the job's trace.
+		OnFinish: s.onJobFinish,
+		Logger:   s.log,
 	})
 	s.coalescer = coalesce.New(coalesce.Config{
 		MaxBatch: cfg.CoalesceMaxBatch,
 		MaxWait:  cfg.CoalesceMaxWait,
 		Run:      s.runCoalescedBatch,
+		Logger:   s.log,
 	})
 	s.mux.HandleFunc("POST /compile", s.route("compile", s.handleCompile))
 	s.mux.HandleFunc("GET /programs", s.route("programs", s.handlePrograms))
@@ -202,6 +244,8 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.route("jobs_events", s.handleJobEvents))
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.route("jobs_result", s.handleJobResult))
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.route("jobs_cancel", s.handleJobCancel))
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.route("jobs_trace", s.handleJobTrace))
+	s.mux.HandleFunc("GET /traces", s.route("traces", s.handleTraces))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
 	if cfg.Store != nil && cfg.ResultRetention >= 0 {
@@ -248,8 +292,13 @@ func (s *Server) Registry() *Registry { return s.registry }
 // Store exposes the durable artifact store (nil when durability is off).
 func (s *Server) Store() store.Store { return s.cfg.Store }
 
-// NodeID returns the configured node label (empty outside clusters).
+// NodeID returns the node label (defaulted to the hostname when not
+// configured, so reports are attributable even in single-node mode).
 func (s *Server) NodeID() string { return s.cfg.NodeID }
+
+// Tracer exposes the request tracer (the cluster tier records its routing
+// spans through it; tests inspect finished traces).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // ProgramSource returns the canonical serialized source and exact compile
 // options for a program id, from the cache or the durable store. The
@@ -273,17 +322,60 @@ func (s *Server) InstallProgram(source json.RawMessage, opts compile.Options) (s
 	return entry.ID, nil
 }
 
+// route wraps every handler: it adopts the request's trace (or mints one at
+// ingress), echoes the id on the response, records a root span for the
+// route, and folds the response's status class and latency into the
+// per-route metrics.
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	maxBody := s.cfg.MaxBodyBytes
 	if maxBody <= 0 {
 		maxBody = 256 << 20
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.RecordRequest(name)
+		start := time.Now()
+		t := s.tracer.Start(r.Header.Get(obs.TraceHeader))
+		defer t.Release()
+		w.Header().Set(obs.TraceHeader, t.ID())
+		sp := t.StartSpan("route:"+name, nil)
+		if from := r.Header.Get("X-Eva-Forwarded"); from != "" {
+			sp.SetAttr("forwarded_from", from)
+		}
+		defer sp.End()
+		r = r.WithContext(obs.ContextWithSpan(obs.ContextWithTrace(r.Context(), t), sp))
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 		}
-		h(w, r)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.RecordRequest(name, sw.status, time.Since(start))
+	}
+}
+
+// statusWriter captures the response status for per-route metrics. It
+// forwards Flush so SSE streaming (GET /jobs/{id}/events) keeps working
+// through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if !sw.wrote {
+		sw.status = status
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
 	}
 }
 
@@ -993,14 +1085,29 @@ func (s *Server) runBatch(stdctx context.Context, entry *Entry, ce *contextEntry
 		}
 	}
 
+	// The execute span carries per-instruction progress (readable on live
+	// traces) and, after the run, the per-opcode time folded from RunStats.
+	sp := obs.TraceFromContext(stdctx).StartSpan("execute", obs.SpanFromContext(stdctx))
+	if sp != nil && ropts.Progress == nil {
+		ropts.Progress = sp.Progress
+	}
 	out, err := execute.RunContext(stdctx, ce.Ctx, res, enc, ropts)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		// A cancelled run (client disconnect, job cancel, shutdown) is not an
 		// execution failure; keep the failure counter meaningful for alerts.
 		if stdctx.Err() == nil {
 			s.metrics.RecordExecutionError()
 		}
 		return batchError("executing: %v", err)
+	}
+	if sp != nil {
+		sp.SetAttr("workers", strconv.Itoa(out.Stats.Workers))
+		for op, os := range out.Stats.PerOp {
+			sp.SetAttr("op."+op+"_ms", strconv.FormatFloat(float64(os.Total)/float64(time.Millisecond), 'f', 3, 64))
+		}
+		sp.End()
 	}
 	s.metrics.RecordExecution(out.Stats)
 
@@ -1119,5 +1226,12 @@ func (s *Server) MetricsReport() MetricsReport {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.WritePrometheus(w); err != nil {
+			s.log.Warn("writing prometheus exposition", slog.String("error", err.Error()))
+		}
+		return
+	}
 	writeJSON(w, http.StatusOK, s.MetricsReport())
 }
