@@ -9,7 +9,7 @@
 //
 //	evaload [-addr http://host:8080] [-jobs 50] [-concurrency 8] [-batches 2]
 //	        [-job-workers 2] [-job-queue 64] [-job-memory-mb 512]
-//	        [-coalesce] [-cluster 0] [-kill-owner] [-trace]
+//	        [-coalesce] [-pipeline] [-cluster 0] [-kill-owner] [-trace]
 //
 // With -trace, evaload ends the run by fetching the slowest completed job's
 // server-side trace (GET /jobs/{id}/trace) and printing its span tree — the
@@ -27,6 +27,12 @@
 // caller's results against the cleartext reference in both phases, and
 // reports amortized per-request latency percentiles, throughput, and the
 // coalesced-over-unbatched speedup plus the server's occupancy metrics.
+//
+// With -pipeline, evaload smokes the encrypted pipeline endpoint: it submits
+// a two-stage chain (stage 2 consumes stage 1's output handle server-side),
+// verifies the decrypted final result against the cleartext reference, and
+// then submits an over-deep chain that the chaining checker must reject at
+// submit with a structured 422.
 //
 // With -cluster N (N >= 2), evaload instead boots an in-process N-node
 // evaserve cluster (each node durable in its own temp directory) and drives
@@ -109,6 +115,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		clusterN    = fs.Int("cluster", 0, "boot an in-process N-node cluster and drive it through a router (0 = single node)")
 		killOwner   = fs.Bool("kill-owner", false, "cluster mode: kill the context owner after 25% of jobs complete")
 		coalesce    = fs.Bool("coalesce", false, "benchmark POST /jobs?coalesce=1 against the unbatched jobs API")
+		pipeline    = fs.Bool("pipeline", false, "smoke POST /pipelines: a two-stage encrypted chain verified against the cleartext reference, plus an incompatible chain rejected with 422")
 		traceFlag   = fs.Bool("trace", false, "after the run, print the slowest job's phase breakdown from its server-side trace")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -165,6 +172,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *coalesce {
 		return runCoalesceBench(ctx, stdout, client, *jobCount, *concurrency)
+	}
+	if *pipeline {
+		return runPipelineSmoke(ctx, stdout, client)
 	}
 
 	comp, err := client.Compile(ctx, eva.CompileRequest{
@@ -638,6 +648,132 @@ func runCoalesceBench(ctx context.Context, stdout io.Writer, client *eva.Client,
 		}
 	}
 	return nil
+}
+
+// Stage programs of the -pipeline smoke. Both compile with the same options
+// (MaxRescaleLog 30 keeps each product's rescale at the 2^30 waterline;
+// ExtraLevels 1 adds the headroom the chaining consumes), so they share one
+// parameter chain, and with the same keygen seed their demo contexts share
+// keys — the conditions under which stage outputs are consumable downstream.
+const (
+	pipelineStage1 = `program pstage1 vec=8;
+input x @30;
+input y @30;
+out = x * y;
+output out @30;`
+	pipelineStage2 = `program pstage2 vec=8;
+input z @30;
+out2 = z * 0.5@30;
+output out2 @30;`
+)
+
+// runPipelineSmoke drives POST /pipelines end to end: a two-stage encrypted
+// chain (stage 2 consumes stage 1's output server-side, zero client-side
+// ciphertext round-trips) whose decrypted result must match the cleartext
+// reference, then an over-deep chain that must be rejected at submit with a
+// structured 422 — the chaining checker working is part of the contract.
+func runPipelineSmoke(ctx context.Context, stdout io.Writer, client *eva.Client) error {
+	opts := &serve.CompileOptionsJSON{AllowInsecure: true, MaxRescaleLog: 30, ExtraLevels: 1}
+	compile := func(src string) (string, error) {
+		comp, err := client.Compile(ctx, eva.CompileRequest{Source: src, Options: opts})
+		if err != nil {
+			return "", fmt.Errorf("compile: %w", err)
+		}
+		return comp.ID, nil
+	}
+	p1, err := compile(pipelineStage1)
+	if err != nil {
+		return err
+	}
+	p2, err := compile(pipelineStage2)
+	if err != nil {
+		return err
+	}
+	mkctx := func(programID string) (string, error) {
+		ec, err := client.NewKeygenContext(ctx, programID, 7)
+		if err != nil {
+			return "", fmt.Errorf("context (the server must run -demo): %w", err)
+		}
+		return ec.ContextID, nil
+	}
+	c1, err := mkctx(p1)
+	if err != nil {
+		return err
+	}
+	c2, err := mkctx(p2)
+	if err != nil {
+		return err
+	}
+
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := []float64{8, 7, 6, 5, 4, 3, 2, 1}
+	stageRef := func(stage int, output string) eva.PipelineInput {
+		return eva.PipelineInput{Stage: &stage, Output: output}
+	}
+
+	start := time.Now()
+	st, err := client.SubmitPipeline(ctx, eva.PipelineRequest{
+		Stages: []eva.PipelineStage{
+			{ProgramID: p1, ContextID: c1, Inputs: map[string]eva.PipelineInput{
+				"x": {Values: xs}, "y": {Values: ys},
+			}},
+			{ProgramID: p2, ContextID: c2, Inputs: map[string]eva.PipelineInput{
+				"z": stageRef(0, "out"),
+			}, Output: "values"},
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("pipeline submit: %w", err)
+	}
+	res, err := client.WaitPipeline(ctx, st.JobID)
+	if err != nil {
+		return fmt.Errorf("pipeline wait: %w", err)
+	}
+	if len(res.Results) != 2 {
+		return fmt.Errorf("pipeline returned %d stage results; want 2", len(res.Results))
+	}
+	out := res.Results[1].Values["out2"]
+	if len(out) != len(xs) {
+		return fmt.Errorf("final stage returned %d values; want %d", len(out), len(xs))
+	}
+	for i := range xs {
+		want := xs[i] * ys[i] * 0.5
+		if math.Abs(out[i]-want) > 1e-2 {
+			return fmt.Errorf("pipeline output[%d] = %v; cleartext reference %v", i, out[i], want)
+		}
+	}
+	fmt.Fprintf(stdout, "pipeline: 2-stage chain (job %s) verified against the cleartext reference in %.1fms\n",
+		st.JobID, ms(time.Since(start)))
+
+	// Negative path: chain until the level budget runs dry; the checker must
+	// reject the submission — a mid-run failure here would mean the static
+	// check let an impossible chain through.
+	deep := eva.PipelineRequest{Stages: []eva.PipelineStage{
+		{ProgramID: p1, ContextID: c1, Inputs: map[string]eva.PipelineInput{
+			"x": {Values: xs}, "y": {Values: ys},
+		}},
+	}}
+	for i := 1; i <= 3; i++ {
+		deep.Stages = append(deep.Stages, eva.PipelineStage{
+			ProgramID: p2, ContextID: c2,
+			Inputs: map[string]eva.PipelineInput{"z": stageRef(i-1, outputName(i))},
+		})
+	}
+	if _, err := client.SubmitPipeline(ctx, deep); err == nil {
+		return fmt.Errorf("over-deep chain was accepted; the chaining checker must reject it at submit")
+	} else if apiErr, ok := err.(*eva.APIError); !ok || apiErr.Status != http.StatusUnprocessableEntity {
+		return fmt.Errorf("over-deep chain: got %v; want a structured 422", err)
+	}
+	fmt.Fprintln(stdout, "pipeline: incompatible chain rejected at submit with 422")
+	return nil
+}
+
+// outputName names stage i's encrypted output in the -pipeline smoke.
+func outputName(stage int) string {
+	if stage == 1 {
+		return "out" // stage 0 is pstage1
+	}
+	return "out2"
 }
 
 // drivePhase runs jobCount requests through one at the given concurrency and

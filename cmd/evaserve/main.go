@@ -128,6 +128,11 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		coalMax   = fs.Int("coalesce-max", 0, "max callers packed into one coalesced batch (0 = 64)")
 		coalWait  = fs.Duration("coalesce-wait", 0, "max wait for co-batched company before a coalesced batch runs (0 = 25ms)")
 		resultRet = fs.Duration("result-retention", 0, "retention of persisted unfetched results in the store (0 = 24h, <0 = forever)")
+		handleMB  = fs.Int64("handle-quota-mb", 0, "ciphertext handle store byte quota in MiB (0 = 4096)")
+		handleRet = fs.Duration("handle-retention", 0, "retention of stored ciphertext handles (0 = 24h, <0 = forever)")
+		routedRet = fs.Duration("routed-job-retention", 0, "cluster: retention of live routed-job records (0 = 24h)")
+		retireRet = fs.Duration("retired-job-retention", 0, "cluster: retention of delivered/cancelled routed-job records (0 = 10m)")
+		sweepInt  = fs.Duration("route-sweep-interval", 0, "cluster: min interval between routed-job sweeps (0 = 1m)")
 		dataDir   = fs.String("data-dir", "", "durable artifact store directory (empty = in-memory only)")
 		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
 		nodeID    = fs.String("node-id", "", "this node's id in a cluster (required with -peers)")
@@ -179,6 +184,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		CoalesceMaxBatch:     *coalMax,
 		CoalesceMaxWait:      *coalWait,
 		ResultRetention:      *resultRet,
+		HandleQuotaBytes:     *handleMB << 20,
+		HandleRetention:      *handleRet,
 		Store:                st,
 		NodeID:               *nodeID,
 		Logger:               logger,
@@ -195,10 +202,13 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 	handler := srv.Handler()
 	if len(peers) > 0 {
 		cl, err := cluster.New(srv, cluster.Config{
-			Self:   *nodeID,
-			Peers:  peers,
-			Store:  st,
-			Logger: logger,
+			Self:                *nodeID,
+			Peers:               peers,
+			Store:               st,
+			Logger:              logger,
+			RoutedJobRetention:  *routedRet,
+			RetiredJobRetention: *retireRet,
+			SweepInterval:       *sweepInt,
 		})
 		if err != nil {
 			return err

@@ -192,6 +192,31 @@ type RetryPolicy struct {
 	// from the server overrides the computed delay for that attempt.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// Method and Path, when set, name the route op performs so the retry
+	// loop can refuse to replay operations that are not idempotent: a 502
+	// from a routing hop is ambiguous — the request may have reached the
+	// worker and only the response was lost — and replaying a DELETE or a
+	// job submit then duplicates the side effect. Left empty, every
+	// transient error is retried (the caller asserts idempotency).
+	Method string
+	Path   string
+}
+
+// IdempotentRoute reports whether replaying a request against the evaserve
+// API cannot duplicate a side effect: reads are safe except the fetch-once
+// job result (a replay after a lost response answers 410), PUT /handles is
+// content-addressed (re-storing identical bytes is a dedup hit), and POST
+// submits and DELETEs are not safe — a replayed DELETE can race a
+// concurrent re-store of the same content address.
+func IdempotentRoute(method, path string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead:
+		return !strings.HasSuffix(path, "/result")
+	case http.MethodPut:
+		return true
+	default:
+		return false
+	}
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -214,6 +239,11 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // the attempts returns the last transient error. onRetry, when non-nil, is
 // called before each backoff sleep with the attempt number (1-based) and
 // the error being retried — load generators use it to count sheds.
+//
+// When policy names a non-idempotent route (Method/Path), ambiguous
+// failures (502/503, where the request may have executed) are returned
+// without retry; admission sheds (429) are always retried — a shed request
+// never ran.
 func (c *Client) DoWithRetry(ctx context.Context, policy RetryPolicy, op func(context.Context) error, onRetry func(attempt int, err error)) error {
 	policy = policy.withDefaults()
 	delay := policy.BaseDelay
@@ -224,6 +254,9 @@ func (c *Client) DoWithRetry(ctx context.Context, policy RetryPolicy, op func(co
 		}
 		var apiErr *APIError
 		if !errors.As(err, &apiErr) || !apiErr.Transient() {
+			return err
+		}
+		if apiErr.Unavailable() && policy.Method != "" && !IdempotentRoute(policy.Method, policy.Path) {
 			return err
 		}
 		if policy.MaxAttempts > 0 && attempt >= policy.MaxAttempts {

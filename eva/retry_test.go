@@ -98,6 +98,62 @@ func TestDoWithRetryDoesNotRetryPermanentErrors(t *testing.T) {
 	}
 }
 
+func TestIdempotentRoute(t *testing.T) {
+	cases := []struct {
+		method, path string
+		want         bool
+	}{
+		{http.MethodGet, "/handles/abc", true},
+		{http.MethodGet, "/jobs/1", true},
+		{http.MethodGet, "/jobs/1/result", false}, // fetch-once
+		{http.MethodPut, "/handles", true},        // content-addressed
+		{http.MethodPost, "/jobs", false},
+		{http.MethodPost, "/pipelines", false},
+		{http.MethodDelete, "/handles/abc", false},
+		{http.MethodDelete, "/jobs/1", false},
+	}
+	for _, c := range cases {
+		if got := eva.IdempotentRoute(c.method, c.path); got != c.want {
+			t.Errorf("IdempotentRoute(%s %s) = %v, want %v", c.method, c.path, got, c.want)
+		}
+	}
+}
+
+// TestDoWithRetryRefusesNonIdempotentReplay: an ambiguous 502/503 on a
+// handle DELETE must not be replayed — the request may have reached the
+// worker — while an admission shed (429) is always safe to retry.
+func TestDoWithRetryRefusesNonIdempotentReplay(t *testing.T) {
+	policy := eva.RetryPolicy{BaseDelay: time.Millisecond,
+		Method: http.MethodDelete, Path: "/handles/abc"}
+
+	served, h := flakyHandler(1000, http.StatusBadGateway, "")
+	ts := httptest.NewServer(h)
+	c := eva.NewClient(ts.URL)
+	err := c.DoWithRetry(context.Background(), policy,
+		func(ctx context.Context) error { return c.DeleteHandle(ctx, "abc") }, nil)
+	ts.Close()
+	var apiErr *eva.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadGateway {
+		t.Fatalf("err = %v; want the 502 APIError", err)
+	}
+	if served.Load() != 1 {
+		t.Errorf("%d DELETE attempts after an ambiguous 502; want exactly 1", served.Load())
+	}
+
+	served, h = flakyHandler(2, http.StatusTooManyRequests, "")
+	ts = httptest.NewServer(h)
+	defer ts.Close()
+	c = eva.NewClient(ts.URL)
+	err = c.DoWithRetry(context.Background(), policy,
+		func(ctx context.Context) error { return c.DeleteHandle(ctx, "abc") }, nil)
+	if err != nil {
+		t.Fatalf("shed DELETE should retry to success: %v", err)
+	}
+	if served.Load() != 3 {
+		t.Errorf("%d requests; want 3 (two sheds + success)", served.Load())
+	}
+}
+
 func TestDoWithRetryUnboundedStopsOnContext(t *testing.T) {
 	_, h := flakyHandler(1_000_000, http.StatusTooManyRequests, "")
 	ts := httptest.NewServer(h)

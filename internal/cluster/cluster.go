@@ -58,6 +58,18 @@ type Config struct {
 	// Logger receives structured cluster events (peer health transitions,
 	// routed-job requeues). Nil discards them.
 	Logger *slog.Logger
+	// RoutedJobRetention bounds how long a routed-job record outlives its
+	// admission (default 24h): the worker-side result is itself swept after
+	// the serve layer's retention window, so a record this old can never
+	// deliver again.
+	RoutedJobRetention time.Duration
+	// RetiredJobRetention bounds how long a delivered or cancelled record
+	// lingers (default 10m) — it exists only so GET /jobs/{id}/trace can
+	// still find the worker after the result is gone.
+	RetiredJobRetention time.Duration
+	// SweepInterval throttles the routed-job sweep piggybacked on the health
+	// prober (default 1m).
+	SweepInterval time.Duration
 }
 
 // Cluster is one node's view of the sharded tier: the ring, per-peer
@@ -155,6 +167,15 @@ func New(local *serve.Server, cfg Config) (*Cluster, error) {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = time.Second
 	}
+	if cfg.RoutedJobRetention <= 0 {
+		cfg.RoutedJobRetention = 24 * time.Hour
+	}
+	if cfg.RetiredJobRetention <= 0 {
+		cfg.RetiredJobRetention = 10 * time.Minute
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = time.Minute
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = obs.NopLogger()
@@ -172,6 +193,10 @@ func New(local *serve.Server, cfg Config) (*Cluster, error) {
 		stopProbe: make(chan struct{}),
 	}
 	c.loadRoutedJobs()
+	// Execution-time handle resolution: a job routed here may reference a
+	// handle stored on the node its uploader talked to. The serve layer
+	// calls this when its local registry misses.
+	local.SetHandleFetcher(c.fetchHandleFromPeers)
 	if cfg.ProbeInterval > 0 && len(peers) > 0 {
 		c.probeWG.Add(1)
 		go c.probeLoop()
@@ -318,29 +343,18 @@ func (c *Cluster) Probe(ctx context.Context) {
 	c.sweepRoutedJobs()
 }
 
-// routedJobRetention bounds how long a routed-job record outlives its
-// admission: the worker-side result is itself swept after the serve
-// layer's retention window, so a record this old can never deliver again.
-// retiredJobRetention bounds how long a delivered or cancelled record
-// lingers — it exists only so GET /jobs/{id}/trace can still find the
-// worker after the result is gone.
-const (
-	routedJobRetention  = 24 * time.Hour
-	retiredJobRetention = 10 * time.Minute
-)
-
-// sweepRoutedJobs drops records for jobs abandoned past the retention
-// window, bounding the router table and its store kind. Runs at most once
-// per minute (piggybacked on the health prober).
+// sweepRoutedJobs drops records for jobs abandoned past the configured
+// retention windows, bounding the router table and its store kind. Runs at
+// most once per Config.SweepInterval (piggybacked on the health prober).
 func (c *Cluster) sweepRoutedJobs() {
 	c.mu.Lock()
-	if time.Since(c.lastSweep) < time.Minute {
+	if time.Since(c.lastSweep) < c.cfg.SweepInterval {
 		c.mu.Unlock()
 		return
 	}
 	c.lastSweep = time.Now()
-	cutoff := time.Now().Add(-routedJobRetention)
-	retiredCutoff := time.Now().Add(-retiredJobRetention)
+	cutoff := time.Now().Add(-c.cfg.RoutedJobRetention)
+	retiredCutoff := time.Now().Add(-c.cfg.RetiredJobRetention)
 	var expired []*routedJob
 	for _, rec := range c.cjobs {
 		switch {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"eva/eva"
+	"eva/internal/handle"
 	"eva/internal/serve"
 	"eva/internal/store"
 )
@@ -345,6 +346,266 @@ func TestClusterOwnerKilledMidJob(t *testing.T) {
 		t.Logf("owner %s correctly marked down", owner.id)
 	} else {
 		t.Error("dead owner still marked healthy on the router")
+	}
+}
+
+// TestClusterHandlePlacementAndPipeline is the handle-tier e2e: ciphertext
+// handles stored through arbitrary nodes are routed to their context's ring
+// candidates, fetched by scatter from nodes that do not hold them, deleted
+// everywhere by broadcast, and — the acceptance scenario — a handle that
+// physically lives on a node outside the executing context's candidate set
+// is still resolved when a job referencing it is submitted via a third
+// node. A routed two-stage pipeline closes the loop.
+func TestClusterHandlePlacementAndPipeline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	nodes := startTestCluster(t, 3, 1)
+
+	// The two stage programs compile with identical options, so they share
+	// one parameter chain (same fingerprint) and — with the same keygen
+	// seed — identical demo keys; ExtraLevels gives stage 2 the headroom to
+	// accept stage 1's rescaled output.
+	opts := &serve.CompileOptionsJSON{AllowInsecure: true, MaxRescaleLog: 30, ExtraLevels: 1}
+	compile := func(src string) string {
+		comp, err := nodes[0].client.Compile(ctx, eva.CompileRequest{Source: src, Options: opts})
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		return comp.ID
+	}
+	p1 := compile(`program cstage1 vec=8;
+input x @30;
+input y @30;
+out = x * y;
+output out @30;`)
+	p2 := compile(`program cstage2 vec=8;
+input z @30;
+out2 = z * 0.5@30;
+output out2 @30;`)
+	mkctx := func(programID string, via *testNode) string {
+		ec, err := via.client.NewKeygenContext(ctx, programID, 7)
+		if err != nil {
+			t.Fatalf("context for %s via %s: %v", programID, via.id, err)
+		}
+		return ec.ContextID
+	}
+	c1 := mkctx(p1, nodes[1])
+	c2 := mkctx(p2, nodes[2])
+
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := []float64{8, 7, 6, 5, 4, 3, 2, 1}
+	want := make([]float64, 8)
+	for i := range want {
+		want[i] = xs[i] * ys[i] * 0.5
+	}
+
+	nonCandidate := func(contextID string) *testNode {
+		cands := nodes[0].cluster.ContextCandidates(contextID)
+		for _, n := range nodes {
+			member := false
+			for _, c := range cands {
+				if n.id == c {
+					member = true
+				}
+			}
+			if !member {
+				return n
+			}
+		}
+		t.Fatalf("every node is a candidate of %s", contextID)
+		return nil
+	}
+
+	// Stage 1 as a routed job with handle output, submitted via a node that
+	// does not own c1.
+	owner1 := nodes[0].cluster.ContextCandidates(c1)[0]
+	var router *testNode
+	for _, n := range nodes {
+		if n.id != owner1 {
+			router = n
+			break
+		}
+	}
+	st, err := router.client.SubmitJob(ctx, eva.JobRequest{
+		ProgramID: p1, ContextID: c1, Output: "handle",
+		Batches: []serve.ExecuteBatch{{Values: map[string][]float64{"x": xs, "y": ys}}},
+	})
+	if err != nil {
+		t.Fatalf("submit stage-1 job via %s: %v", router.id, err)
+	}
+	if fin, err := router.client.WaitJob(ctx, st.JobID); err != nil || fin.Status != "done" {
+		t.Fatalf("wait stage-1 job: err=%v status=%q error=%q", err, fin.Status, fin.Error)
+	}
+	res, err := router.client.FetchJobResult(ctx, st.JobID)
+	if err != nil {
+		t.Fatalf("fetch stage-1 result: %v", err)
+	}
+	handleID := res.Results[0].Handles["out"]
+	if handleID == "" {
+		t.Fatalf("stage-1 job returned no output handle: %+v", res.Results[0])
+	}
+
+	// Scatter fetch: a node outside c1's candidate set does not hold the
+	// handle and must find it on a peer.
+	outsider1 := nonCandidate(c1)
+	rec, err := outsider1.client.FetchHandle(ctx, handleID)
+	if err != nil {
+		t.Fatalf("scatter fetch via %s: %v", outsider1.id, err)
+	}
+	if rec.Meta.ContextID != c1 || len(rec.Cipher) == 0 {
+		t.Fatalf("fetched record: context %q, %d cipher bytes", rec.Meta.ContextID, len(rec.Cipher))
+	}
+
+	// Routed store: PUT through the non-owner routes to c1's owner and
+	// dedups to the same content address.
+	meta, err := outsider1.client.StoreCiphertext(ctx, c1, rec.Cipher)
+	if err != nil {
+		t.Fatalf("routed store via %s: %v", outsider1.id, err)
+	}
+	if meta.ID != handleID {
+		t.Fatalf("routed store addressed %s, want %s", meta.ID, handleID)
+	}
+
+	// Broadcast delete removes every copy; the scatter then misses.
+	if err := nodes[2].client.DeleteHandle(ctx, handleID); err != nil {
+		t.Fatalf("broadcast delete: %v", err)
+	}
+	if _, err := nodes[0].client.FetchHandle(ctx, handleID); err == nil {
+		t.Fatal("handle still resolvable after broadcast delete")
+	}
+
+	// Acceptance scenario: plant the record only on a node outside c2's
+	// candidate set, then submit a stage-2 job via a different node. The
+	// job routes to c2's owner, whose local registry misses; the serve
+	// layer's cluster fetcher must pull the handle from the outsider peer.
+	outsider2 := nonCandidate(c2)
+	if _, err := outsider2.srv.Handles().Install(&handle.Record{Meta: rec.Meta, Data: rec.Cipher}); err != nil {
+		t.Fatalf("planting handle on %s: %v", outsider2.id, err)
+	}
+	var via *testNode
+	for _, n := range nodes {
+		if n.id != outsider2.id {
+			via = n
+			break
+		}
+	}
+	st2, err := via.client.SubmitJob(ctx, eva.JobRequest{
+		ProgramID: p2, ContextID: c2, Output: "values",
+		Batches: []serve.ExecuteBatch{{Handles: map[string]string{"z": handleID}}},
+	})
+	if err != nil {
+		t.Fatalf("submit handle-input job via %s: %v", via.id, err)
+	}
+	if _, err := via.client.WaitJob(ctx, st2.JobID); err != nil {
+		t.Fatalf("wait handle-input job: %v", err)
+	}
+	res2, err := via.client.FetchJobResult(ctx, st2.JobID)
+	if err != nil {
+		t.Fatalf("fetch handle-input result: %v", err)
+	}
+	if res2.Results[0].Error != "" {
+		t.Fatalf("handle-input batch failed: %s", res2.Results[0].Error)
+	}
+	out := res2.Results[0].Values["out2"]
+	if len(out) == 0 {
+		t.Fatal("handle-chained job returned no decrypted values")
+	}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-2 {
+			t.Fatalf("handle-chained output[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+
+	// Routed pipeline: both stages in one submit via a node of the client's
+	// choosing; the cluster ships every stage's program and context to the
+	// executing node and the job id routes like any cluster job.
+	pst, err := nodes[2].client.SubmitPipeline(ctx, eva.PipelineRequest{
+		Stages: []eva.PipelineStage{
+			{ProgramID: p1, ContextID: c1, Inputs: map[string]eva.PipelineInput{
+				"x": {Values: xs}, "y": {Values: ys},
+			}},
+			{ProgramID: p2, ContextID: c2, Inputs: map[string]eva.PipelineInput{
+				"z": {Stage: intPtr(0), Output: "out"},
+			}, Output: "values"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("submit pipeline via %s: %v", nodes[2].id, err)
+	}
+	if !strings.Contains(pst.JobID, "~") {
+		t.Fatalf("pipeline job id %q is not cluster-routed", pst.JobID)
+	}
+	pres, err := nodes[0].client.WaitPipeline(ctx, pst.JobID)
+	if err != nil {
+		t.Fatalf("wait pipeline via %s: %v", nodes[0].id, err)
+	}
+	if len(pres.Results) != 2 {
+		t.Fatalf("pipeline returned %d stage results, want 2", len(pres.Results))
+	}
+	final := pres.Results[1].Values["out2"]
+	for i := range want {
+		if math.Abs(final[i]-want[i]) > 1e-2 {
+			t.Fatalf("pipeline output[%d] = %v, want %v", i, final[i], want[i])
+		}
+	}
+}
+
+func intPtr(v int) *int { return &v }
+
+// TestRoutedJobSweepConfig: the retention and sweep knobs hoisted into
+// Config drive sweepRoutedJobs — no production clocks in tests.
+func TestRoutedJobSweepConfig(t *testing.T) {
+	srv := serve.NewServer(serve.Config{AllowServerKeygen: true})
+	defer srv.Close()
+	c, err := New(srv, Config{
+		Self:                "solo",
+		ProbeInterval:       -1,
+		RoutedJobRetention:  time.Hour,
+		RetiredJobRetention: time.Minute,
+		SweepInterval:       time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	now := time.Now()
+	recs := map[string]*routedJob{
+		"live-old":      {Suffix: "live-old", CreatedAt: now.Add(-2 * time.Hour)},
+		"live-fresh":    {Suffix: "live-fresh", CreatedAt: now},
+		"retired-old":   {Suffix: "retired-old", Delivered: true, CreatedAt: now.Add(-2 * time.Hour), RetiredAt: now.Add(-2 * time.Minute)},
+		"retired-fresh": {Suffix: "retired-fresh", Delivered: true, CreatedAt: now, RetiredAt: now},
+	}
+	c.mu.Lock()
+	for k, v := range recs {
+		c.cjobs[k] = v
+	}
+	c.mu.Unlock()
+
+	c.sweepRoutedJobs()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, gone := range []string{"live-old", "retired-old"} {
+		if _, ok := c.cjobs[gone]; ok {
+			t.Errorf("record %q survived the sweep", gone)
+		}
+	}
+	for _, kept := range []string{"live-fresh", "retired-fresh"} {
+		if _, ok := c.cjobs[kept]; !ok {
+			t.Errorf("record %q was swept before its retention expired", kept)
+		}
+	}
+
+	// Zero-valued knobs fall back to the documented defaults.
+	d, err := New(srv, Config{Self: "solo2", ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.cfg.RoutedJobRetention != 24*time.Hour || d.cfg.RetiredJobRetention != 10*time.Minute || d.cfg.SweepInterval != time.Minute {
+		t.Errorf("defaults = %v/%v/%v, want 24h/10m/1m",
+			d.cfg.RoutedJobRetention, d.cfg.RetiredJobRetention, d.cfg.SweepInterval)
 	}
 }
 

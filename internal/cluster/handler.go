@@ -33,6 +33,10 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/trace", c.handleJobGet("jobs_trace", c.jobTrace))
 	mux.HandleFunc("DELETE /jobs/{id}", c.handleJobGet("jobs_cancel", c.jobCancel))
 	mux.HandleFunc("GET /jobs/{id}/events", c.handleJobEvents)
+	mux.HandleFunc("PUT /handles", c.routed("handles_put", c.handleHandlePut))
+	mux.HandleFunc("GET /handles/{id}", c.handleHandleGet)
+	mux.HandleFunc("DELETE /handles/{id}", c.handleHandleDelete)
+	mux.HandleFunc("POST /pipelines", c.routed("pipelines", c.handlePipelineSubmit))
 	mux.HandleFunc("GET /programs", c.handleProgramsScatter)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	// Everything else — /healthz, /programs/{id}, bundles, plain job ids —

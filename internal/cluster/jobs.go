@@ -31,8 +31,9 @@ const kindRoutedJob = "cjob"
 type routedJob struct {
 	Suffix    string          `json:"suffix"` // id = home + "~" + suffix
 	ContextID string          `json:"context_id"`
-	Body      json.RawMessage `json:"body"` // the original JobRequest
-	Node      string          `json:"node"` // current assignment
+	Body      json.RawMessage `json:"body"`           // the original JobRequest (or PipelineRequest)
+	Path      string          `json:"path,omitempty"` // submit path; "" means /jobs
+	Node      string          `json:"node"`           // current assignment
 	LocalID   string          `json:"local_id"`
 	Attempts  int             `json:"attempts"`
 	Delivered bool            `json:"delivered"`
@@ -498,11 +499,15 @@ func (c *Cluster) requeue(rec *routedJob, failedNode string) bool {
 		c.mu.Unlock()
 	}()
 
+	path := rec.Path
+	if path == "" {
+		path = "/jobs"
+	}
 	for _, node := range c.ContextCandidates(rec.ContextID) {
 		if node == failedNode || !c.healthy(node) {
 			continue
 		}
-		status, data, err := c.roundTrip(nodeCtx(), node, http.MethodPost, "/jobs", rec.Body)
+		status, data, err := c.roundTrip(nodeCtx(), node, http.MethodPost, path, rec.Body)
 		if err != nil || status != http.StatusAccepted {
 			continue
 		}

@@ -38,6 +38,14 @@ type Options struct {
 	// elimination and plain-constant folding) before the FHE-specific passes.
 	// They preserve reference semantics exactly and only reduce work.
 	Optimize bool
+	// ExtraLevels prepends this many waterline-sized primes to the modulus
+	// chain beyond what the program itself consumes. Pipelined programs use
+	// it to compile every stage against one shared chain: a downstream stage
+	// compiled with headroom for its upstream stages' consumed levels accepts
+	// their lower-level output ciphertexts directly, without bootstrapping or
+	// re-encryption. The option is part of the program's registry identity,
+	// so the same source compiled with different headroom caches separately.
+	ExtraLevels int
 }
 
 // DefaultOptions returns the paper's default compilation pipeline.
@@ -109,6 +117,22 @@ func Compile(input *core.Program, opts Options) (*Result, error) {
 	}
 	// Step 4: rotation steps selection.
 	steps := analysis.SelectRotationSteps(prog)
+
+	// Level headroom for pipeline chaining: pad the front of the chain (the
+	// positions consumed first) with waterline-sized primes, so inputs may
+	// enter up to ExtraLevels below fresh and every rescale still finds a
+	// prime of the size the scale analysis assumed.
+	if opts.ExtraLevels > 0 {
+		w := int(math.Ceil(rewrite.Waterline(prog)))
+		if w < 20 {
+			w = 20
+		}
+		pad := make([]int, opts.ExtraLevels, opts.ExtraLevels+len(plan.BitSizes))
+		for i := range pad {
+			pad[i] = w
+		}
+		plan.BitSizes = append(pad, plan.BitSizes...)
+	}
 
 	logN, err := selectLogN(input.VecSize, plan, opts)
 	if err != nil {

@@ -166,6 +166,36 @@ func EncryptInputs(ctx *Context, res *compile.Result, keys *KeyMaterial, values 
 	return out, nil
 }
 
+// EncryptSelected encodes and encrypts a subset of the program's Cipher
+// inputs at their compiled scales. Unlike EncryptInputs it does not demand
+// every input: servers resolving mixed batches (some inputs arriving as
+// stored ciphertext handles, some as plaintext values) encrypt only the
+// plaintext remainder. Every name must be a Cipher input of the program.
+func EncryptSelected(ctx *Context, res *compile.Result, keys *KeyMaterial, values Inputs, prng *ckks.PRNG) (map[string]*ckks.Ciphertext, time.Duration, error) {
+	start := time.Now()
+	enc := ckks.NewEncryptor(ctx.Params, keys.Public, prng)
+	out := make(map[string]*ckks.Ciphertext, len(values))
+	for name, v := range values {
+		in := res.Program.InputByName(name)
+		if in == nil || in.InType != core.TypeCipher {
+			return nil, 0, fmt.Errorf("execute: %q is not a Cipher input of the program", name)
+		}
+		if len(v) == 0 || len(v) > res.Program.VecSize {
+			return nil, 0, fmt.Errorf("execute: input %q has %d values; want 1..%d", name, len(v), res.Program.VecSize)
+		}
+		pt, err := ctx.Encoder.Encode(v, math.Exp2(in.LogScale), ctx.Params.MaxLevel())
+		if err != nil {
+			return nil, 0, fmt.Errorf("execute: encoding input %q: %w", name, err)
+		}
+		ct, err := enc.Encrypt(pt)
+		if err != nil {
+			return nil, 0, fmt.Errorf("execute: encrypting input %q: %w", name, err)
+		}
+		out[name] = ct
+	}
+	return out, time.Since(start), nil
+}
+
 // Outputs holds the encrypted results of an execution plus any outputs that
 // turned out to be unencrypted (programs whose outputs do not depend on any
 // Cipher input), and execution statistics.

@@ -1,0 +1,361 @@
+// Package handle implements content-addressed ciphertext handles: durable,
+// immutable references to encrypted values stored server-side, so the output
+// of one encrypted program can feed the input of the next without a client
+// round-trip (the stateful dataflow layer under POST /pipelines).
+//
+// A handle's id is the SHA-256 of the serialized ciphertext bound to the
+// context id it was stored under, so identical ciphertexts deduplicate and a
+// handle can never silently refer to different bytes on different nodes.
+// Alongside the ciphertext the registry records the metadata the pipeline
+// checker needs to reject incompatible chaining at submit time: the context,
+// a fingerprint of the encryption parameters, the remaining level, the log2
+// scale, and the slot width.
+package handle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"eva/internal/store"
+)
+
+// Kind is the artifact-store kind ciphertext handles are stored under.
+const Kind = "ct"
+
+// ScaleTolerance is the maximum |log2| scale drift accepted when chaining a
+// handle into an input: rescaling divides by the actual chain prime rather
+// than the nominal power of two, so a produced ciphertext's scale wanders a
+// fraction of a bit away from the consumer's compiled input scale.
+const ScaleTolerance = 0.5
+
+// Meta is the metadata stored with (and returned for) every handle.
+type Meta struct {
+	ID        string `json:"id"`
+	ContextID string `json:"context_id"`
+	// ParamsID fingerprints the encryption parameters the ciphertext lives
+	// under (ring degree + modulus chain). Two contexts chain only when
+	// their fingerprints match: a ciphertext is raw residue data and means
+	// nothing under a different modulus chain.
+	ParamsID string `json:"params_id,omitempty"`
+	// Level is the ciphertext's remaining position in the modulus chain; a
+	// consumer needs at least its input's rescale depth left.
+	Level int `json:"level"`
+	// LogScale is the log2 of the ciphertext's actual scale.
+	LogScale float64 `json:"log_scale"`
+	// Width is the slot width (the producing program's vector size).
+	Width int `json:"width"`
+	// Bytes is the serialized ciphertext size.
+	Bytes     int       `json:"bytes"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// Record is the stored envelope: the metadata plus the ciphertext wire bytes
+// (base64 on the wire via encoding/json).
+type Record struct {
+	Meta Meta   `json:"meta"`
+	Data []byte `json:"data"`
+}
+
+// ID derives a handle's content address: SHA-256 over the context id and the
+// serialized ciphertext.
+func ID(contextID string, ct []byte) string {
+	h := sha256.New()
+	h.Write([]byte(contextID))
+	h.Write([]byte{0})
+	h.Write(ct)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Want is what a consumer requires of a chained ciphertext, derived from the
+// consuming program's compile result.
+type Want struct {
+	// MinLevel is the rescale depth below the input: the ciphertext must
+	// have at least this many levels left.
+	MinLevel int
+	// LogScale is the input's compiled encoding scale (log2).
+	LogScale float64
+	// Width is the consuming program's vector size.
+	Width int
+	// ParamsID is the consumer context's parameter fingerprint.
+	ParamsID string
+}
+
+// Mismatch is a structured chaining rejection: which property of the handle
+// is incompatible with the consumer, with both sides rendered for the 422
+// body. It implements error.
+type Mismatch struct {
+	HandleID string `json:"handle_id,omitempty"`
+	Field    string `json:"field"`
+	Want     string `json:"want"`
+	Got      string `json:"got"`
+}
+
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("handle %s: incompatible %s: want %s, got %s", m.HandleID, m.Field, m.Want, m.Got)
+}
+
+// Check validates the handle's metadata against a consumer's requirements,
+// returning a *Mismatch describing the first violated property.
+func (m Meta) Check(w Want) error {
+	if w.ParamsID != "" && m.ParamsID != "" && m.ParamsID != w.ParamsID {
+		return &Mismatch{HandleID: m.ID, Field: "params",
+			Want: w.ParamsID, Got: m.ParamsID}
+	}
+	if w.Width > 0 && m.Width != w.Width {
+		return &Mismatch{HandleID: m.ID, Field: "width",
+			Want: fmt.Sprintf("%d", w.Width), Got: fmt.Sprintf("%d", m.Width)}
+	}
+	if m.Level < w.MinLevel {
+		return &Mismatch{HandleID: m.ID, Field: "level",
+			Want: fmt.Sprintf(">=%d", w.MinLevel), Got: fmt.Sprintf("%d", m.Level)}
+	}
+	if math.Abs(m.LogScale-w.LogScale) > ScaleTolerance {
+		return &Mismatch{HandleID: m.ID, Field: "scale",
+			Want: fmt.Sprintf("2^%.2f (±%.1f)", w.LogScale, ScaleTolerance),
+			Got:  fmt.Sprintf("2^%.2f", m.LogScale)}
+	}
+	return nil
+}
+
+// ErrNotFound reports an unknown handle id.
+var ErrNotFound = errors.New("handle: not found")
+
+// ErrQuotaExceeded reports that storing a handle would exceed the registry's
+// byte quota.
+var ErrQuotaExceeded = errors.New("handle: quota exceeded")
+
+// Config configures a Registry.
+type Config struct {
+	// Store is the backing artifact store (required).
+	Store store.Store
+	// QuotaBytes bounds the resident handle bytes (0 = 4 GiB; negative =
+	// unbounded). Puts beyond the quota fail with ErrQuotaExceeded.
+	QuotaBytes int64
+	// Retention bounds a handle's lifetime for Sweep (0 = 24h; negative =
+	// keep forever).
+	Retention time.Duration
+}
+
+// Stats is a snapshot of a registry's contents and traffic.
+type Stats struct {
+	Entries    int   `json:"entries"`
+	Bytes      int64 `json:"bytes"`
+	QuotaBytes int64 `json:"quota_bytes"`
+	// Puts counts stored handles, Dedups the puts that hit an existing
+	// content address.
+	Puts   uint64 `json:"puts"`
+	Dedups uint64 `json:"dedups"`
+	// Resolves counts handle reads (input resolution and fetches), Misses
+	// the reads of unknown ids.
+	Resolves uint64 `json:"resolves"`
+	Misses   uint64 `json:"misses"`
+	Deletes  uint64 `json:"deletes"`
+	// Swept counts handles reclaimed by retention sweeps, QuotaRejected the
+	// puts refused by the byte quota.
+	Swept         uint64 `json:"swept"`
+	QuotaRejected uint64 `json:"quota_rejected"`
+}
+
+// Registry stores ciphertext handles in an artifact store under Kind,
+// enforcing a byte quota on writes and a retention window on sweeps.
+type Registry struct {
+	cfg Config
+
+	mu       sync.Mutex
+	puts     uint64
+	dedups   uint64
+	resolves uint64
+	misses   uint64
+	deletes  uint64
+	swept    uint64
+	rejected uint64
+}
+
+// NewRegistry builds a handle registry over a store.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.QuotaBytes == 0 {
+		cfg.QuotaBytes = 4 << 30
+	}
+	if cfg.Retention == 0 {
+		cfg.Retention = 24 * time.Hour
+	}
+	return &Registry{cfg: cfg}
+}
+
+// Retention returns the configured sweep window (negative = keep forever).
+func (r *Registry) Retention() time.Duration { return r.cfg.Retention }
+
+func (r *Registry) usedBytes() int64 {
+	st := r.cfg.Store.Stats()
+	if ks, ok := st.PerKind[Kind]; ok {
+		return ks.Bytes
+	}
+	return 0
+}
+
+// Put stores a ciphertext under its content address, filling the meta's ID,
+// Bytes, and CreatedAt. Storing bytes that already exist is a cheap dedup
+// (content addressing guarantees the stored record is identical).
+func (r *Registry) Put(meta Meta, data []byte) (Meta, error) {
+	meta.ID = ID(meta.ContextID, data)
+	meta.Bytes = len(data)
+	if meta.CreatedAt.IsZero() {
+		meta.CreatedAt = time.Now().UTC()
+	}
+	if existing, err := r.Stat(meta.ID); err == nil {
+		r.count(func() { r.dedups++ })
+		return existing, nil
+	}
+	rec, err := json.Marshal(Record{Meta: meta, Data: data})
+	if err != nil {
+		return Meta{}, fmt.Errorf("handle: encoding record: %w", err)
+	}
+	if r.cfg.QuotaBytes > 0 && r.usedBytes()+int64(len(rec)) > r.cfg.QuotaBytes {
+		r.count(func() { r.rejected++ })
+		return Meta{}, fmt.Errorf("%w: %d handle bytes resident, quota %d",
+			ErrQuotaExceeded, r.usedBytes(), r.cfg.QuotaBytes)
+	}
+	if err := r.cfg.Store.Put(Kind, meta.ID, rec); err != nil {
+		return Meta{}, fmt.Errorf("handle: persisting %s: %w", meta.ID, err)
+	}
+	r.count(func() { r.puts++ })
+	return meta, nil
+}
+
+// Get returns a handle's metadata and ciphertext bytes.
+func (r *Registry) Get(id string) (Meta, []byte, error) {
+	rec, err := r.load(id)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	r.count(func() { r.resolves++ })
+	return rec.Meta, rec.Data, nil
+}
+
+// Stat returns a handle's metadata without counting a resolve.
+func (r *Registry) Stat(id string) (Meta, error) {
+	rec, err := r.load(id)
+	if err != nil {
+		return Meta{}, err
+	}
+	return rec.Meta, nil
+}
+
+func (r *Registry) load(id string) (*Record, error) {
+	data, err := r.cfg.Store.Get(Kind, id)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			r.count(func() { r.misses++ })
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return nil, fmt.Errorf("handle: loading %s: %w", id, err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("handle: decoding %s: %w", id, err)
+	}
+	return &rec, nil
+}
+
+// Install stores a record fetched from elsewhere (a peer node) verbatim,
+// verifying that its bytes really match its content address.
+func (r *Registry) Install(rec *Record) (Meta, error) {
+	if got := ID(rec.Meta.ContextID, rec.Data); got != rec.Meta.ID {
+		return Meta{}, fmt.Errorf("handle: record %s fails content verification (hashes to %s)", rec.Meta.ID, got)
+	}
+	return r.Put(rec.Meta, rec.Data)
+}
+
+// Delete removes a handle. Deleting an unknown id returns ErrNotFound.
+func (r *Registry) Delete(id string) error {
+	if _, err := r.Stat(id); err != nil {
+		return err
+	}
+	if err := r.cfg.Store.Delete(Kind, id); err != nil {
+		return fmt.Errorf("handle: deleting %s: %w", id, err)
+	}
+	r.count(func() { r.deletes++ })
+	return nil
+}
+
+// List returns every handle's metadata, ordered by the store's listing.
+func (r *Registry) List() ([]Meta, error) {
+	ids, err := r.cfg.Store.List(Kind)
+	if err != nil {
+		return nil, fmt.Errorf("handle: listing: %w", err)
+	}
+	metas := make([]Meta, 0, len(ids))
+	for _, id := range ids {
+		rec, err := r.load(id)
+		if err != nil {
+			continue // deleted concurrently
+		}
+		metas = append(metas, rec.Meta)
+	}
+	return metas, nil
+}
+
+// Sweep deletes handles older than the retention window and returns how many
+// it reclaimed. A negative retention keeps everything.
+func (r *Registry) Sweep() int {
+	if r.cfg.Retention < 0 {
+		return 0
+	}
+	ids, err := r.cfg.Store.List(Kind)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-r.cfg.Retention)
+	swept := 0
+	for _, id := range ids {
+		rec, err := r.load(id)
+		if err != nil {
+			continue
+		}
+		if rec.Meta.CreatedAt.Before(cutoff) {
+			if r.cfg.Store.Delete(Kind, id) == nil {
+				swept++
+			}
+		}
+	}
+	if swept > 0 {
+		r.count(func() { r.swept += uint64(swept) })
+	}
+	return swept
+}
+
+// Stats snapshots the registry counters and the store's handle-kind usage.
+func (r *Registry) Stats() Stats {
+	st := r.cfg.Store.Stats()
+	var entries int
+	var bytes int64
+	if ks, ok := st.PerKind[Kind]; ok {
+		entries, bytes = ks.Entries, ks.Bytes
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Entries:       entries,
+		Bytes:         bytes,
+		QuotaBytes:    r.cfg.QuotaBytes,
+		Puts:          r.puts,
+		Dedups:        r.dedups,
+		Resolves:      r.resolves,
+		Misses:        r.misses,
+		Deletes:       r.deletes,
+		Swept:         r.swept,
+		QuotaRejected: r.rejected,
+	}
+}
+
+func (r *Registry) count(f func()) {
+	r.mu.Lock()
+	f()
+	r.mu.Unlock()
+}

@@ -72,14 +72,26 @@ func (s *Server) handleCoalescedSubmit(w http.ResponseWriter, r *http.Request, r
 		writeError(w, http.StatusBadRequest, "a coalesced submission carries exactly one batch, got %d", len(req.Batches))
 		return
 	}
-	stride, err := coalesce.Compatible(entry.Result)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	if err := validOutputMode(req.Output); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	batch := &req.Batches[0]
-	if len(batch.Cipher) > 0 {
-		writeError(w, http.StatusBadRequest, "coalescing cannot pack client-encrypted ciphertexts; submit plaintext \"values\" against a server-keygen (demo) context, or POST /jobs without coalesce=1")
+	if len(batch.Cipher) > 0 || len(batch.Handles) > 0 {
+		// Ciphertext-carrying submissions (uploads or stored handles) occupy
+		// the full slot vector, so they cannot share a packed execution with
+		// other callers; run them as a batch of one so the coalesce surface
+		// still accepts every input form.
+		s.runUncoalesced(w, r, req, entry, ce)
+		return
+	}
+	if req.Output == outputHandle {
+		writeError(w, http.StatusBadRequest, "coalesced callers receive their demuxed slices; \"output\": \"handle\" would store the shared ciphertext — POST /jobs without coalesce=1 instead")
+		return
+	}
+	stride, err := coalesce.Compatible(entry.Result)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	prog := entry.Result.Program
@@ -152,6 +164,37 @@ func (s *Server) handleCoalescedSubmit(w http.ResponseWriter, r *http.Request, r
 	})
 }
 
+// runUncoalesced serves a coalesce=1 submission that cannot be packed (it
+// carries a full-width ciphertext: an upload or a handle reference) as a
+// synchronous batch of one. Input resolution failures keep their structured
+// statuses (422 chaining, 404 unknown handle); the run itself reports errors
+// in the result body like /execute does.
+func (s *Server) runUncoalesced(w http.ResponseWriter, r *http.Request, req *JobRequest, entry *Entry, ce *contextEntry) {
+	ropts, err := s.runOptions(req.Workers, req.Scheduler)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	batch := &req.Batches[0]
+	cache := newHandleCache()
+	enc, err := s.buildBatchInputs(r.Context(), ce, entry.Result, batch, nil, cache, false)
+	if err != nil {
+		s.writeInputError(w, err)
+		return
+	}
+	start := time.Now()
+	result := s.runBatch(r.Context(), entry, ce, batch, enc, ropts, req.Output, cache)
+	writeJSON(w, http.StatusOK, CoalesceResponse{
+		ProgramID:  entry.ID,
+		ContextID:  ce.ID,
+		BatchSize:  1,
+		Slot:       coalesce.Range{Start: 0, Width: entry.Result.Program.VecSize},
+		Occupancy:  1,
+		WaitMillis: float64(time.Since(start)) / float64(time.Millisecond),
+		Result:     result,
+	})
+}
+
 // runCoalescedBatch executes one sealed batch: pack every caller's inputs
 // into shared full-width vectors, run them as ONE job through the manager
 // (admission control sees the batch once), demux each output back into
@@ -214,7 +257,7 @@ func (s *Server) runCoalescedBatch(b *coalesce.Batch) {
 		queueSpan.End()
 		jctx = obs.ContextWithTrace(jctx, bt)
 		start := time.Now()
-		result := s.runBatch(jctx, entry, ce, packed, nil, ropts)
+		result := s.runBatch(jctx, entry, ce, packed, nil, ropts, "", nil)
 		b.Done(time.Since(start))
 		batchDone(0)
 		if result.Error != "" {

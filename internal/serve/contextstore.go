@@ -301,22 +301,38 @@ func (s *Server) fetchStoredResult(id string) (*resultRecord, bool) {
 	return &rec, true
 }
 
-// resultJanitor sweeps persisted results whose unfetched lifetime exceeded
-// the retention window, so abandoned jobs cannot grow the store without
+// resultJanitor sweeps persisted artifacts whose lifetime exceeded their
+// retention window — unfetched job results and stored ciphertext handles —
+// so abandoned jobs and forgotten handles cannot grow the store without
 // bound. The in-memory TTL still governs the job table; this only reclaims
-// the durable copies.
+// the durable copies. The tick is an eighth of the shortest enabled
+// retention, clamped to [1s, 5min].
 func (s *Server) resultJanitor() {
 	defer s.janitorWG.Done()
-	retention := s.cfg.ResultRetention
-	if retention == 0 {
-		retention = 24 * time.Hour
+	clampSweep := func(retention time.Duration) time.Duration {
+		sweep := retention / 8
+		if sweep > 5*time.Minute {
+			sweep = 5 * time.Minute
+		}
+		if sweep < time.Second {
+			sweep = time.Second
+		}
+		return sweep
 	}
-	sweep := retention / 8
-	if sweep > 5*time.Minute {
-		sweep = 5 * time.Minute
+	resultRetention := s.cfg.ResultRetention
+	if resultRetention == 0 {
+		resultRetention = 24 * time.Hour
 	}
-	if sweep < time.Second {
-		sweep = time.Second
+	sweepResults := s.cfg.Store != nil && s.cfg.ResultRetention >= 0
+	sweepHandles := s.handles.Retention() >= 0
+	sweep := 5 * time.Minute
+	if sweepResults {
+		sweep = clampSweep(resultRetention)
+	}
+	if sweepHandles {
+		if hs := clampSweep(s.handles.Retention()); hs < sweep {
+			sweep = hs
+		}
 	}
 	ticker := time.NewTicker(sweep)
 	defer ticker.Stop()
@@ -325,7 +341,12 @@ func (s *Server) resultJanitor() {
 		case <-s.janitorStop:
 			return
 		case <-ticker.C:
-			s.sweepResults(retention)
+			if sweepResults {
+				s.sweepResults(resultRetention)
+			}
+			if sweepHandles {
+				s.handles.Sweep()
+			}
 		}
 	}
 }

@@ -1,0 +1,490 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+
+	"eva/internal/ckks"
+	"eva/internal/compile"
+	"eva/internal/core"
+	"eva/internal/execute"
+	"eva/internal/handle"
+)
+
+// The handle surface: PUT /handles stores a client ciphertext under its
+// content address, GET /handles lists, GET /handles/{id} fetches the record
+// (metadata + ciphertext bytes; also the cluster's node-to-node fetch path),
+// DELETE /handles/{id} removes it. Stored handles feed back into execution as
+// {"handles": {"input": "<id>"}} batch references on every entry point, and
+// jobs with "output": "handle" persist their outputs as new handles.
+
+// Output modes of an execution: "" returns payloads (decrypting in demo
+// mode), outputHandle persists encrypted outputs as handles and returns ids,
+// outputValues forces decryption (pipelines' final stage on demo contexts).
+const (
+	outputHandle = "handle"
+	outputValues = "values"
+)
+
+func validOutputMode(mode string) error {
+	switch mode {
+	case "", outputHandle, outputValues:
+		return nil
+	}
+	return fmt.Errorf("unknown output mode %q (want \"handle\" or \"values\")", mode)
+}
+
+// paramsFingerprint identifies an encryption-parameter set (ring degree,
+// modulus chain, special prime) so handle metadata can reject chaining a
+// ciphertext into a context with a different chain — the residues would be
+// reinterpreted as garbage, not rejected, by the ring layer.
+func paramsFingerprint(p *ckks.Parameters) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(p.LogN()))
+	h.Write(buf[:])
+	for _, q := range p.Qi() {
+		binary.LittleEndian.PutUint64(buf[:], q)
+		h.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], p.SpecialPrime())
+	h.Write(buf[:])
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// requiredInputLevels computes, per Cipher input, how many levels the
+// executor consumes below that input: the longest rescale/modswitch chain of
+// any term the input reaches. A chained ciphertext entering at that input
+// must have at least this many levels left. Inputs are tracked as bits in a
+// reachability mask folded forward over the (topologically ordered) term
+// list; programs with more than 64 Cipher inputs fall back to the whole
+// program's depth for every input.
+func requiredInputLevels(res *compile.Result) map[string]int {
+	req := map[string]int{}
+	idx := map[*core.Term]int{}
+	names := []string{}
+	for _, in := range res.Program.Inputs() {
+		if in.InType == core.TypeCipher {
+			idx[in] = len(names)
+			names = append(names, in.Name)
+			req[in.Name] = 0
+		}
+	}
+	if len(names) == 0 {
+		return req
+	}
+	if len(names) > 64 {
+		depth := 0
+		for _, c := range res.Chains {
+			if len(c) > depth {
+				depth = len(c)
+			}
+		}
+		for _, name := range names {
+			req[name] = depth
+		}
+		return req
+	}
+	masks := map[*core.Term]uint64{}
+	for _, t := range res.Program.Terms() {
+		var m uint64
+		if i, ok := idx[t]; ok {
+			m |= 1 << uint(i)
+		}
+		for _, p := range t.Parms() {
+			m |= masks[p]
+		}
+		if m == 0 {
+			continue
+		}
+		masks[t] = m
+		d := len(res.Chains[t])
+		if d == 0 {
+			continue
+		}
+		for i, name := range names {
+			if m&(1<<uint(i)) != 0 && d > req[name] {
+				req[name] = d
+			}
+		}
+	}
+	return req
+}
+
+// resolvedHandle is a handle pulled into memory for execution: its metadata
+// plus the deserialized ciphertext. The executor treats input ciphertexts as
+// read-only, so one resolved handle is safely shared across inputs, batches,
+// and pipeline stages without copying.
+type resolvedHandle struct {
+	meta handle.Meta
+	ct   *ckks.Ciphertext
+}
+
+// handleCache shares resolved handles across the batches (and pipeline
+// stages) of one request, so a handle referenced many times is fetched and
+// deserialized once. Safe for the concurrent batch fan-out.
+type handleCache struct {
+	mu sync.Mutex
+	m  map[string]*resolvedHandle
+}
+
+func newHandleCache() *handleCache {
+	return &handleCache{m: map[string]*resolvedHandle{}}
+}
+
+// resolveHandle loads a handle for execution: from the request cache, the
+// local registry, or — when the cluster tier installed a fetcher — a peer
+// node (remote records are re-verified against their content address and
+// cached locally, best effort).
+func (s *Server) resolveHandle(stdctx context.Context, id string, cache *handleCache) (*resolvedHandle, error) {
+	if cache != nil {
+		cache.mu.Lock()
+		rh, ok := cache.m[id]
+		cache.mu.Unlock()
+		if ok {
+			return rh, nil
+		}
+	}
+	meta, data, err := s.handles.Get(id)
+	if err != nil {
+		if !errors.Is(err, handle.ErrNotFound) {
+			return nil, err
+		}
+		if s.handleFetch == nil {
+			return nil, fmt.Errorf("%w: %s", handle.ErrNotFound, id)
+		}
+		rec, ferr := s.handleFetch(stdctx, id)
+		if ferr != nil || rec == nil {
+			return nil, fmt.Errorf("%w: %s (remote fetch: %v)", handle.ErrNotFound, id, ferr)
+		}
+		// Cache the fetched record locally; a quota rejection degrades to
+		// using the record once without keeping it.
+		if m, ierr := s.handles.Install(rec); ierr == nil {
+			meta, data = m, rec.Data
+		} else if got := handle.ID(rec.Meta.ContextID, rec.Data); got != rec.Meta.ID {
+			return nil, fmt.Errorf("handle %s: peer record fails content verification", id)
+		} else {
+			meta, data = rec.Meta, rec.Data
+		}
+	}
+	ct := &ckks.Ciphertext{}
+	if err := ct.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("handle %s: decoding ciphertext: %w", id, err)
+	}
+	rh := &resolvedHandle{meta: meta, ct: ct}
+	if cache != nil {
+		cache.mu.Lock()
+		cache.m[id] = rh
+		cache.mu.Unlock()
+	}
+	return rh, nil
+}
+
+// storeOutputHandle persists one execution output as a content-addressed
+// handle under the executing context, recording the metadata the chaining
+// checker needs.
+func (s *Server) storeOutputHandle(ce *contextEntry, res *compile.Result, ct *ckks.Ciphertext) (string, error) {
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		return "", err
+	}
+	meta, err := s.handles.Put(handle.Meta{
+		ContextID: ce.ID,
+		ParamsID:  paramsFingerprint(ce.Ctx.Params),
+		Level:     ct.Level,
+		LogScale:  math.Log2(ct.Scale),
+		Width:     res.Program.VecSize,
+	}, data)
+	if err != nil {
+		return "", err
+	}
+	return meta.ID, nil
+}
+
+// Incompat is one structured chaining rejection in a 422 body: which stage
+// and input is incompatible with its supplied handle (or upstream stage
+// output), on which property, with both sides rendered.
+type Incompat struct {
+	Stage    int    `json:"stage,omitempty"`
+	Input    string `json:"input"`
+	HandleID string `json:"handle,omitempty"`
+	Field    string `json:"field"`
+	Want     string `json:"want"`
+	Got      string `json:"got"`
+}
+
+// compatError wraps a handle.Mismatch with the consuming input, so handlers
+// can map it to a structured 422 while runBatch renders it as text.
+type compatError struct {
+	input    string
+	mismatch *handle.Mismatch
+}
+
+func (e *compatError) Error() string {
+	return fmt.Sprintf("input %q: %v", e.input, e.mismatch)
+}
+
+func (e *compatError) Unwrap() error { return e.mismatch }
+
+func (e *compatError) incompat() Incompat {
+	return Incompat{
+		Input:    e.input,
+		HandleID: e.mismatch.HandleID,
+		Field:    e.mismatch.Field,
+		Want:     e.mismatch.Want,
+		Got:      e.mismatch.Got,
+	}
+}
+
+// writeInputError maps an input-resolution failure to its status: chaining
+// incompatibilities are structured 422s, unknown handles 404s, quota
+// exhaustion 507, and everything else a plain 400.
+func (s *Server) writeInputError(w http.ResponseWriter, err error) {
+	var ce *compatError
+	switch {
+	case errors.As(err, &ce):
+		writeJSON(w, http.StatusUnprocessableEntity, apiError{
+			Error:             err.Error(),
+			Incompatibilities: []Incompat{ce.incompat()},
+		})
+	case errors.Is(err, handle.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, handle.ErrQuotaExceeded):
+		writeError(w, http.StatusInsufficientStorage, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// buildBatchInputs resolves one batch's wire inputs into executor inputs:
+// inline base64 ciphertexts are decoded and validated, handle references are
+// resolved (locally or from a peer) and checked against the consuming
+// program's compiled level/scale/width requirements, plain inputs are
+// replicated, and — on demo contexts — plaintext values for Cipher inputs
+// are encrypted. pre may carry inputs resolved earlier (the jobs admission
+// path, or a pipeline stage's upstream outputs); they are taken as-is. When
+// deferValues is true, plaintext Cipher values are left for the caller (the
+// job worker encrypts them later) instead of being encrypted now.
+func (s *Server) buildBatchInputs(stdctx context.Context, ce *contextEntry, res *compile.Result, batch *ExecuteBatch, pre *execute.EncryptedInputs, cache *handleCache, deferValues bool) (*execute.EncryptedInputs, error) {
+	enc := &execute.EncryptedInputs{
+		Cipher: map[string]*ckks.Ciphertext{},
+		Plain:  map[string][]float64{},
+	}
+	if pre != nil {
+		for k, v := range pre.Cipher {
+			enc.Cipher[k] = v
+		}
+		for k, v := range pre.Plain {
+			enc.Plain[k] = v
+		}
+		enc.EncryptTime = pre.EncryptTime
+	}
+	var pending execute.Inputs
+	var required map[string]int
+	for _, in := range res.Program.Inputs() {
+		if in.InType != core.TypeCipher {
+			if _, ok := enc.Plain[in.Name]; ok {
+				continue
+			}
+			v, ok := batch.Plain[in.Name]
+			if !ok {
+				v, ok = batch.Values[in.Name]
+			}
+			if !ok {
+				return nil, fmt.Errorf("missing value for plain input %q", in.Name)
+			}
+			full, err := execute.PreparePlain(res, in.Name, v)
+			if err != nil {
+				return nil, err
+			}
+			enc.Plain[in.Name] = full
+			continue
+		}
+		if _, ok := enc.Cipher[in.Name]; ok {
+			continue
+		}
+		if b64, ok := batch.Cipher[in.Name]; ok {
+			data, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				return nil, fmt.Errorf("input %q: %w", in.Name, err)
+			}
+			ct := &ckks.Ciphertext{}
+			if err := ct.UnmarshalBinary(data); err != nil {
+				return nil, fmt.Errorf("input %q: %w", in.Name, err)
+			}
+			// Reject malformed uploads before the executor touches them: the
+			// ring layer assumes well-shaped NTT operands.
+			if err := ct.Validate(ce.Ctx.Params); err != nil {
+				return nil, fmt.Errorf("input %q: %w", in.Name, err)
+			}
+			enc.Cipher[in.Name] = ct
+			continue
+		}
+		if id, ok := batch.Handles[in.Name]; ok {
+			rh, err := s.resolveHandle(stdctx, id, cache)
+			if err != nil {
+				return nil, fmt.Errorf("input %q: %w", in.Name, err)
+			}
+			if required == nil {
+				required = requiredInputLevels(res)
+			}
+			if err := rh.meta.Check(handle.Want{
+				MinLevel: required[in.Name],
+				LogScale: in.LogScale,
+				Width:    res.Program.VecSize,
+				ParamsID: paramsFingerprint(ce.Ctx.Params),
+			}); err != nil {
+				var m *handle.Mismatch
+				if errors.As(err, &m) {
+					return nil, &compatError{input: in.Name, mismatch: m}
+				}
+				return nil, fmt.Errorf("input %q: %w", in.Name, err)
+			}
+			if err := rh.ct.Validate(ce.Ctx.Params); err != nil {
+				return nil, fmt.Errorf("input %q: handle %s: %w", in.Name, id, err)
+			}
+			enc.Cipher[in.Name] = rh.ct
+			continue
+		}
+		if v, ok := batch.Values[in.Name]; ok {
+			if ce.Keys == nil {
+				return nil, fmt.Errorf("plaintext \"values\" need a server-keygen (demo) context; this context has no keys")
+			}
+			if deferValues {
+				continue
+			}
+			if pending == nil {
+				pending = execute.Inputs{}
+			}
+			pending[in.Name] = v
+			continue
+		}
+		return nil, fmt.Errorf("missing ciphertext for input %q (supply \"cipher\", \"handles\", or demo \"values\")", in.Name)
+	}
+	if len(pending) > 0 {
+		cts, d, err := execute.EncryptSelected(ce.Ctx, res, ce.Keys, pending, nil)
+		if err != nil {
+			return nil, fmt.Errorf("encrypting values: %v", err)
+		}
+		for name, ct := range cts {
+			enc.Cipher[name] = ct
+		}
+		enc.EncryptTime += d
+	}
+	return enc, nil
+}
+
+// --- /handles handlers ---
+
+// HandlePutRequest is the body of PUT /handles: a client-encrypted
+// ciphertext (base64 ckks wire format) to store under a context's content
+// address.
+type HandlePutRequest struct {
+	ContextID string `json:"context_id"`
+	Cipher    string `json:"cipher"`
+}
+
+// HandleRecordJSON is the body of GET /handles/{id}: the metadata plus the
+// ciphertext bytes. It is also the cluster's node-to-node transfer format.
+type HandleRecordJSON struct {
+	Meta   handle.Meta `json:"meta"`
+	Cipher []byte      `json:"cipher"`
+}
+
+// HandleListResponse is the body of GET /handles.
+type HandleListResponse struct {
+	Handles []handle.Meta `json:"handles"`
+	Stats   handle.Stats  `json:"stats"`
+}
+
+func (s *Server) handleHandlePut(w http.ResponseWriter, r *http.Request) {
+	var req HandlePutRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	ce, ok := s.lookupContext(req.ContextID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown context %q; POST /contexts first", req.ContextID)
+		return
+	}
+	if req.Cipher == "" {
+		writeError(w, http.StatusBadRequest, "\"cipher\" is required")
+		return
+	}
+	data, err := base64.StdEncoding.DecodeString(req.Cipher)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding ciphertext: %v", err)
+		return
+	}
+	ct := &ckks.Ciphertext{}
+	if err := ct.UnmarshalBinary(data); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding ciphertext: %v", err)
+		return
+	}
+	if err := ct.Validate(ce.Ctx.Params); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "ciphertext does not fit context %q: %v", req.ContextID, err)
+		return
+	}
+	meta, err := s.handles.Put(handle.Meta{
+		ContextID: ce.ID,
+		ParamsID:  paramsFingerprint(ce.Ctx.Params),
+		Level:     ct.Level,
+		LogScale:  math.Log2(ct.Scale),
+		Width:     ce.Entry.Result.Program.VecSize,
+	}, data)
+	if err != nil {
+		if errors.Is(err, handle.ErrQuotaExceeded) {
+			writeError(w, http.StatusInsufficientStorage, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (s *Server) handleHandleList(w http.ResponseWriter, r *http.Request) {
+	metas, err := s.handles.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, HandleListResponse{Handles: metas, Stats: s.handles.Stats()})
+}
+
+func (s *Server) handleHandleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	meta, data, err := s.handles.Get(id)
+	if err != nil {
+		if errors.Is(err, handle.ErrNotFound) {
+			writeError(w, http.StatusNotFound, "unknown handle %q", id)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, HandleRecordJSON{Meta: meta, Cipher: data})
+}
+
+func (s *Server) handleHandleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.handles.Delete(id); err != nil {
+		if errors.Is(err, handle.ErrNotFound) {
+			writeError(w, http.StatusNotFound, "unknown handle %q", id)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}

@@ -11,7 +11,11 @@ import (
 	"time"
 
 	"eva/internal/analysis"
+	"eva/internal/ckks"
+	"eva/internal/compile"
+	"eva/internal/core"
 	"eva/internal/execute"
+	"eva/internal/handle"
 	"eva/internal/jobs"
 	"eva/internal/obs"
 )
@@ -27,11 +31,14 @@ import (
 
 // JobRequest is the body of POST /jobs — the asynchronous counterpart of
 // ExecuteRequest, plus the program id (which /execute carries in the path).
+// Output "handle" persists encrypted outputs as content-addressed handles
+// and returns their ids in the job result instead of ciphertext payloads.
 type JobRequest struct {
 	ProgramID string         `json:"program_id"`
 	ContextID string         `json:"context_id"`
 	Workers   int            `json:"workers,omitempty"`
 	Scheduler string         `json:"scheduler,omitempty"`
+	Output    string         `json:"output,omitempty"`
 	Batches   []ExecuteBatch `json:"batches"`
 }
 
@@ -85,15 +92,22 @@ func jobStatusJSON(s jobs.Snapshot) JobStatus {
 // decoded input ciphertexts it pins while queued (their real MemoryBytes),
 // fresh-ciphertext-sized placeholders for demo-mode plaintext values that the
 // worker will encrypt, and the cost model's static peak for the intermediate
-// values of one running batch (batches run sequentially within a job).
+// values of one running batch (batches run sequentially within a job). A
+// ciphertext shared between batches — a resolved handle referenced by many
+// inputs — pins one allocation and is counted once.
 func estimateJobBytes(entry *Entry, batches []*execute.EncryptedInputs, pendingValues int) int64 {
 	res := entry.Result
 	var est int64
+	seen := map[*ckks.Ciphertext]bool{}
 	for _, in := range batches {
 		if in == nil {
 			continue
 		}
 		for _, ct := range in.Cipher {
+			if seen[ct] {
+				continue
+			}
+			seen[ct] = true
 			est += int64(ct.MemoryBytes())
 		}
 		for _, pv := range in.Plain {
@@ -106,6 +120,22 @@ func estimateJobBytes(entry *Entry, batches []*execute.EncryptedInputs, pendingV
 	model := analysis.CostModel{LogN: res.LogN, TotalLevels: len(res.Plan.BitSizes)}
 	est += model.EstimatePeakMemoryBytes(res.Program)
 	return est
+}
+
+// pendingCipherValues counts the Cipher inputs a partially resolved batch
+// still owes the worker (demo-mode plaintext values encrypted at run time),
+// for the fresh-ciphertext placeholders in the admission estimate.
+func pendingCipherValues(res *compile.Result, enc *execute.EncryptedInputs) int {
+	n := 0
+	for _, in := range res.Program.Inputs() {
+		if in.InType != core.TypeCipher {
+			continue
+		}
+		if _, ok := enc.Cipher[in.Name]; !ok {
+			n++
+		}
+	}
+	return n
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
@@ -136,27 +166,43 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := validOutputMode(req.Output); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
-	// Decode and validate every batch now: submissions fail fast with 400,
-	// and the decoded ciphertexts are what admission control accounts for.
+	// Resolve and validate every batch now: submissions fail fast (400 for
+	// malformed inputs, structured 422 for incompatible handle chaining, 404
+	// for unknown handles), and the resolved ciphertexts are what admission
+	// control accounts for. Demo-mode plaintext values are only counted here;
+	// the worker encrypts them when the batch runs. The handle cache is
+	// shared across batches and kept for the workers, so a handle referenced
+	// by many batches is resolved once and counted once.
 	res := entry.Result
+	cache := newHandleCache()
 	decoded := make([]*execute.EncryptedInputs, len(req.Batches))
 	pendingValues := 0
 	for i := range req.Batches {
 		batch := &req.Batches[i]
-		if len(batch.Values) > 0 {
-			if ce.Keys == nil {
-				writeError(w, http.StatusBadRequest, "batch %d: plaintext \"values\" need a server-keygen (demo) context", i)
+		enc, err := s.buildBatchInputs(r.Context(), ce, res, batch, nil, cache, true)
+		if err != nil {
+			var cerr *compatError
+			if errors.As(err, &cerr) {
+				inc := cerr.incompat()
+				writeJSON(w, http.StatusUnprocessableEntity, apiError{
+					Error:             fmt.Sprintf("batch %d: %v", i, err),
+					Incompatibilities: []Incompat{inc},
+				})
 				return
 			}
-			pendingValues += len(batch.Values)
-			continue // encrypted by the worker
-		}
-		enc, err := decodeBatchInputs(res, ce.Ctx.Params, batch)
-		if err != nil {
+			if errors.Is(err, handle.ErrNotFound) {
+				writeError(w, http.StatusNotFound, "batch %d: %v", i, err)
+				return
+			}
 			writeError(w, http.StatusBadRequest, "batch %d: %v", i, err)
 			return
 		}
+		pendingValues += pendingCipherValues(res, enc)
 		decoded[i] = enc
 	}
 
@@ -184,7 +230,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			if err := jctx.Err(); err != nil {
 				return nil, err
 			}
-			results[i] = s.runBatch(jctx, entry, ce, &batches[i], decoded[i], ropts)
+			results[i] = s.runBatch(jctx, entry, ce, &batches[i], decoded[i], ropts, req.Output, cache)
 			decoded[i] = nil // release the pinned inputs as batches complete
 			batchDone(i)
 		}

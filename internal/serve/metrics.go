@@ -7,6 +7,7 @@ import (
 
 	"eva/internal/coalesce"
 	"eva/internal/execute"
+	"eva/internal/handle"
 	"eva/internal/jobs"
 	"eva/internal/obs"
 	"eva/internal/store"
@@ -146,8 +147,12 @@ type MetricsReport struct {
 	// Coalesce reports cross-request batching: batches dispatched, requests
 	// coalesced, per-batch slot occupancy, and the amortized per-request
 	// execution cost of the shared runs.
-	Coalesce *coalesce.Stats        `json:"coalesce,omitempty"`
-	PerOp    map[string]OpHistogram `json:"per_op_latency"`
+	Coalesce *coalesce.Stats `json:"coalesce,omitempty"`
+	// Handles reports the content-addressed ciphertext handle registry:
+	// resident entries and bytes against the quota, put/dedup/resolve
+	// traffic, and sweep/quota rejections.
+	Handles *handle.Stats          `json:"handles,omitempty"`
+	PerOp   map[string]OpHistogram `json:"per_op_latency"`
 }
 
 // Report snapshots the metrics against the registry's cache counters, the

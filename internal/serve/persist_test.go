@@ -159,6 +159,69 @@ func TestRestartDurability(t *testing.T) {
 	}
 }
 
+// TestHandleRestartDurability: a ciphertext handle produced by a job before
+// a restart resolves as an execution input after the restart onto the same
+// data directory — the content-addressed registry is stateless over the
+// durable store.
+func TestHandleRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	ts1, s1, st1 := persistentServer(t, dir)
+	client := ts1.Client()
+	p1, c1, p2, c2 := pipelinePrograms(t, client, ts1.URL)
+
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := []float64{4, 4, 4, 4, 2, 2, 2, 2}
+	jobSt, resp := postJSON[JobStatus](t, client, ts1.URL+"/jobs", JobRequest{
+		ProgramID: p1,
+		ContextID: c1,
+		Batches:   []ExecuteBatch{{Values: map[string][]float64{"x": x, "y": y}}},
+		Output:    "handle",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job submit: status %d", resp.StatusCode)
+	}
+	waitJobDone(t, client, ts1.URL, jobSt.JobID)
+	jr := getJSON[JobResult](t, client, ts1.URL+"/jobs/"+jobSt.JobID+"/result")
+	handleID := jr.Results[0].Handles["out"]
+	if handleID == "" {
+		t.Fatalf("job produced no handle: %+v", jr.Results)
+	}
+
+	ts1.Close()
+	s1.Close()
+	st1.Close()
+
+	ts2, s2, st2 := persistentServer(t, dir)
+	defer func() { ts2.Close(); s2.Close(); st2.Close() }()
+	client2 := ts2.Client()
+
+	rec := getJSON[HandleRecordJSON](t, client2, ts2.URL+"/handles/"+handleID)
+	if rec.Meta.ID != handleID || rec.Meta.ContextID != c1 || len(rec.Cipher) == 0 {
+		t.Fatalf("post-restart handle record implausible: %+v (%d cipher bytes)", rec.Meta, len(rec.Cipher))
+	}
+
+	// Consume the pre-restart handle in the successor program without any
+	// re-encryption or client round-trip of the ciphertext.
+	execResp, resp := postJSON[ExecuteResponse](t, client2, ts2.URL+"/execute/"+p2, ExecuteRequest{
+		ContextID: c2,
+		Batches:   []ExecuteBatch{{Handles: map[string]string{"z": handleID}}},
+		Output:    "values",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart execute: status %d", resp.StatusCode)
+	}
+	if execResp.Results[0].Error != "" {
+		t.Fatalf("post-restart execute: %s", execResp.Results[0].Error)
+	}
+	got := execResp.Results[0].Values["out2"]
+	for i := range x {
+		want := x[i] * y[i] * 0.5
+		if math.Abs(got[i]-want) > 1e-2 {
+			t.Errorf("slot %d: got %v, want %v", i, got[i], want)
+		}
+	}
+}
+
 // TestResultPersistsAcrossTTL: with a store configured, a result whose
 // in-memory record was TTL-evicted is still fetchable exactly once.
 func TestResultPersistsAcrossTTL(t *testing.T) {
@@ -360,6 +423,7 @@ func TestOptionsJSONRoundTrip(t *testing.T) {
 		{AllowInsecure: true},
 		{MaxRescaleLog: 40, WaterlineLog: 25, Rescale: "always", ModSwitch: "lazy", MinLogN: 12, Optimize: true},
 		{Rescale: "fixed", ModSwitch: "none", AllowInsecure: true},
+		{MaxRescaleLog: 30, AllowInsecure: true, ExtraLevels: 2},
 	}
 	for i, c := range cases {
 		opts, err := c.toOptions()

@@ -163,6 +163,28 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		p.Sample("eva_store_misses_total", nil, float64(ss.Misses))
 	}
 
+	hs := s.handles.Stats()
+	p.Meta("eva_handles_entries", "Ciphertext handles resident in the registry.", "gauge")
+	p.Sample("eva_handles_entries", nil, float64(hs.Entries))
+	p.Meta("eva_handles_bytes", "Bytes resident in the handle registry.", "gauge")
+	p.Sample("eva_handles_bytes", nil, float64(hs.Bytes))
+	p.Meta("eva_handles_quota_bytes", "Configured handle byte quota.", "gauge")
+	p.Sample("eva_handles_quota_bytes", nil, float64(hs.QuotaBytes))
+	p.Meta("eva_handles_puts_total", "Handles stored.", "counter")
+	p.Sample("eva_handles_puts_total", nil, float64(hs.Puts))
+	p.Meta("eva_handles_dedups_total", "Handle puts that hit an existing content address.", "counter")
+	p.Sample("eva_handles_dedups_total", nil, float64(hs.Dedups))
+	p.Meta("eva_handles_resolves_total", "Handle reads (input resolution and fetches).", "counter")
+	p.Sample("eva_handles_resolves_total", nil, float64(hs.Resolves))
+	p.Meta("eva_handles_misses_total", "Handle reads of unknown ids.", "counter")
+	p.Sample("eva_handles_misses_total", nil, float64(hs.Misses))
+	p.Meta("eva_handles_deletes_total", "Handles deleted.", "counter")
+	p.Sample("eva_handles_deletes_total", nil, float64(hs.Deletes))
+	p.Meta("eva_handles_swept_total", "Handles reclaimed by retention sweeps.", "counter")
+	p.Sample("eva_handles_swept_total", nil, float64(hs.Swept))
+	p.Meta("eva_handles_quota_rejected_total", "Handle puts refused by the byte quota.", "counter")
+	p.Sample("eva_handles_quota_rejected_total", nil, float64(hs.QuotaRejected))
+
 	phases := s.tracer.PhaseHistograms()
 	if len(phases) > 0 {
 		names := make([]string, 0, len(phases))

@@ -43,6 +43,7 @@ import (
 	"eva/internal/compile"
 	"eva/internal/core"
 	"eva/internal/execute"
+	"eva/internal/handle"
 	"eva/internal/jobs"
 	"eva/internal/lang"
 	"eva/internal/obs"
@@ -101,11 +102,12 @@ type Config struct {
 
 	// Store is the durable artifact store. When set, compiled programs,
 	// installed contexts (their evaluation-key bundles in the ckks wire
-	// format), and finished job results are persisted through it, the LRU
-	// registry and context table become caches in front of it, and a server
-	// restarted onto the same store serves every previously issued program,
-	// context, and unfetched result id. Nil disables durability (the
-	// pre-store, in-memory-only behavior).
+	// format), finished job results, and ciphertext handles are persisted
+	// through it, the LRU registry and context table become caches in front
+	// of it, and a server restarted onto the same store serves every
+	// previously issued program, context, unfetched result id, and handle.
+	// Nil disables durability (the pre-store, in-memory-only behavior);
+	// ciphertext handles then live in a process-local memory store.
 	Store store.Store
 	// ResultRetention bounds how long a persisted, unfetched job result is
 	// kept in the store before a background sweep reclaims it (0 = 24h;
@@ -117,6 +119,14 @@ type Config struct {
 	// NodeID labels this server in /healthz, /programs, and /metrics so
 	// responses are attributable in a cluster. Empty outside clusters.
 	NodeID string
+	// HandleQuotaBytes bounds the resident bytes of stored ciphertext
+	// handles (0 = 4 GiB; negative = unbounded). PUT /handles and jobs with
+	// "output": "handle" fail with 507 when the quota is reached.
+	HandleQuotaBytes int64
+	// HandleRetention bounds how long a stored ciphertext handle is kept
+	// before the background sweep reclaims it (0 = 24h; negative = keep
+	// forever).
+	HandleRetention time.Duration
 	// AllowContextTransfer enables the context replication surface used by
 	// the cluster tier: GET /contexts/{id}/bundle exports an installed
 	// context's key bundle and POST /contexts accepts a "bundle" clause
@@ -162,6 +172,13 @@ type Server struct {
 	// be atomic to honor fetch-once); the in-memory path is atomic inside
 	// the jobs manager.
 	resultMu sync.Mutex
+
+	// handles is the content-addressed ciphertext handle registry (backed
+	// by cfg.Store, or a process-local memory store without durability).
+	// handleFetch, when set (by the cluster tier), resolves handle ids that
+	// are not stored locally from peer nodes.
+	handles     *handle.Registry
+	handleFetch func(ctx context.Context, id string) (*handle.Record, error)
 
 	janitorStop chan struct{}
 	janitorWG   sync.WaitGroup
@@ -232,6 +249,17 @@ func NewServer(cfg Config) *Server {
 		Run:      s.runCoalescedBatch,
 		Logger:   s.log,
 	})
+	handleStore := cfg.Store
+	if handleStore == nil {
+		// Handles still work without durability; they just die with the
+		// process, like everything else on a store-less server.
+		handleStore = store.NewMemory()
+	}
+	s.handles = handle.NewRegistry(handle.Config{
+		Store:      handleStore,
+		QuotaBytes: cfg.HandleQuotaBytes,
+		Retention:  cfg.HandleRetention,
+	})
 	s.mux.HandleFunc("POST /compile", s.route("compile", s.handleCompile))
 	s.mux.HandleFunc("GET /programs", s.route("programs", s.handlePrograms))
 	s.mux.HandleFunc("GET /programs/{id}", s.route("program", s.handleProgram))
@@ -246,14 +274,30 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.route("jobs_cancel", s.handleJobCancel))
 	s.mux.HandleFunc("GET /jobs/{id}/trace", s.route("jobs_trace", s.handleJobTrace))
 	s.mux.HandleFunc("GET /traces", s.route("traces", s.handleTraces))
+	s.mux.HandleFunc("PUT /handles", s.route("handles_put", s.handleHandlePut))
+	s.mux.HandleFunc("GET /handles", s.route("handles_list", s.handleHandleList))
+	s.mux.HandleFunc("GET /handles/{id}", s.route("handles_get", s.handleHandleGet))
+	s.mux.HandleFunc("DELETE /handles/{id}", s.route("handles_delete", s.handleHandleDelete))
+	s.mux.HandleFunc("POST /pipelines", s.route("pipelines", s.handlePipelineSubmit))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
-	if cfg.Store != nil && cfg.ResultRetention >= 0 {
+	if (cfg.Store != nil && cfg.ResultRetention >= 0) || s.handles.Retention() >= 0 {
 		s.janitorStop = make(chan struct{})
 		s.janitorWG.Add(1)
 		go s.resultJanitor()
 	}
 	return s
+}
+
+// Handles exposes the ciphertext handle registry (for tests and tooling).
+func (s *Server) Handles() *handle.Registry { return s.handles }
+
+// SetHandleFetcher installs the remote-resolution hook the cluster tier uses:
+// when a handle id is not stored locally, the fetcher retrieves its record
+// from a peer node and the server caches it locally. Must be set before the
+// server starts taking traffic.
+func (s *Server) SetHandleFetcher(f func(ctx context.Context, id string) (*handle.Record, error)) {
+	s.handleFetch = f
 }
 
 // Handler returns the service's HTTP handler.
@@ -395,10 +439,12 @@ type SourceError struct {
 }
 
 // apiError is the uniform error body. SourceErrors is populated only when a
-// "source" program fails to parse or check.
+// "source" program fails to parse or check; Incompatibilities only when a
+// pipeline or handle-input submission fails the level/scale/width checker.
 type apiError struct {
-	Error        string        `json:"error"`
-	SourceErrors []SourceError `json:"source_errors,omitempty"`
+	Error             string        `json:"error"`
+	SourceErrors      []SourceError `json:"source_errors,omitempty"`
+	Incompatibilities []Incompat    `json:"incompatibilities,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -441,6 +487,9 @@ type CompileOptionsJSON struct {
 	MinLogN       int     `json:"min_log_n,omitempty"`
 	AllowInsecure bool    `json:"allow_insecure,omitempty"`
 	Optimize      bool    `json:"optimize,omitempty"`
+	// ExtraLevels adds level headroom for pipeline chaining; see
+	// compile.Options.ExtraLevels.
+	ExtraLevels int `json:"extra_levels,omitempty"`
 }
 
 func (o *CompileOptionsJSON) toOptions() (compile.Options, error) {
@@ -455,6 +504,7 @@ func (o *CompileOptionsJSON) toOptions() (compile.Options, error) {
 	opts.MinLogN = o.MinLogN
 	opts.AllowInsecure = o.AllowInsecure
 	opts.Optimize = o.Optimize
+	opts.ExtraLevels = o.ExtraLevels
 	var err error
 	if o.Rescale != "" {
 		if opts.Rescale, err = rewrite.ParseRescaleStrategy(o.Rescale); err != nil {
@@ -483,6 +533,7 @@ func OptionsJSON(opts compile.Options) CompileOptionsJSON {
 		MinLogN:       opts.MinLogN,
 		AllowInsecure: opts.AllowInsecure,
 		Optimize:      opts.Optimize,
+		ExtraLevels:   opts.ExtraLevels,
 	}
 }
 
@@ -939,23 +990,31 @@ func randomID() (string, error) {
 // --- /execute ---
 
 // ExecuteBatch is one input set of an /execute request. Cipher carries
-// base64 ciphertexts (client-encrypted), Plain carries the program's
+// base64 ciphertexts (client-encrypted), Handles references stored
+// ciphertext handles by id (resolved server-side, so chained jobs never
+// round-trip ciphertext through the client), Plain carries the program's
 // unencrypted inputs, and Values carries plaintext values for the program's
 // Cipher inputs — allowed only on demo-mode contexts, where the server
-// encrypts them (and decrypts the outputs) itself.
+// encrypts them (and decrypts the outputs) itself. Each Cipher input must be
+// supplied by exactly one of Cipher, Handles, or Values.
 type ExecuteBatch struct {
-	Cipher map[string]string    `json:"cipher,omitempty"`
-	Plain  map[string][]float64 `json:"plain,omitempty"`
-	Values map[string][]float64 `json:"values,omitempty"`
+	Cipher  map[string]string    `json:"cipher,omitempty"`
+	Handles map[string]string    `json:"handles,omitempty"`
+	Plain   map[string][]float64 `json:"plain,omitempty"`
+	Values  map[string][]float64 `json:"values,omitempty"`
 }
 
 // ExecuteRequest is the body of POST /execute/{program-id}. Batches run
 // concurrently (bounded by the server's MaxConcurrentBatches) and each batch
-// additionally fans out across Workers executor goroutines.
+// additionally fans out across Workers executor goroutines. Output selects
+// the result form: "" returns ciphertext payloads (or decrypted values in
+// demo mode), "handle" persists every encrypted output as a content-addressed
+// handle and returns ids instead of payloads.
 type ExecuteRequest struct {
 	ContextID string         `json:"context_id"`
 	Workers   int            `json:"workers,omitempty"`
 	Scheduler string         `json:"scheduler,omitempty"`
+	Output    string         `json:"output,omitempty"`
 	Batches   []ExecuteBatch `json:"batches"`
 }
 
@@ -968,11 +1027,14 @@ type BatchStats struct {
 
 // BatchResult is the per-batch response: base64 ciphertext outputs, plus
 // decrypted (or natively unencrypted) outputs in Values where available.
+// When the request asked for "output": "handle", Handles maps each encrypted
+// output to the id of its stored content-addressed handle instead.
 type BatchResult struct {
-	Cipher map[string]string    `json:"cipher,omitempty"`
-	Values map[string][]float64 `json:"values,omitempty"`
-	Error  string               `json:"error,omitempty"`
-	Stats  BatchStats           `json:"stats"`
+	Cipher  map[string]string    `json:"cipher,omitempty"`
+	Handles map[string]string    `json:"handles,omitempty"`
+	Values  map[string][]float64 `json:"values,omitempty"`
+	Error   string               `json:"error,omitempty"`
+	Stats   BatchStats           `json:"stats"`
 }
 
 // ExecuteResponse is the body returned by POST /execute/{id}.
@@ -1020,15 +1082,22 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := validOutputMode(req.Output); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	// Fan the batches out across the worker pool: each batch is one
 	// DAG-parallel execution, and up to maxConcurrent batches run at once.
 	// The request context propagates into the executor, so a disconnected
-	// client stops its in-flight work.
+	// client stops its in-flight work. The handle cache is shared across the
+	// request's batches: a handle referenced by many batches is fetched and
+	// deserialized once (resolved ciphertexts are read-only to the executor).
 	maxConcurrent := s.cfg.MaxConcurrentBatches
 	if maxConcurrent <= 0 {
 		maxConcurrent = runtime.GOMAXPROCS(0)
 	}
+	cache := newHandleCache()
 	results := make([]BatchResult, len(req.Batches))
 	sem := make(chan struct{}, maxConcurrent)
 	var wg sync.WaitGroup
@@ -1038,7 +1107,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] = s.runBatch(r.Context(), entry, ce, &req.Batches[i], nil, ropts)
+			results[i] = s.runBatch(r.Context(), entry, ce, &req.Batches[i], nil, ropts, req.Output, cache)
 		}(i)
 	}
 	wg.Wait()
@@ -1050,39 +1119,30 @@ func batchError(format string, args ...any) BatchResult {
 }
 
 // runBatch executes one input set against a compiled program. decoded may
-// carry inputs decoded ahead of time (the jobs path decodes at admission);
-// when nil, the batch's own wire inputs are decoded (or, in demo mode,
-// encrypted) here. stdctx cancellation aborts the execution.
-func (s *Server) runBatch(stdctx context.Context, entry *Entry, ce *contextEntry, batch *ExecuteBatch, decoded *execute.EncryptedInputs, ropts execute.RunOptions) BatchResult {
-	res := entry.Result
-	demo := len(batch.Values) > 0
-	if demo && ce.Keys == nil {
-		s.metrics.RecordExecutionError()
-		return batchError("plaintext \"values\" need a server-keygen (demo) context; this context has no keys")
-	}
+// carry inputs resolved ahead of time — fully (the jobs path decodes at
+// admission) or partially (handle references resolved, demo values still
+// pending); buildBatchInputs completes whatever is missing. outMode selects
+// the result form ("", "handle", or "values"); cache, when non-nil, shares
+// resolved handles across the batches of one request. stdctx cancellation
+// aborts the execution.
+func (s *Server) runBatch(stdctx context.Context, entry *Entry, ce *contextEntry, batch *ExecuteBatch, decoded *execute.EncryptedInputs, ropts execute.RunOptions, outMode string, cache *handleCache) BatchResult {
+	result, _ := s.runBatchOutputs(stdctx, entry, ce, batch, decoded, ropts, outMode, cache)
+	return result
+}
 
-	enc := decoded
-	var err error
-	switch {
-	case enc != nil:
-	case demo:
-		all := execute.Inputs{}
-		for name, v := range batch.Values {
-			all[name] = v
-		}
-		for name, v := range batch.Plain {
-			all[name] = v
-		}
-		enc, err = execute.EncryptInputs(ce.Ctx, res, ce.Keys, all, nil)
-		if err != nil {
-			s.metrics.RecordExecutionError()
-			return batchError("encrypting values: %v", err)
-		}
-	default:
-		if enc, err = decodeBatchInputs(res, ce.Ctx.Params, batch); err != nil {
-			s.metrics.RecordExecutionError()
-			return batchError("%v", err)
-		}
+// runBatchOutputs is runBatch exposing the raw executor outputs, so the
+// pipeline runner can feed one stage's output ciphertexts straight into the
+// next stage without a serialize/store/fetch round-trip.
+func (s *Server) runBatchOutputs(stdctx context.Context, entry *Entry, ce *contextEntry, batch *ExecuteBatch, decoded *execute.EncryptedInputs, ropts execute.RunOptions, outMode string, cache *handleCache) (BatchResult, *execute.Outputs) {
+	res := entry.Result
+	enc, err := s.buildBatchInputs(stdctx, ce, res, batch, decoded, cache, false)
+	if err != nil {
+		s.metrics.RecordExecutionError()
+		return batchError("%v", err), nil
+	}
+	if outMode == outputValues && ce.Keys == nil {
+		s.metrics.RecordExecutionError()
+		return batchError("\"output\": \"values\" needs a server-keygen (demo) context; this context has no keys"), nil
 	}
 
 	// The execute span carries per-instruction progress (readable on live
@@ -1100,7 +1160,7 @@ func (s *Server) runBatch(stdctx context.Context, entry *Entry, ce *contextEntry
 		if stdctx.Err() == nil {
 			s.metrics.RecordExecutionError()
 		}
-		return batchError("executing: %v", err)
+		return batchError("executing: %v", err), nil
 	}
 	if sp != nil {
 		sp.SetAttr("workers", strconv.Itoa(out.Stats.Workers))
@@ -1118,17 +1178,35 @@ func (s *Server) runBatch(stdctx context.Context, entry *Entry, ce *contextEntry
 			WallMillis:   float64(out.Stats.WallTime) / float64(time.Millisecond),
 		},
 	}
-	if demo {
+	if outMode == outputHandle {
+		result.Handles = map[string]string{}
+		for name, ct := range out.Cipher {
+			id, err := s.storeOutputHandle(ce, res, ct)
+			if err != nil {
+				s.metrics.RecordExecutionError()
+				return batchError("storing output %q: %v", name, err), nil
+			}
+			result.Handles[name] = id
+		}
+		for name, v := range out.Plain {
+			if result.Values == nil {
+				result.Values = map[string][]float64{}
+			}
+			result.Values[name] = v[:min(res.Program.VecSize, len(v))]
+		}
+		return result, out
+	}
+	if ce.Keys != nil && (outMode == outputValues || len(batch.Values) > 0) {
 		values, _ := execute.DecryptOutputs(ce.Ctx, res, ce.Keys, out)
 		result.Values = values
-		return result
+		return result, out
 	}
 	result.Cipher = map[string]string{}
 	for name, ct := range out.Cipher {
 		data, err := ct.MarshalBinary()
 		if err != nil {
 			s.metrics.RecordExecutionError()
-			return batchError("serializing output %q: %v", name, err)
+			return batchError("serializing output %q: %v", name, err), nil
 		}
 		result.Cipher[name] = base64.StdEncoding.EncodeToString(data)
 	}
@@ -1138,50 +1216,7 @@ func (s *Server) runBatch(stdctx context.Context, entry *Entry, ce *contextEntry
 		}
 		result.Values[name] = v[:min(res.Program.VecSize, len(v))]
 	}
-	return result
-}
-
-// decodeBatchInputs turns a client-encrypted batch into executor inputs,
-// checking that every program input is supplied with the right kind and that
-// uploaded ciphertexts are well-formed for the program's parameters.
-func decodeBatchInputs(res *compile.Result, params *ckks.Parameters, batch *ExecuteBatch) (*execute.EncryptedInputs, error) {
-	enc := &execute.EncryptedInputs{
-		Cipher: map[string]*ckks.Ciphertext{},
-		Plain:  map[string][]float64{},
-	}
-	for _, in := range res.Program.Inputs() {
-		if in.InType == core.TypeCipher {
-			b64, ok := batch.Cipher[in.Name]
-			if !ok {
-				return nil, fmt.Errorf("missing ciphertext for input %q", in.Name)
-			}
-			data, err := base64.StdEncoding.DecodeString(b64)
-			if err != nil {
-				return nil, fmt.Errorf("input %q: %w", in.Name, err)
-			}
-			ct := &ckks.Ciphertext{}
-			if err := ct.UnmarshalBinary(data); err != nil {
-				return nil, fmt.Errorf("input %q: %w", in.Name, err)
-			}
-			// Reject malformed uploads before the executor touches them: the
-			// ring layer assumes well-shaped NTT operands.
-			if err := ct.Validate(params); err != nil {
-				return nil, fmt.Errorf("input %q: %w", in.Name, err)
-			}
-			enc.Cipher[in.Name] = ct
-		} else {
-			v, ok := batch.Plain[in.Name]
-			if !ok {
-				return nil, fmt.Errorf("missing value for plain input %q", in.Name)
-			}
-			full, err := execute.PreparePlain(res, in.Name, v)
-			if err != nil {
-				return nil, err
-			}
-			enc.Plain[in.Name] = full
-		}
-	}
-	return enc, nil
+	return result, out
 }
 
 // --- /healthz and /metrics ---
@@ -1222,6 +1257,8 @@ func (s *Server) MetricsReport() MetricsReport {
 	rep.Node = s.cfg.NodeID
 	cs := s.coalescer.Stats()
 	rep.Coalesce = &cs
+	hs := s.handles.Stats()
+	rep.Handles = &hs
 	return rep
 }
 
