@@ -431,8 +431,8 @@ func runJob(ctx context.Context, client *eva.Client, programID, contextID string
 	err := client.DoWithRetry(ctx,
 		eva.RetryPolicy{MaxAttempts: -1, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second},
 		func(ctx context.Context) error {
-			var err error
-			status, err = client.SubmitJob(ctx, req)
+			res, err := client.Submit(ctx, req.ProgramID, req.ContextID, req.Batches, eva.SubmitOptions{})
+			status = res.Job
 			return err
 		},
 		func(attempt int, err error) { retries++ })
@@ -576,8 +576,8 @@ func runCoalesceBench(ctx context.Context, stdout io.Writer, client *eva.Client,
 		req := request(i)
 		var status eva.JobStatusInfo
 		err := client.DoWithRetry(ctx, retry, func(ctx context.Context) error {
-			var err error
-			status, err = client.SubmitJob(ctx, req)
+			res, err := client.Submit(ctx, req.ProgramID, req.ContextID, req.Batches, eva.SubmitOptions{})
+			status = res.Job
 			return err
 		}, nil)
 		if err != nil {
@@ -617,8 +617,10 @@ func runCoalesceBench(ctx context.Context, stdout io.Writer, client *eva.Client,
 		req := request(i)
 		var resp eva.CoalesceResponse
 		err := client.DoWithRetry(ctx, retry, func(ctx context.Context) error {
-			var err error
-			resp, err = client.SubmitCoalesced(ctx, req)
+			res, err := client.Submit(ctx, req.ProgramID, req.ContextID, req.Batches, eva.SubmitOptions{Coalesce: true})
+			if err == nil {
+				resp = *res.Coalesced
+			}
 			return err
 		}, nil)
 		if err != nil {

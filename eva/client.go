@@ -55,6 +55,8 @@ type (
 	// JobTrace is the span tree of one job's trace
 	// (GET /jobs/{id}/trace).
 	JobTrace = obs.TraceJSON
+	// JobTraceSpan is one span of a JobTrace.
+	JobTraceSpan = obs.SpanJSON
 )
 
 // APIError is a non-2xx response from evaserve, carrying the decoded error
@@ -111,6 +113,11 @@ func (c *Client) httpClient() *http.Client {
 // do round-trips a JSON request and decodes a JSON response into out,
 // converting non-2xx statuses into *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	return c.doWith(ctx, method, path, nil, body, out)
+}
+
+// doWith is do with extra request headers (e.g. a caller-chosen trace id).
+func (c *Client) doWith(ctx context.Context, method, path string, header http.Header, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		payload, err := json.Marshal(body)
@@ -122,6 +129,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -312,25 +322,35 @@ func (c *Client) Execute(ctx context.Context, programID string, req ExecuteReque
 // immediately with the job's id. When the server sheds the submission the
 // returned error is an *APIError with Overloaded() == true; retry after its
 // RetryAfter hint.
+//
+// Deprecated: use Submit, which consolidates the per-variant submission
+// knobs (output mode, coalescing, trace adoption) into SubmitOptions. This
+// wrapper is equivalent to Submit with the options already inlined in req.
 func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (JobStatusInfo, error) {
-	var out JobStatusInfo
-	err := c.do(ctx, http.MethodPost, "/jobs", req, &out)
-	return out, err
+	res, err := c.Submit(ctx, req.ProgramID, req.ContextID, req.Batches, SubmitOptions{
+		Workers:   req.Workers,
+		Scheduler: req.Scheduler,
+		Output:    req.Output,
+	})
+	return res.Job, err
 }
 
 // SubmitCoalesced submits a single-batch job to the server's request
-// coalescer (POST /jobs?coalesce=1): the server packs compatible concurrent
-// callers into disjoint slot ranges of one shared execution and the call
-// blocks until that batch has run, returning this caller's own slice of the
-// results. The program must be rotation-free with a narrow input width, the
-// context must be a server-keygen (demo) context, and co-batched callers
-// share a ciphertext — see the README's "Request coalescing" section for the
-// compatibility rules and trust model. Cancelling ctx while waiting evicts
-// only this caller; co-batched requests proceed.
+// coalescer (POST /jobs?coalesce=1); see SubmitOptions.Coalesce for the
+// semantics and compatibility rules.
+//
+// Deprecated: use Submit with SubmitOptions{Coalesce: true}.
 func (c *Client) SubmitCoalesced(ctx context.Context, req JobRequest) (CoalesceResponse, error) {
-	var out CoalesceResponse
-	err := c.do(ctx, http.MethodPost, "/jobs?coalesce=1", req, &out)
-	return out, err
+	res, err := c.Submit(ctx, req.ProgramID, req.ContextID, req.Batches, SubmitOptions{
+		Workers:   req.Workers,
+		Scheduler: req.Scheduler,
+		Output:    req.Output,
+		Coalesce:  true,
+	})
+	if err != nil {
+		return CoalesceResponse{}, err
+	}
+	return *res.Coalesced, nil
 }
 
 // JobStatus polls a job (GET /jobs/{id}).

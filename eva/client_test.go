@@ -3,7 +3,9 @@ package eva_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"eva/eva"
@@ -48,19 +50,23 @@ func TestClientJobsRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := c.SubmitJob(ctx, eva.JobRequest{
-		ProgramID: comp.ID,
-		ContextID: ectx.ContextID,
-		Batches: []eva.ExecuteBatch{
-			{Values: map[string][]float64{"x": {1, 2, 3, 4, 5, 6, 7, 8}}},
-			{Values: map[string][]float64{"x": {2, 2, 2, 2, 2, 2, 2, 2}}},
-		},
-	})
+	const traceID = "0123456789abcdef0123456789abcdef"
+	sub, err := c.Submit(ctx, comp.ID, ectx.ContextID, []eva.ExecuteBatch{
+		{Values: map[string][]float64{"x": {1, 2, 3, 4, 5, 6, 7, 8}}},
+		{Values: map[string][]float64{"x": {2, 2, 2, 2, 2, 2, 2, 2}}},
+	}, eva.SubmitOptions{TraceID: traceID})
 	if err != nil {
 		t.Fatal(err)
 	}
+	job := sub.Job
 	if job.JobID == "" {
 		t.Fatal("empty job id")
+	}
+	if job.TraceID != traceID {
+		t.Fatalf("job adopted trace %q; want the caller-chosen %q", job.TraceID, traceID)
+	}
+	if sub.Coalesced != nil {
+		t.Fatal("uncoalesced submission returned a Coalesced result")
 	}
 
 	var types []string
@@ -126,18 +132,14 @@ func TestClientOverloadedError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := eva.JobRequest{
-		ProgramID: comp.ID,
-		ContextID: ectx.ContextID,
-		// Enough batches that the worker cannot drain before the queue fills.
-		Batches: make([]eva.ExecuteBatch, 64),
-	}
-	for i := range req.Batches {
-		req.Batches[i] = eva.ExecuteBatch{Values: map[string][]float64{"x": {1, 2, 3, 4}}}
+	// Enough batches that the worker cannot drain before the queue fills.
+	batches := make([]eva.ExecuteBatch, 64)
+	for i := range batches {
+		batches[i] = eva.ExecuteBatch{Values: map[string][]float64{"x": {1, 2, 3, 4}}}
 	}
 	var sawOverload bool
 	for i := 0; i < 16 && !sawOverload; i++ {
-		_, err := c.SubmitJob(ctx, req)
+		_, err := c.Submit(ctx, comp.ID, ectx.ContextID, batches, eva.SubmitOptions{})
 		if err == nil {
 			continue
 		}
@@ -154,5 +156,94 @@ func TestClientOverloadedError(t *testing.T) {
 	}
 	if !sawOverload {
 		t.Fatal("never saw an overloaded (429) submission")
+	}
+}
+
+// TestClientSubmitCoalesced drives the request coalescer through the
+// consolidated Submit entry point: a rotation-free width-4 program on a
+// 32-slot vector, several concurrent callers, each getting back only its own
+// stride of the shared execution.
+func TestClientSubmitCoalesced(t *testing.T) {
+	c := startDemoServer(t, serve.Config{})
+	ctx := context.Background()
+	comp, err := c.Compile(ctx, eva.CompileRequest{
+		Source: `program co vec=32;
+input x: cipher width=4 @30;
+out = x * x;
+output out @30;`,
+		Options: &serve.CompileOptionsJSON{AllowInsecure: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ectx, err := c.NewKeygenContext(ctx, comp.ID, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			base := float64(i + 1)
+			res, err := c.Submit(ctx, comp.ID, ectx.ContextID, []eva.ExecuteBatch{
+				{Values: map[string][]float64{"x": {base, base, base, base}}},
+			}, eva.SubmitOptions{Coalesce: true})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if res.Coalesced == nil {
+				errs[i] = errors.New("coalesced submission returned no Coalesced result")
+				return
+			}
+			got := res.Coalesced.Result.Values["out"]
+			want := base * base
+			if len(got) == 0 || got[0] < want-0.05 || got[0] > want+0.05 {
+				errs[i] = fmt.Errorf("caller %d out = %v; want ~%v", i, got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+	}
+}
+
+// TestClientDeprecatedSubmitWrappers pins the backward-compatible wrappers to
+// the consolidated Submit path: a JobRequest submitted through SubmitJob
+// still runs.
+func TestClientDeprecatedSubmitWrappers(t *testing.T) {
+	c := startDemoServer(t, serve.Config{})
+	ctx := context.Background()
+	comp, err := c.Compile(ctx, eva.CompileRequest{
+		Source:  clientProgramSource(),
+		Options: &serve.CompileOptionsJSON{AllowInsecure: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ectx, err := c.NewKeygenContext(ctx, comp.ID, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore SA1019 the deprecated wrapper is exactly what this test pins
+	job, err := c.SubmitJob(ctx, eva.JobRequest{
+		ProgramID: comp.ID,
+		ContextID: ectx.ContextID,
+		Batches:   []eva.ExecuteBatch{{Values: map[string][]float64{"x": {3, 3, 3, 3, 3, 3, 3, 3}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(ctx, job.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != "done" {
+		t.Fatalf("final status %+v", final)
 	}
 }

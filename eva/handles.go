@@ -28,7 +28,11 @@ type (
 	PipelineRequest = serve.PipelineRequest
 	// PipelineStage is one compiled-program stage of a pipeline.
 	PipelineStage = serve.PipelineStage
-	// PipelineInput binds one program input of a pipeline stage.
+	// InputBinding is the shared wire form of one input binding, accepted by
+	// every execution entry point (batches and pipeline stages alike).
+	InputBinding = serve.InputBinding
+	// PipelineInput binds one program input of a pipeline stage (an
+	// InputBinding alias kept for readability at pipeline call sites).
 	PipelineInput = serve.PipelineInput
 )
 

@@ -271,8 +271,107 @@ func (ev *Evaluator) ModSwitch(a *Ciphertext) (*Ciphertext, error) {
 	return out, nil
 }
 
+// rotationElement resolves a rotation step to its Galois element and
+// switching key, validating that the key exists and covers the level.
+func (ev *Evaluator) rotationElement(k, level int) (uint64, *SwitchingKey, error) {
+	if ev.rtk == nil {
+		return 0, nil, fmt.Errorf("ckks: no rotation keys available")
+	}
+	galEl := ev.params.GaloisElementForRotation(k)
+	swk, ok := ev.rtk.Keys[galEl]
+	if !ok {
+		return 0, nil, fmt.Errorf("ckks: missing rotation key for step %d (Galois element %d)", k, galEl)
+	}
+	if len(swk.BQ) < level+1 {
+		return 0, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), level+1)
+	}
+	return galEl, swk, nil
+}
+
+// rotateFromDecomp produces the rotation of a by the Galois element galEl,
+// reusing the shared decomposition h of a.Value[1]. Rotation is the Galois
+// automorphism applied to both ciphertext components followed by a key switch
+// of the rotated c1 back to the original secret; the automorphism commutes
+// with the NTT, so it is applied directly in the NTT domain as a slot
+// permutation — no InvNTT+NTT round trip.
+func (ev *Evaluator) rotateFromDecomp(a *Ciphertext, h *hoistedDecomp, swk *SwitchingKey, galEl uint64) (*Ciphertext, error) {
+	r := ev.params.RingQ()
+	rot0 := ev.pool.Get(a.Level)
+	r.AutomorphismNTT(a.Value[0], galEl, rot0)
+	ks0, ks1, err := ev.keySwitchHoisted(h, swk, galEl)
+	if err != nil {
+		ev.pool.Put(rot0)
+		return nil, err
+	}
+	// Assemble the result in place: the key-switch outputs become the
+	// ciphertext components directly (they leave the pool for good), so the
+	// batch path never zero-allocates a ciphertext or copies a limb.
+	r.Add(rot0, ks0, ks0)
+	ev.pool.Put(rot0)
+	ks0.IsNTT, ks1.IsNTT = true, true
+	return &Ciphertext{Value: []*ring.Poly{ks0, ks1}, Scale: a.Scale, Level: a.Level}, nil
+}
+
+// RotateHoisted rotates a by every step in ks, sharing one decomposition of
+// c1 across the whole batch (Halevi–Shoup hoisting): the InvNTT + per-digit
+// mod-up + forward NTTs run once, and each Galois element only pays a slot
+// permutation, the key inner product, and the final mod-down. The per-element
+// work is fanned across the ring worker pool. Results are keyed by step;
+// duplicate steps collapse to one entry. Each result is bit-identical to the
+// corresponding RotateLeft call.
+func (ev *Evaluator) RotateHoisted(a *Ciphertext, ks []int) (map[int]*Ciphertext, error) {
+	if a.Degree() != 1 {
+		return nil, fmt.Errorf("ckks: rotation requires a degree-1 ciphertext; relinearize first")
+	}
+	out := make(map[int]*Ciphertext, len(ks))
+	type rotElem struct {
+		k     int
+		galEl uint64
+		swk   *SwitchingKey
+	}
+	seen := make(map[int]struct{}, len(ks))
+	elems := make([]rotElem, 0, len(ks))
+	for _, k := range ks {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		if k%ev.params.Slots() == 0 {
+			out[k] = a.CopyNew()
+			continue
+		}
+		galEl, swk, err := ev.rotationElement(k, a.Level)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, rotElem{k, galEl, swk})
+	}
+	if len(elems) == 0 {
+		return out, nil
+	}
+
+	h, err := ev.decomposeNTT(a.Value[1], a.Level)
+	if err != nil {
+		return nil, err
+	}
+	cts := make([]*Ciphertext, len(elems))
+	errs := make([]error, len(elems))
+	ring.Parallel(len(elems), func(i int) {
+		cts[i], errs[i] = ev.rotateFromDecomp(a, h, elems[i].swk, elems[i].galEl)
+	})
+	ev.releaseDecomp(h)
+	for i := range elems {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[elems[i].k] = cts[i]
+	}
+	return out, nil
+}
+
 // RotateLeft cyclically rotates the plaintext slots left by k positions. The
-// required Galois key must have been generated for this step count.
+// required Galois key must have been generated for this step count. It is the
+// batch-of-one case of RotateHoisted, without the batch bookkeeping.
 func (ev *Evaluator) RotateLeft(a *Ciphertext, k int) (*Ciphertext, error) {
 	if a.Degree() != 1 {
 		return nil, fmt.Errorf("ckks: rotation requires a degree-1 ciphertext; relinearize first")
@@ -280,40 +379,17 @@ func (ev *Evaluator) RotateLeft(a *Ciphertext, k int) (*Ciphertext, error) {
 	if k%ev.params.Slots() == 0 {
 		return a.CopyNew(), nil
 	}
-	if ev.rtk == nil {
-		return nil, fmt.Errorf("ckks: no rotation keys available")
-	}
-	galEl := ev.params.GaloisElementForRotation(k)
-	swk, ok := ev.rtk.Keys[galEl]
-	if !ok {
-		return nil, fmt.Errorf("ckks: missing rotation key for step %d (Galois element %d)", k, galEl)
-	}
-	r := ev.params.RingQ()
-
-	// Rotation is the Galois automorphism applied to both ciphertext
-	// components followed by a key switch of the rotated c1 back to the
-	// original secret. The automorphism commutes with the NTT, so it is
-	// applied directly in the NTT domain as a slot permutation — no
-	// InvNTT+NTT round trip.
-	rot0 := ev.pool.Get(a.Level)
-	rot1 := ev.pool.Get(a.Level)
-	r.AutomorphismNTT(a.Value[0], galEl, rot0)
-	r.AutomorphismNTT(a.Value[1], galEl, rot1)
-
-	ks0, ks1, err := ev.keySwitch(rot1, a.Level, swk)
-	ev.pool.Put(rot1)
+	galEl, swk, err := ev.rotationElement(k, a.Level)
 	if err != nil {
-		ev.pool.Put(rot0)
 		return nil, err
 	}
-	out := NewCiphertext(ev.params, 2, a.Level, a.Scale)
-	r.Add(rot0, ks0, out.Value[0])
-	out.Value[1].Copy(ks1)
-	ev.pool.Put(rot0)
-	ev.pool.Put(ks0)
-	ev.pool.Put(ks1)
-	out.Value[0].IsNTT, out.Value[1].IsNTT = true, true
-	return out, nil
+	h, err := ev.decomposeNTT(a.Value[1], a.Level)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ev.rotateFromDecomp(a, h, swk, galEl)
+	ev.releaseDecomp(h)
+	return out, err
 }
 
 // RotateRight rotates slots right by k positions.

@@ -7,62 +7,122 @@ import (
 	"eva/internal/ring"
 )
 
-// keySwitch applies the switching key swk to the polynomial d (NTT form, at
-// the given level), producing the pair (ks0, ks1) such that
-// ks0 + ks1·s ≈ d·s', where s' is the secret the switching key encodes
-// (s² for relinearization, a rotated s for rotations).
+// Key switching is split into two halves so rotation batches can share work:
 //
-// This is the SEAL-style single-special-prime RNS key switch: d is decomposed
-// into its RNS limbs, each limb is lifted to the extended basis {q_0..q_level, P},
-// multiplied against the matching key digit, and the accumulated result is
-// scaled back down by P with rounding.
+//   - decomposeNTT performs the expensive half — the InvNTT of the input and
+//     the per-digit mod-up (ExtendBasisSmall/ReduceCentered to the extended
+//     basis {q_0..q_level, P}) followed by the forward NTT of every extended
+//     digit. Its output depends only on the input polynomial, not on the
+//     switching key or the Galois element.
 //
-// The returned polynomials are drawn from the evaluator's scratch pool; the
-// caller owns them and must release them with ev.pool.Put once their values
-// have been consumed.
-func (ev *Evaluator) keySwitch(d *ring.Poly, level int, swk *SwitchingKey) (ks0, ks1 *ring.Poly, err error) {
+//   - keySwitchHoisted performs the cheap half for one key: the inner product
+//     of the (optionally automorphism-permuted) extended digits against the
+//     key digits, and the final modDownByP.
+//
+// The hoisting trick (Halevi–Shoup) is that the RNS digit decomposition
+// commutes with the Galois automorphism: a digit is a centered lift of a
+// per-coefficient residue, the automorphism only permutes and negates
+// coefficients, and the centered lift of a negated residue is the negated
+// centered lift for odd primes. So φ(decompose(c1)) = decompose(φ(c1))
+// bit-exactly, and a batch of rotations of one ciphertext can decompose c1
+// once and apply a cheap NTT-domain permutation per Galois element instead of
+// redoing the InvNTT/mod-up/NTT per rotation.
+
+// hoistedDecomp holds the decomposed, mod-upped digits of one polynomial:
+// extQ[j] is digit j lifted to every chain prime at the decomposition level
+// and extP[j] is the same digit's special-prime limb, both in NTT form. The
+// buffers come from the evaluator's pools; release with ev.releaseDecomp.
+type hoistedDecomp struct {
+	level int
+	extQ  []*ring.Poly
+	extP  []*[]uint64
+	// extPView dereferences extP once so the inner-product kernel can take
+	// the special-prime digits as a plain [][]uint64.
+	extPView [][]uint64
+}
+
+// decomposeNTT runs the shared half of a key switch on d (NTT form, at the
+// given level): one InvNTT plus, per digit, the basis extension and forward
+// NTTs. The result can be fed to keySwitchHoisted any number of times, with
+// any switching key and Galois element.
+func (ev *Evaluator) decomposeNTT(d *ring.Poly, level int) (*hoistedDecomp, error) {
 	params := ev.params
 	sp := params.SpecialModulus()
 	if sp == nil {
-		return nil, nil, fmt.Errorf("ckks: key switching requires a special prime")
-	}
-	if len(swk.BQ) < level+1 {
-		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), level+1)
+		return nil, fmt.Errorf("ckks: key switching requires a special prime")
 	}
 	r := params.RingQ()
-	brP := sp.Barrett()
 
 	dCoeff := ev.pool.Get(level)
 	dCoeff.Copy(d)
 	r.InvNTT(dCoeff)
 
-	acc0Q := ev.pool.GetZero(level)
-	acc1Q := ev.pool.GetZero(level)
-	acc0Q.IsNTT, acc1Q.IsNTT = true, true
-	acc0P := ev.buf.GetZero()
-	acc1P := ev.buf.GetZero()
-
-	extQ := ev.pool.Get(level)
-	extP := ev.buf.Get()
-
+	h := &hoistedDecomp{
+		level:    level,
+		extQ:     make([]*ring.Poly, level+1),
+		extP:     make([]*[]uint64, level+1),
+		extPView: make([][]uint64, level+1),
+	}
 	for j := 0; j <= level; j++ {
 		qj := r.Moduli[j].Q
 		limb := dCoeff.Coeffs[j]
-		// Lift limb j to every chain prime at this level and to the special prime.
+		extQ := ev.pool.Get(level)
+		extP := ev.buf.Get()
 		r.ExtendBasisSmall(limb, qj, extQ)
 		sp.ReduceCentered(limb, qj, *extP)
 		r.NTT(extQ)
 		sp.NTT(*extP)
-
-		r.MulCoeffsAndAdd(extQ, swk.BQ[j], acc0Q)
-		r.MulCoeffsAndAdd(extQ, swk.AQ[j], acc1Q)
-		mulAddSpecial(*extP, swk.BP[j], *acc0P, brP)
-		mulAddSpecial(*extP, swk.AP[j], *acc1P, brP)
-		extQ.IsNTT = false // reset for the next iteration's ExtendBasisSmall
+		h.extQ[j] = extQ
+		h.extP[j] = extP
+		h.extPView[j] = *extP
 	}
 	ev.pool.Put(dCoeff)
-	ev.pool.Put(extQ)
-	ev.buf.Put(extP)
+	return h, nil
+}
+
+// releaseDecomp returns the decomposition's scratch buffers to the pools.
+func (ev *Evaluator) releaseDecomp(h *hoistedDecomp) {
+	for j := range h.extQ {
+		ev.pool.Put(h.extQ[j])
+		ev.buf.Put(h.extP[j])
+	}
+}
+
+// keySwitchHoisted applies the switching key swk to the decomposed digits h,
+// producing (ks0, ks1) such that ks0 + ks1·s ≈ φ_galEl(d)·s', where d is the
+// polynomial h was decomposed from and s' the secret swk encodes. galEl == 1
+// is the identity (plain key switch); odd galEl > 1 permutes each digit in
+// the NTT domain before the inner product, which is where a hoisted rotation
+// saves its transforms. The returned polynomials come from the evaluator's
+// pool; the caller releases them with ev.pool.Put.
+//
+// h is only read, so concurrent calls with distinct Galois elements may share
+// one decomposition.
+func (ev *Evaluator) keySwitchHoisted(h *hoistedDecomp, swk *SwitchingKey, galEl uint64) (ks0, ks1 *ring.Poly, err error) {
+	params := ev.params
+	level := h.level
+	if len(swk.BQ) < level+1 {
+		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), level+1)
+	}
+	r := params.RingQ()
+	sp := params.SpecialModulus()
+	brP := sp.Barrett()
+	var idx []uint32
+	if galEl != 1 {
+		idx = r.AutomorphismNTTIndex(galEl)
+	}
+
+	// The paired inner-product kernels overwrite their accumulators, fuse the
+	// Galois permutation into the digit gather, and share each gathered digit
+	// between the B and A halves of the key, so there is no zeroing pass, no
+	// permutation scratch, a single load of every digit coefficient, and one
+	// Barrett reduction per output coefficient regardless of the digit count.
+	acc0Q := ev.pool.Get(level)
+	acc1Q := ev.pool.Get(level)
+	r.InnerProductAutoNTTPair(h.extQ, swk.BQ, swk.AQ, galEl, acc0Q, acc1Q)
+	acc0P := ev.buf.Get()
+	acc1P := ev.buf.Get()
+	ring.InnerProductAutoVecPair(h.extPView, swk.BP, swk.AP, idx, *acc0P, *acc1P, brP)
 
 	ks0 = ev.modDownByP(acc0Q, *acc0P)
 	ks1 = ev.modDownByP(acc1Q, *acc1P)
@@ -73,20 +133,43 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, level int, swk *SwitchingKey) (ks0,
 	return ks0, ks1, nil
 }
 
-// mulAddSpecial accumulates acc += a*b element-wise modulo the special prime.
-func mulAddSpecial(a, b, acc []uint64, br numth.Barrett) {
-	q := br.Q
-	for j := range acc {
-		acc[j] = numth.AddMod(acc[j], br.MulMod(a[j], b[j]), q)
+// keySwitch applies the switching key swk to the polynomial d (NTT form, at
+// the given level), producing the pair (ks0, ks1) such that
+// ks0 + ks1·s ≈ d·s', where s' is the secret the switching key encodes
+// (s² for relinearization, a rotated s for rotations). It is the
+// decompose-once, switch-once composition of the two halves above.
+//
+// The returned polynomials are drawn from the evaluator's scratch pool; the
+// caller owns them and must release them with ev.pool.Put once their values
+// have been consumed.
+func (ev *Evaluator) keySwitch(d *ring.Poly, level int, swk *SwitchingKey) (ks0, ks1 *ring.Poly, err error) {
+	if len(swk.BQ) < level+1 {
+		return nil, nil, fmt.Errorf("ckks: switching key has %d digits, need %d", len(swk.BQ), level+1)
 	}
+	h, err := ev.decomposeNTT(d, level)
+	if err != nil {
+		return nil, nil, err
+	}
+	ks0, ks1, err = ev.keySwitchHoisted(h, swk, 1)
+	ev.releaseDecomp(h)
+	return ks0, ks1, err
 }
 
 // modDownByP divides the value represented by (accQ, accP) — an RNS value over
 // the basis {q_0..q_level, P} in NTT form — by the special prime P with
 // rounding, returning the result over {q_0..q_level} in NTT form. The result
-// comes from the evaluator's pool (every slot is written); accQ and accP are
-// left in coefficient form. All per-limb constants are precomputed on the
-// parameter set, so this never runs an inverse on the hot path.
+// comes from the evaluator's pool (every slot is written); accQ is left
+// untouched in NTT form, accP is consumed as scratch. All per-limb constants
+// are precomputed on the parameter set, so this never runs an inverse on the
+// hot path.
+//
+// The rounded division (acc − [acc]_P + offsets)·P⁻¹ is a per-coefficient
+// linear map, so it commutes with the NTT: only the correction term [acc]_P
+// needs the coefficient domain (one InvNTT of the single special limb plus
+// one forward NTT of the lifted correction), while accQ itself never leaves
+// the NTT domain. That replaces the InvNTT of every accumulator limb — per
+// key switch, 2·(level+1) limb transforms — with pointwise work, which is
+// what makes the per-element half of a hoisted rotation cheap.
 func (ev *Evaluator) modDownByP(accQ *ring.Poly, accP []uint64) *ring.Poly {
 	params := ev.params
 	r := params.RingQ()
@@ -94,25 +177,40 @@ func (ev *Evaluator) modDownByP(accQ *ring.Poly, accP []uint64) *ring.Poly {
 	p := sp.Q
 	half := p >> 1
 
-	r.InvNTT(accQ)
 	sp.InvNTT(accP)
+	// Shift by P/2 once — the shifted residue is shared by every chain limb
+	// below, so this single pass replaces a per-limb AddMod. accP is caller
+	// scratch and is consumed here.
+	for j := range accP {
+		accP[j] = numth.AddMod(accP[j], half, p)
+	}
 
 	level := accQ.Level()
 	out := ev.pool.Get(level)
+	// Correction polynomial in the coefficient domain: the centered residue
+	// of acc modulo P lifted to each chain prime, with the rounding offsets
+	// folded in (out serves as its own scratch).
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i].Q
 		br := r.Moduli[i].Barrett()
-		pInv := params.pInvModQ[i]
-		pInvShoup := params.pInvShoupModQ[i]
 		halfMod := params.pHalfModQ[i]
-		ai, oi := accQ.Coeffs[i], out.Coeffs[i]
+		oi := out.Coeffs[i]
 		for j := range oi {
-			lastShift := numth.AddMod(accP[j], half, p)
-			tmp := numth.SubMod(ai[j], br.ReduceWord(lastShift), q)
-			tmp = numth.AddMod(tmp, halfMod, q)
-			oi[j] = numth.MulModShoup(tmp, pInv, pInvShoup, q)
+			oi[j] = numth.SubMod(br.ReduceWord(accP[j]), halfMod, q)
 		}
 	}
+	out.IsNTT = false
 	r.NTT(out)
+	// out = (accQ − correction)·P⁻¹, pointwise in the NTT domain — exactly
+	// the coefficient-domain rounded division pushed through the transform.
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		pInv := params.pInvModQ[i]
+		pInvShoup := params.pInvShoupModQ[i]
+		ai, oi := accQ.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = numth.MulModShoup(numth.SubMod(ai[j], oi[j], q), pInv, pInvShoup, q)
+		}
+	}
 	return out
 }

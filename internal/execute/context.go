@@ -274,6 +274,12 @@ type RunStats struct {
 	PeakLiveBytes  int
 	ReusedValues   int
 
+	// HoistedBatches counts the hoisted rotation batches dispatched by this
+	// run, and HoistedRotations the distinct rotation steps they covered —
+	// each batch shares one RNS digit decomposition across all its steps.
+	HoistedBatches   int
+	HoistedRotations int
+
 	// PerOp maps each executed opcode to its aggregated instruction
 	// latencies. Leaf pseudo-instructions (INPUT, CONSTANT) are included so
 	// the totals account for every scheduled term.

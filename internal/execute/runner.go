@@ -11,6 +11,7 @@ import (
 	"eva/internal/ckks"
 	"eva/internal/compile"
 	"eva/internal/core"
+	"eva/internal/rewrite"
 )
 
 // Scheduler selects how the instruction DAG is scheduled onto worker threads.
@@ -40,6 +41,14 @@ type RunOptions struct {
 	// serialized (never concurrent) but may come from any worker goroutine, so
 	// the callback must be fast and must not call back into the executor.
 	Progress func(done, total int)
+	// DisableHoisting turns off hoisted rotation batching: every rotation is
+	// then an independent key switch, as in the sequential baseline.
+	DisableHoisting bool
+	// OnHoistedBatch, when non-nil, is called once per dispatched hoisted
+	// batch with the number of distinct rotation steps it evaluated. It may be
+	// called from any worker goroutine (calls for different batches can be
+	// concurrent) and must not call back into the executor.
+	OnHoistedBatch func(rotations int)
 }
 
 // value is the run-time value of a term: either a ciphertext or a plain
@@ -69,6 +78,12 @@ type runState struct {
 	total   int
 	onDone  func(done, total int)
 
+	// hoist maps each rotation instruction that belongs to a hoistable set
+	// (two or more rotations of one Cipher term; see rewrite.RotationSets) to
+	// its group. Nil when hoisting is disabled.
+	hoist          map[*core.Term]*hoistGroup
+	onHoistedBatch func(rotations int)
+
 	mu         sync.Mutex
 	values     map[*core.Term]*value
 	refcounts  map[*core.Term]int
@@ -77,6 +92,55 @@ type runState struct {
 	completed  int
 	stats      RunStats
 	firstErr   error
+}
+
+// hoistGroup carries the shared state of one hoistable rotation set during a
+// run: whichever member is scheduled first computes the whole batch with one
+// shared decomposition (Evaluator.RotateHoisted) and parks the results; the
+// remaining members pick theirs up without touching the backend.
+type hoistGroup struct {
+	members []*core.Term
+
+	mu      sync.Mutex
+	results map[*core.Term]*ckks.Ciphertext
+	failed  bool
+}
+
+// hoistedRotation returns the batch result for member t, computing the batch
+// on first use. ok is false when the batch failed (the caller falls back to
+// an independent rotation, so a batch error can only ever degrade
+// performance, not correctness).
+func (st *runState) hoistedRotation(g *hoistGroup, t *core.Term, src *ckks.Ciphertext) (*ckks.Ciphertext, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.failed {
+		return nil, false
+	}
+	if g.results == nil {
+		ks := make([]int, len(g.members))
+		for i, m := range g.members {
+			ks[i] = rewrite.EffectiveRotation(m)
+		}
+		batch, err := st.ctx.Evaluator.RotateHoisted(src, ks)
+		if err != nil {
+			g.failed = true
+			return nil, false
+		}
+		g.results = make(map[*core.Term]*ckks.Ciphertext, len(g.members))
+		for _, m := range g.members {
+			g.results[m] = batch[rewrite.EffectiveRotation(m)]
+		}
+		st.mu.Lock()
+		st.stats.HoistedBatches++
+		st.stats.HoistedRotations += len(batch)
+		st.mu.Unlock()
+		if st.onHoistedBatch != nil {
+			st.onHoistedBatch(len(batch))
+		}
+	}
+	ct, ok := g.results[t]
+	delete(g.results, t) // each member is consumed exactly once
+	return ct, ok
 }
 
 // Run executes a compiled program on encrypted inputs using the CKKS backend.
@@ -112,6 +176,19 @@ func RunContext(stdctx context.Context, ctx *Context, res *compile.Result, in *E
 		refcounts: make(map[*core.Term]int, len(order)),
 	}
 	st.stats.PerOp = make(map[string]*OpStats)
+	if !opts.DisableHoisting {
+		st.onHoistedBatch = opts.OnHoistedBatch
+		sets := rewrite.RotationSets(res.Program)
+		if len(sets) > 0 {
+			st.hoist = make(map[*core.Term]*hoistGroup)
+			for _, set := range sets {
+				g := &hoistGroup{members: set}
+				for _, m := range set {
+					st.hoist[m] = g
+				}
+			}
+		}
+	}
 	outputRefs := map[*core.Term]int{}
 	for _, o := range res.Program.Outputs() {
 		outputRefs[o.Term]++
@@ -470,6 +547,11 @@ func (st *runState) eval(t *core.Term) (*value, error) {
 		}
 		if a.ct == nil {
 			return &value{plain: rotate(a.plain, k)}, nil
+		}
+		if g := st.hoist[t]; g != nil {
+			if ct, ok := st.hoistedRotation(g, t, a.ct); ok {
+				return &value{ct: ct}, nil
+			}
 		}
 		ct, err := ev.RotateLeft(a.ct, k)
 		return &value{ct: ct}, err

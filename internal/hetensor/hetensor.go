@@ -332,6 +332,82 @@ func (c *Compiler) FC(kernel string, in *Vector, weights [][]float64, bias []flo
 	return v, c.b.Err()
 }
 
+// Matmul applies a plaintext matrix weights[out][in.Length] (plus optional
+// bias) to a packed vector using the diagonal method: with the matrix padded
+// to n×n for n = nextPow2(max(rows, in.Length)),
+//
+//	y = Σ_d diag_d(W) ⊙ rot(x, d),   diag_d[i] = W[i][(i+d) mod n],
+//
+// so the whole product is n-1 rotations of the ONE source vector instead of
+// one masked rotate-and-sum pipeline per output neuron (FC). All-zero
+// diagonals are skipped, so sparse or band matrices rotate less. Because
+// every rotation shares the same source term, the rewrite layer groups them
+// into a single rotation set and the executor evaluates the entire matmul
+// with one hoisted key-switch batch — this is the kernel whose end-to-end
+// effect BenchmarkHetensorMatmul measures.
+//
+// The zero columns of the padded matrix make the product insensitive to
+// whatever the replication of x carries beyond in.Length, and a final
+// fold restores the packed-vector layout (period nextPow2(rows), zeros past
+// rows), so Matmul chains with FC, GlobalAvgPool, and itself.
+func (c *Compiler) Matmul(kernel string, in *Vector, weights [][]float64, bias []float64) (*Vector, error) {
+	if len(weights) == 0 || len(weights[0]) != in.Length {
+		return nil, fmt.Errorf("hetensor: %s: weight row length %d, want %d", kernel, len(weights[0]), in.Length)
+	}
+	if bias != nil && len(bias) != len(weights) {
+		return nil, fmt.Errorf("hetensor: %s: bias length mismatch", kernel)
+	}
+	outLen := len(weights)
+	n := nextPow2(max(outLen, in.Length))
+	if n > c.b.VecSize() {
+		return nil, fmt.Errorf("hetensor: %s: %dx%d matmul needs %d slots; vector has %d", kernel, outLen, in.Length, n, c.b.VecSize())
+	}
+	c.b.SetKernel(kernel)
+
+	var acc builder.Expr
+	for d := 0; d < n; d++ {
+		diag := make([]float64, n)
+		zero := true
+		for i := 0; i < outLen; i++ {
+			col := (i + d) % n
+			if col >= in.Length {
+				continue
+			}
+			if wv := weights[i][col]; wv != 0 {
+				diag[i] = wv
+				zero = false
+			}
+		}
+		if zero {
+			continue
+		}
+		src := in.Value
+		if d != 0 {
+			src = in.Value.RotateLeft(d)
+		}
+		term := src.MulVector(diag, c.WeightScale)
+		if acc.Term() == nil {
+			acc = term
+		} else {
+			acc = acc.Add(term)
+		}
+	}
+	if acc.Term() == nil {
+		acc = c.b.Scalar(0, c.WeightScale)
+	}
+	// Fold the period-n result down to the packed-vector period: slots
+	// [outLen, n) are zero (padded matrix rows), so adding the q-step
+	// rotations replicates the first window instead of mixing values.
+	for q := nextPow2(outLen); q < n; q <<= 1 {
+		acc = acc.Add(acc.RotateLeft(q))
+	}
+	v := &Vector{Value: acc, Length: outLen}
+	if bias != nil {
+		v.Value = v.Value.Add(c.b.Constant(padPow2(bias, outLen), c.WeightScale))
+	}
+	return v, c.b.Err()
+}
+
 // Output marks the packed vector as a program output.
 func (c *Compiler) Output(name string, v *Vector, logScale float64) {
 	c.b.Output(name, v.Value, logScale)

@@ -1,0 +1,77 @@
+package rewrite
+
+import (
+	"sort"
+
+	"eva/internal/core"
+)
+
+// RotationSets returns the hoistable rotation groups of a program: maximal
+// sets of two or more rotation instructions (ROTATE_LEFT / ROTATE_RIGHT) that
+// rotate the same Cipher term. Rotations in one set can share a single RNS
+// digit decomposition of their common operand (Halevi–Shoup hoisting), so the
+// executor dispatches each set as one hoisted batch instead of N independent
+// key switches.
+//
+// Grouping is by the direct parameter term, which is exactly the sharing the
+// backend can exploit: if the compiler interposed a MOD_SWITCH or RESCALE
+// between two rotations of what was originally one value, their operands are
+// different ciphertexts and they land in different sets. Rotations of plain
+// (Vector/Scalar) values never reach the key-switching backend and are
+// excluded. Duplicate steps within a set are kept — the batch computes the
+// step once and every duplicate reuses the result.
+//
+// Sets are returned in program (topological) order of their source terms, and
+// members within a set in topological order, so callers get deterministic
+// output for a given program.
+func RotationSets(p *core.Program) [][]*core.Term {
+	types := p.InferTypes()
+	groups := make(map[*core.Term][]*core.Term)
+	var sources []*core.Term
+	for _, t := range p.TopoSort() {
+		if !t.Op.IsRotation() {
+			continue
+		}
+		src := t.Parm(0)
+		if types[src] != core.TypeCipher {
+			continue
+		}
+		if len(groups[src]) == 0 {
+			sources = append(sources, src)
+		}
+		groups[src] = append(groups[src], t)
+	}
+	var sets [][]*core.Term
+	for _, src := range sources {
+		if members := groups[src]; len(members) >= 2 {
+			sets = append(sets, members)
+		}
+	}
+	return sets
+}
+
+// RotationSetSteps returns the distinct effective left-rotation steps of one
+// rotation set, sorted ascending: ROTATE_RIGHT by k contributes -k. This is
+// the step list a hoisted batch evaluates.
+func RotationSetSteps(set []*core.Term) []int {
+	seen := make(map[int]bool, len(set))
+	var steps []int
+	for _, t := range set {
+		k := EffectiveRotation(t)
+		if !seen[k] {
+			seen[k] = true
+			steps = append(steps, k)
+		}
+	}
+	sort.Ints(steps)
+	return steps
+}
+
+// EffectiveRotation returns the left-rotation step a rotation instruction
+// performs: RotateBy for ROTATE_LEFT, -RotateBy for ROTATE_RIGHT.
+func EffectiveRotation(t *core.Term) int {
+	if t.Op == core.OpRotateRight {
+		return -t.RotateBy
+	}
+	return t.RotateBy
+}

@@ -16,6 +16,7 @@ package ring
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"eva/internal/numth"
@@ -123,7 +124,36 @@ func (m *Modulus) NTT(a []uint64) {
 			sh := m.psiShoup[mm+i]
 			x := a[j1 : j1+t : j1+t]
 			y := a[j1+t : j1+2*t : j1+2*t]
-			for j := range x {
+			// The butterflies are unrolled four wide: x and y are two
+			// contiguous streams exactly one cache block apart per
+			// iteration, so widening each step amortizes the loop control
+			// and the bounds checks over four loads from each line.
+			j := 0
+			for ; j+4 <= t; j += 4 {
+				u0, u1, u2, u3 := x[j], x[j+1], x[j+2], x[j+3]
+				if u0 >= twoQ {
+					u0 -= twoQ
+				}
+				if u1 >= twoQ {
+					u1 -= twoQ
+				}
+				if u2 >= twoQ {
+					u2 -= twoQ
+				}
+				if u3 >= twoQ {
+					u3 -= twoQ
+				}
+				v0 := numth.MulModShoupLazy(y[j], s, sh, q)
+				v1 := numth.MulModShoupLazy(y[j+1], s, sh, q)
+				v2 := numth.MulModShoupLazy(y[j+2], s, sh, q)
+				v3 := numth.MulModShoupLazy(y[j+3], s, sh, q)
+				x[j], x[j+1], x[j+2], x[j+3] = u0+v0, u1+v1, u2+v2, u3+v3
+				y[j] = u0 + twoQ - v0
+				y[j+1] = u1 + twoQ - v1
+				y[j+2] = u2 + twoQ - v2
+				y[j+3] = u3 + twoQ - v3
+			}
+			for ; j < t; j++ {
 				u := x[j]
 				if u >= twoQ {
 					u -= twoQ
@@ -161,7 +191,32 @@ func (m *Modulus) InvNTT(a []uint64) {
 			sh := m.psiInvShoup[h+i]
 			x := a[j1 : j1+t : j1+t]
 			y := a[j1+t : j1+2*t : j1+2*t]
-			for j := range x {
+			j := 0
+			for ; j+4 <= t; j += 4 {
+				u0, v0 := x[j], y[j]
+				u1, v1 := x[j+1], y[j+1]
+				u2, v2 := x[j+2], y[j+2]
+				u3, v3 := x[j+3], y[j+3]
+				w0, w1, w2, w3 := u0+v0, u1+v1, u2+v2, u3+v3
+				if w0 >= twoQ {
+					w0 -= twoQ
+				}
+				if w1 >= twoQ {
+					w1 -= twoQ
+				}
+				if w2 >= twoQ {
+					w2 -= twoQ
+				}
+				if w3 >= twoQ {
+					w3 -= twoQ
+				}
+				x[j], x[j+1], x[j+2], x[j+3] = w0, w1, w2, w3
+				y[j] = numth.MulModShoupLazy(u0+twoQ-v0, s, sh, q)
+				y[j+1] = numth.MulModShoupLazy(u1+twoQ-v1, s, sh, q)
+				y[j+2] = numth.MulModShoupLazy(u2+twoQ-v2, s, sh, q)
+				y[j+3] = numth.MulModShoupLazy(u3+twoQ-v3, s, sh, q)
+			}
+			for ; j < t; j++ {
 				u := x[j]
 				v := y[j]
 				w := u + v
@@ -378,13 +433,18 @@ func (p *Poly) Equal(o *Poly) bool {
 	return true
 }
 
-// NTT converts p to the NTT domain in place (no-op if already there).
+// NTT converts p to the NTT domain in place (no-op if already there). The
+// limbs transform independently, so they fan out across the ring worker pool.
 func (r *Ring) NTT(p *Poly) {
 	if p.IsNTT {
 		return
 	}
-	for i := range p.Coeffs {
-		r.Moduli[i].NTT(p.Coeffs[i])
+	if r.limbsParallel(len(p.Coeffs)) {
+		Parallel(len(p.Coeffs), func(i int) { r.Moduli[i].NTT(p.Coeffs[i]) })
+	} else {
+		for i := range p.Coeffs {
+			r.Moduli[i].NTT(p.Coeffs[i])
+		}
 	}
 	p.IsNTT = true
 }
@@ -394,8 +454,12 @@ func (r *Ring) InvNTT(p *Poly) {
 	if !p.IsNTT {
 		return
 	}
-	for i := range p.Coeffs {
-		r.Moduli[i].InvNTT(p.Coeffs[i])
+	if r.limbsParallel(len(p.Coeffs)) {
+		Parallel(len(p.Coeffs), func(i int) { r.Moduli[i].InvNTT(p.Coeffs[i]) })
+	} else {
+		for i := range p.Coeffs {
+			r.Moduli[i].InvNTT(p.Coeffs[i])
+		}
 	}
 	p.IsNTT = false
 }
@@ -415,39 +479,57 @@ func sameShape(a, b, out *Poly) int {
 // Aliasing out with a or b is safe: every slot is read before it is written.
 func (r *Ring) Add(a, b, out *Poly) {
 	l := sameShape(a, b, out)
-	for i := 0; i < l; i++ {
-		q := r.Moduli[i].Q
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = numth.AddMod(ai[j], bi[j], q)
+	if r.limbsParallel(l) {
+		Parallel(l, func(i int) { addLimb(r.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := 0; i < l; i++ {
+			addLimb(r.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT
+}
+
+func addLimb(q uint64, ai, bi, oi []uint64) {
+	for j := range oi {
+		oi[j] = numth.AddMod(ai[j], bi[j], q)
+	}
 }
 
 // Sub sets out = a - b limb-wise. Aliasing out with a or b is safe.
 func (r *Ring) Sub(a, b, out *Poly) {
 	l := sameShape(a, b, out)
-	for i := 0; i < l; i++ {
-		q := r.Moduli[i].Q
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = numth.SubMod(ai[j], bi[j], q)
+	if r.limbsParallel(l) {
+		Parallel(l, func(i int) { subLimb(r.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := 0; i < l; i++ {
+			subLimb(r.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT
 }
 
+func subLimb(q uint64, ai, bi, oi []uint64) {
+	for j := range oi {
+		oi[j] = numth.SubMod(ai[j], bi[j], q)
+	}
+}
+
 // Neg sets out = -a limb-wise. Aliasing out with a is safe.
 func (r *Ring) Neg(a, out *Poly) {
-	for i := range out.Coeffs {
-		q := r.Moduli[i].Q
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = numth.NegMod(ai[j], q)
+	if r.limbsParallel(len(out.Coeffs)) {
+		Parallel(len(out.Coeffs), func(i int) { negLimb(r.Moduli[i].Q, a.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := range out.Coeffs {
+			negLimb(r.Moduli[i].Q, a.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT
+}
+
+func negLimb(q uint64, ai, oi []uint64) {
+	for j := range oi {
+		oi[j] = numth.NegMod(ai[j], q)
+	}
 }
 
 // MulCoeffs sets out = a * b element-wise using Barrett reduction. Both
@@ -458,48 +540,279 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) {
 		panic("ring: MulCoeffs requires NTT-domain operands")
 	}
 	l := sameShape(a, b, out)
-	for i := 0; i < l; i++ {
-		br := r.Moduli[i].br
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = br.MulMod(ai[j], bi[j])
+	if r.limbsParallel(l) {
+		Parallel(l, func(i int) { mulLimb(r.Moduli[i].br, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := 0; i < l; i++ {
+			mulLimb(r.Moduli[i].br, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = true
 }
 
+func mulLimb(br numth.Barrett, ai, bi, oi []uint64) {
+	for j := range oi {
+		oi[j] = br.MulMod(ai[j], bi[j])
+	}
+}
+
 // MulCoeffsAndAdd sets out += a * b element-wise (NTT domain, Barrett
-// reduction). Aliasing out with a or b is safe.
+// reduction). Aliasing out with a or b is safe. This is the accumulator of
+// the key-switch inner product, so each limb goes through the fused unrolled
+// kernel MulAddVec.
 func (r *Ring) MulCoeffsAndAdd(a, b, out *Poly) {
 	if !a.IsNTT || !b.IsNTT {
 		panic("ring: MulCoeffsAndAdd requires NTT-domain operands")
 	}
 	l := sameShape(a, b, out)
-	for i := 0; i < l; i++ {
-		q := r.Moduli[i].Q
-		br := r.Moduli[i].br
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = numth.AddMod(oi[j], br.MulMod(ai[j], bi[j]), q)
+	if r.limbsParallel(l) {
+		Parallel(l, func(i int) { MulAddVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i], r.Moduli[i].br) })
+	} else {
+		for i := 0; i < l; i++ {
+			MulAddVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i], r.Moduli[i].br)
 		}
 	}
 	out.IsNTT = true
+}
+
+// MulAddVec is the fused multiply-accumulate kernel of the key-switch inner
+// product: acc[j] += a[j]*b[j] mod q for every j, with the loop unrolled four
+// wide so the three streams advance a cache block at a time and the loop
+// control amortizes over four Barrett reductions. It is exported for the CKKS
+// layer, whose special-prime limbs are raw slices rather than ring
+// polynomials.
+func MulAddVec(a, b, acc []uint64, br numth.Barrett) {
+	q := br.Q
+	n := len(acc)
+	if len(a) < n || len(b) < n {
+		panic("ring: MulAddVec operand shorter than accumulator")
+	}
+	a, b = a[:n:n], b[:n:n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		p0 := br.MulMod(a[j], b[j])
+		p1 := br.MulMod(a[j+1], b[j+1])
+		p2 := br.MulMod(a[j+2], b[j+2])
+		p3 := br.MulMod(a[j+3], b[j+3])
+		acc[j] = numth.AddMod(acc[j], p0, q)
+		acc[j+1] = numth.AddMod(acc[j+1], p1, q)
+		acc[j+2] = numth.AddMod(acc[j+2], p2, q)
+		acc[j+3] = numth.AddMod(acc[j+3], p3, q)
+	}
+	for ; j < n; j++ {
+		acc[j] = numth.AddMod(acc[j], br.MulMod(a[j], b[j]), q)
+	}
+}
+
+// maxLazyDigits bounds how many digit products the 128-bit lazy accumulator
+// of the key-switch inner product can sum without overflow: each product of
+// sub-2^60 residues is below 2^120, so up to 2^8 fit in 128 bits; 64 leaves
+// headroom and bounds the kernel's stack-resident limb views.
+const maxLazyDigits = 64
+
+// InnerProductAutoVec computes acc[j] = Σ_t es[t][σ(j)]·ks[t][j] mod q, where
+// σ is the slot permutation described by idx (nil for the identity; otherwise
+// a table from AutomorphismNTTIndex). This is the fused hot loop of a hoisted
+// key switch: the Galois automorphism is applied as a gather inside the
+// accumulation instead of a separate permutation pass per digit, and the
+// digit products accumulate lazily in 128 bits with a single Barrett
+// reduction per output coefficient instead of one per product. acc is
+// overwritten.
+func InnerProductAutoVec(es, ks [][]uint64, idx []uint32, acc []uint64, br numth.Barrett) {
+	if len(ks) < len(es) {
+		panic("ring: fewer key digits than decomposition digits")
+	}
+	if len(es) > maxLazyDigits {
+		panic("ring: too many digits for lazy inner-product accumulation")
+	}
+	n := len(acc)
+	if idx == nil {
+		for j := 0; j < n; j++ {
+			var hi, lo, c uint64
+			for t := range es {
+				ph, pl := bits.Mul64(es[t][j], ks[t][j])
+				lo, c = bits.Add64(lo, pl, 0)
+				hi += ph + c
+			}
+			acc[j] = br.Reduce(hi, lo)
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			src := idx[j]
+			var hi, lo, c uint64
+			for t := range es {
+				ph, pl := bits.Mul64(es[t][src], ks[t][j])
+				lo, c = bits.Add64(lo, pl, 0)
+				hi += ph + c
+			}
+			acc[j] = br.Reduce(hi, lo)
+		}
+	}
+}
+
+// InnerProductAutoVecPair runs InnerProductAutoVec for two key digit sets
+// sharing one gather of the decomposed digits: accB[j] = Σ_t es[t][σ(j)]·kbs[t][j]
+// and accA[j] = Σ_t es[t][σ(j)]·kas[t][j]. A key switch always needs both
+// halves of the RLWE samples, so pairing halves the digit loads (and the
+// gather indirection) of the hottest loop in the backend.
+func InnerProductAutoVecPair(es, kbs, kas [][]uint64, idx []uint32, accB, accA []uint64, br numth.Barrett) {
+	if len(kbs) < len(es) || len(kas) < len(es) {
+		panic("ring: fewer key digits than decomposition digits")
+	}
+	if len(es) > maxLazyDigits {
+		panic("ring: too many digits for lazy inner-product accumulation")
+	}
+	n := len(accB)
+	if len(accA) != n {
+		panic("ring: paired accumulators must have equal length")
+	}
+	for j := 0; j < n; j++ {
+		src := j
+		if idx != nil {
+			src = int(idx[j])
+		}
+		var bhi, blo, ahi, alo, c uint64
+		for t := range es {
+			e := es[t][src]
+			ph, pl := bits.Mul64(e, kbs[t][j])
+			blo, c = bits.Add64(blo, pl, 0)
+			bhi += ph + c
+			ph, pl = bits.Mul64(e, kas[t][j])
+			alo, c = bits.Add64(alo, pl, 0)
+			ahi += ph + c
+		}
+		accB[j] = br.Reduce(bhi, blo)
+		accA[j] = br.Reduce(ahi, alo)
+	}
+}
+
+// InnerProductAutoNTTPair is InnerProductAutoNTT for both halves of a
+// switching key at once, sharing each digit gather between the two
+// accumulations. outB and outA are fully overwritten.
+func (r *Ring) InnerProductAutoNTTPair(es, kbs, kas []*Poly, galEl uint64, outB, outA *Poly) {
+	if len(kbs) < len(es) || len(kas) < len(es) {
+		panic("ring: fewer key digits than decomposition digits")
+	}
+	if len(es) > maxLazyDigits {
+		panic("ring: too many digits for lazy inner-product accumulation")
+	}
+	if galEl%2 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	for _, e := range es {
+		if !e.IsNTT {
+			panic("ring: InnerProductAutoNTTPair requires NTT-domain digits")
+		}
+	}
+	var idx []uint32
+	if galEl != 1 {
+		idx = r.automorphismNTTIndex(galEl)
+	}
+	l := len(outB.Coeffs)
+	if len(outA.Coeffs) < l {
+		l = len(outA.Coeffs)
+	}
+	if r.limbsParallel(l) {
+		Parallel(l, func(i int) {
+			innerProductPairLimb(es, kbs, kas, i, idx, outB.Coeffs[i], outA.Coeffs[i], r.Moduli[i].br)
+		})
+	} else {
+		for i := 0; i < l; i++ {
+			innerProductPairLimb(es, kbs, kas, i, idx, outB.Coeffs[i], outA.Coeffs[i], r.Moduli[i].br)
+		}
+	}
+	outB.IsNTT, outA.IsNTT = true, true
+}
+
+func innerProductPairLimb(es, kbs, kas []*Poly, limb int, idx []uint32, accB, accA []uint64, br numth.Barrett) {
+	var ebuf, bbuf, abuf [maxLazyDigits][]uint64
+	d := len(es)
+	for t := 0; t < d; t++ {
+		ebuf[t] = es[t].Coeffs[limb]
+		bbuf[t] = kbs[t].Coeffs[limb]
+		abuf[t] = kas[t].Coeffs[limb]
+	}
+	InnerProductAutoVecPair(ebuf[:d], bbuf[:d], abuf[:d], idx, accB, accA, br)
+}
+
+// InnerProductAutoNTT computes out = Σ_t φ_galEl(es[t]) ⊙ ks[t] over the
+// limbs of out, entirely in the NTT domain: es are the decomposed digits of a
+// key switch, ks the matching key digits, and galEl the Galois element whose
+// slot permutation is fused into the accumulation (1 for the identity). out
+// is fully overwritten. Limbs fan out across the worker pool.
+func (r *Ring) InnerProductAutoNTT(es, ks []*Poly, galEl uint64, out *Poly) {
+	if len(ks) < len(es) {
+		panic("ring: fewer key digits than decomposition digits")
+	}
+	if len(es) > maxLazyDigits {
+		panic("ring: too many digits for lazy inner-product accumulation")
+	}
+	if galEl%2 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	for _, e := range es {
+		if !e.IsNTT {
+			panic("ring: InnerProductAutoNTT requires NTT-domain digits")
+		}
+	}
+	var idx []uint32
+	if galEl != 1 {
+		idx = r.automorphismNTTIndex(galEl)
+	}
+	l := len(out.Coeffs)
+	if r.limbsParallel(l) {
+		Parallel(l, func(i int) { innerProductLimb(es, ks, i, idx, out.Coeffs[i], r.Moduli[i].br) })
+	} else {
+		for i := 0; i < l; i++ {
+			innerProductLimb(es, ks, i, idx, out.Coeffs[i], r.Moduli[i].br)
+		}
+	}
+	out.IsNTT = true
+}
+
+// innerProductLimb gathers limb views of the digit polynomials into
+// stack-resident arrays (no heap allocation on the hot path) and runs the
+// fused accumulation kernel on them.
+func innerProductLimb(es, ks []*Poly, limb int, idx []uint32, acc []uint64, br numth.Barrett) {
+	var ebuf, kbuf [maxLazyDigits][]uint64
+	d := len(es)
+	for t := 0; t < d; t++ {
+		ebuf[t] = es[t].Coeffs[limb]
+		kbuf[t] = ks[t].Coeffs[limb]
+	}
+	InnerProductAutoVec(ebuf[:d], kbuf[:d], idx, acc, br)
+}
+
+// AutomorphismNTTIndex returns the NTT-slot permutation table for the odd
+// Galois element galEl, for use with InnerProductAutoVec. The returned slice
+// is cached and shared; callers must treat it as read-only.
+func (r *Ring) AutomorphismNTTIndex(galEl uint64) []uint32 {
+	if galEl%2 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	return r.automorphismNTTIndex(galEl)
 }
 
 // MulScalar sets out = a * scalar, where scalar is reduced modulo each limb.
 // The scalar is fixed per limb, so each limb uses a Shoup multiplication
 // against a quotient computed once per call. Aliasing out with a is safe.
 func (r *Ring) MulScalar(a *Poly, scalar uint64, out *Poly) {
-	for i := range out.Coeffs {
-		q := r.Moduli[i].Q
-		s := scalar % q
-		w := numth.ShoupPrecomp(s, q)
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = numth.MulModShoup(ai[j], s, w, q)
+	if r.limbsParallel(len(out.Coeffs)) {
+		Parallel(len(out.Coeffs), func(i int) { mulScalarLimb(r.Moduli[i].Q, scalar, a.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := range out.Coeffs {
+			mulScalarLimb(r.Moduli[i].Q, scalar, a.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT
+}
+
+func mulScalarLimb(q, scalar uint64, ai, oi []uint64) {
+	s := scalar % q
+	w := numth.ShoupPrecomp(s, q)
+	for j := range oi {
+		oi[j] = numth.MulModShoup(ai[j], s, w, q)
+	}
 }
 
 // AddScalar adds an integer scalar to the constant coefficient of a
@@ -553,23 +866,29 @@ func (r *Ring) Automorphism(a *Poly, galEl uint64, out *Poly) {
 	}
 	n := uint64(r.N)
 	mask := 2*n - 1
-	for i := range out.Coeffs {
-		q := r.Moduli[i].Q
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = 0
-		}
-		for j := uint64(0); j < n; j++ {
-			idx := (j * galEl) & mask
-			c := ai[j]
-			if idx < n {
-				oi[idx] = c
-			} else {
-				oi[idx-n] = numth.NegMod(c, q)
-			}
+	if r.limbsParallel(len(out.Coeffs)) {
+		Parallel(len(out.Coeffs), func(i int) { automorphismLimb(r.Moduli[i].Q, n, mask, galEl, a.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := range out.Coeffs {
+			automorphismLimb(r.Moduli[i].Q, n, mask, galEl, a.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = false
+}
+
+func automorphismLimb(q, n, mask, galEl uint64, ai, oi []uint64) {
+	for j := range oi {
+		oi[j] = 0
+	}
+	for j := uint64(0); j < n; j++ {
+		idx := (j * galEl) & mask
+		c := ai[j]
+		if idx < n {
+			oi[idx] = c
+		} else {
+			oi[idx-n] = numth.NegMod(c, q)
+		}
+	}
 }
 
 // automorphismNTTIndex returns (building and caching it on first use) the
@@ -617,13 +936,35 @@ func (r *Ring) AutomorphismNTT(a *Poly, galEl uint64, out *Poly) {
 		panic("ring: AutomorphismNTT does not support aliased input and output")
 	}
 	idx := r.automorphismNTTIndex(galEl)
-	for i := range out.Coeffs {
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = ai[idx[j]]
+	if r.limbsParallel(len(out.Coeffs)) {
+		Parallel(len(out.Coeffs), func(i int) { permuteLimb(idx, a.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := range out.Coeffs {
+			permuteLimb(idx, a.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = true
+}
+
+func permuteLimb(idx []uint32, ai, oi []uint64) {
+	for j := range oi {
+		oi[j] = ai[idx[j]]
+	}
+}
+
+// AutomorphismNTTSlice applies the NTT-domain automorphism permutation for
+// galEl to a single limb: dst[j] = src[idx[j]]. The permutation depends only
+// on the ring degree, not on the limb's prime, so this serves limbs over
+// moduli outside the chain — in particular the special-prime limbs of a
+// hoisted key-switch decomposition. src and dst must not overlap.
+func (r *Ring) AutomorphismNTTSlice(galEl uint64, src, dst []uint64) {
+	if galEl%2 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	if len(src) > 0 && len(dst) > 0 && &src[0] == &dst[0] {
+		panic("ring: AutomorphismNTTSlice does not support aliased input and output")
+	}
+	permuteLimb(r.automorphismNTTIndex(galEl), src, dst)
 }
 
 // DivideByLastModulus performs RNS rescaling: it interprets p (coefficient
@@ -644,25 +985,35 @@ func (r *Ring) DivideByLastModulus(p *Poly) *Poly {
 	out := r.NewPoly(level - 1)
 	last := p.Coeffs[level]
 	half := qL >> 1
-	for i := 0; i <= level-1; i++ {
-		q := r.Moduli[i].Q
-		br := r.Moduli[i].br
-		qLInv := r.rescaleInv[level][i]
-		qLInvShoup := r.rescaleInvShoup[level][i]
-		halfMod := r.rescaleHalf[level][i]
-		pi, oi := p.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			// Rounded division: (x - [x]_{qL} + qL/2 correction) * qL^{-1}.
-			// Using the representative of the last limb shifted by qL/2
-			// implements rounding instead of flooring.
-			lastShift := numth.AddMod(last[j], half, qL) // (x mod qL) + qL/2 mod qL
-			tmp := numth.SubMod(pi[j], br.ReduceWord(lastShift), q)
-			tmp = numth.AddMod(tmp, halfMod, q)
-			oi[j] = numth.MulModShoup(tmp, qLInv, qLInvShoup, q)
+	// Every output limb reads only the shared last limb and its own limb, so
+	// the limbs divide independently.
+	if r.limbsParallel(level) {
+		Parallel(level, func(i int) { r.rescaleLimb(p, out, level, i, last, half, qL) })
+	} else {
+		for i := 0; i <= level-1; i++ {
+			r.rescaleLimb(p, out, level, i, last, half, qL)
 		}
 	}
 	out.IsNTT = false
 	return out
+}
+
+func (r *Ring) rescaleLimb(p, out *Poly, level, i int, last []uint64, half, qL uint64) {
+	q := r.Moduli[i].Q
+	br := r.Moduli[i].br
+	qLInv := r.rescaleInv[level][i]
+	qLInvShoup := r.rescaleInvShoup[level][i]
+	halfMod := r.rescaleHalf[level][i]
+	pi, oi := p.Coeffs[i], out.Coeffs[i]
+	for j := range oi {
+		// Rounded division: (x - [x]_{qL} + qL/2 correction) * qL^{-1}.
+		// Using the representative of the last limb shifted by qL/2
+		// implements rounding instead of flooring.
+		lastShift := numth.AddMod(last[j], half, qL) // (x mod qL) + qL/2 mod qL
+		tmp := numth.SubMod(pi[j], br.ReduceWord(lastShift), q)
+		tmp = numth.AddMod(tmp, halfMod, q)
+		oi[j] = numth.MulModShoup(tmp, qLInv, qLInvShoup, q)
+	}
 }
 
 // DropLastModulus removes the last RNS limb of p without scaling the
@@ -686,14 +1037,20 @@ func (r *Ring) DropLastModulus(p *Poly) *Poly {
 // limbs in out. This is the trivial "mod-up" used by RNS key switching where
 // the decomposed digit is a single-limb polynomial.
 func (r *Ring) ExtendBasisSmall(small []uint64, srcQ uint64, out *Poly) {
-	for i := range out.Coeffs {
-		m := r.Moduli[i]
-		oi := out.Coeffs[i]
-		if m.Q == srcQ {
-			copy(oi, small)
-			continue
+	if r.limbsParallel(len(out.Coeffs)) {
+		Parallel(len(out.Coeffs), func(i int) { extendLimb(r.Moduli[i], small, srcQ, out.Coeffs[i]) })
+	} else {
+		for i := range out.Coeffs {
+			extendLimb(r.Moduli[i], small, srcQ, out.Coeffs[i])
 		}
-		m.ReduceCentered(small, srcQ, oi)
 	}
 	out.IsNTT = false
+}
+
+func extendLimb(m *Modulus, small []uint64, srcQ uint64, oi []uint64) {
+	if m.Q == srcQ {
+		copy(oi, small)
+		return
+	}
+	m.ReduceCentered(small, srcQ, oi)
 }

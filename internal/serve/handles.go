@@ -289,20 +289,17 @@ func (s *Server) buildBatchInputs(stdctx context.Context, ce *contextEntry, res 
 		enc.EncryptTime = pre.EncryptTime
 	}
 	var pending execute.Inputs
-	var required map[string]int
+	br := s.newBindingResolver(ce, res, cache)
 	for _, in := range res.Program.Inputs() {
+		b := batch.binding(in.Name)
 		if in.InType != core.TypeCipher {
 			if _, ok := enc.Plain[in.Name]; ok {
 				continue
 			}
-			v, ok := batch.Plain[in.Name]
-			if !ok {
-				v, ok = batch.Values[in.Name]
-			}
+			full, ok, err := br.plain(in.Name, b)
 			if !ok {
 				return nil, fmt.Errorf("missing value for plain input %q", in.Name)
 			}
-			full, err := execute.PreparePlain(res, in.Name, v)
 			if err != nil {
 				return nil, err
 			}
@@ -312,50 +309,24 @@ func (s *Server) buildBatchInputs(stdctx context.Context, ce *contextEntry, res 
 		if _, ok := enc.Cipher[in.Name]; ok {
 			continue
 		}
-		if b64, ok := batch.Cipher[in.Name]; ok {
-			data, err := base64.StdEncoding.DecodeString(b64)
+		switch {
+		case b.Cipher != "":
+			ct, err := br.cipherFromWire(b.Cipher)
 			if err != nil {
-				return nil, fmt.Errorf("input %q: %w", in.Name, err)
-			}
-			ct := &ckks.Ciphertext{}
-			if err := ct.UnmarshalBinary(data); err != nil {
-				return nil, fmt.Errorf("input %q: %w", in.Name, err)
-			}
-			// Reject malformed uploads before the executor touches them: the
-			// ring layer assumes well-shaped NTT operands.
-			if err := ct.Validate(ce.Ctx.Params); err != nil {
 				return nil, fmt.Errorf("input %q: %w", in.Name, err)
 			}
 			enc.Cipher[in.Name] = ct
-			continue
-		}
-		if id, ok := batch.Handles[in.Name]; ok {
-			rh, err := s.resolveHandle(stdctx, id, cache)
+		case b.Handle != "":
+			rh, err := br.cipherFromHandle(stdctx, in.Name, b.Handle, in.LogScale)
 			if err != nil {
-				return nil, fmt.Errorf("input %q: %w", in.Name, err)
-			}
-			if required == nil {
-				required = requiredInputLevels(res)
-			}
-			if err := rh.meta.Check(handle.Want{
-				MinLevel: required[in.Name],
-				LogScale: in.LogScale,
-				Width:    res.Program.VecSize,
-				ParamsID: paramsFingerprint(ce.Ctx.Params),
-			}); err != nil {
-				var m *handle.Mismatch
-				if errors.As(err, &m) {
-					return nil, &compatError{input: in.Name, mismatch: m}
+				var cerr *compatError
+				if errors.As(err, &cerr) {
+					return nil, err
 				}
 				return nil, fmt.Errorf("input %q: %w", in.Name, err)
 			}
-			if err := rh.ct.Validate(ce.Ctx.Params); err != nil {
-				return nil, fmt.Errorf("input %q: handle %s: %w", in.Name, id, err)
-			}
 			enc.Cipher[in.Name] = rh.ct
-			continue
-		}
-		if v, ok := batch.Values[in.Name]; ok {
+		case b.Values != nil:
 			if ce.Keys == nil {
 				return nil, fmt.Errorf("plaintext \"values\" need a server-keygen (demo) context; this context has no keys")
 			}
@@ -365,10 +336,10 @@ func (s *Server) buildBatchInputs(stdctx context.Context, ce *contextEntry, res 
 			if pending == nil {
 				pending = execute.Inputs{}
 			}
-			pending[in.Name] = v
-			continue
+			pending[in.Name] = b.Values
+		default:
+			return nil, fmt.Errorf("missing ciphertext for input %q (supply \"cipher\", \"handles\", or demo \"values\")", in.Name)
 		}
-		return nil, fmt.Errorf("missing ciphertext for input %q (supply \"cipher\", \"handles\", or demo \"values\")", in.Name)
 	}
 	if len(pending) > 0 {
 		cts, d, err := execute.EncryptSelected(ce.Ctx, res, ce.Keys, pending, nil)

@@ -401,7 +401,7 @@ func (s *Server) runOptions(workers int, scheduler string) (execute.RunOptions, 
 	if err != nil {
 		return execute.RunOptions{}, err
 	}
-	ropts := execute.RunOptions{Workers: workers, Scheduler: sched}
+	ropts := execute.RunOptions{Workers: workers, Scheduler: sched, DisableHoisting: s.cfg.DisableHoisting}
 	if ropts.Workers <= 0 {
 		ropts.Workers = s.cfg.DefaultWorkers
 	}

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,20 +29,10 @@ import (
 // internal/jobs (admission control, SSE progress per stage, cancel, result
 // fetch-once), with a per-stage span recorded in the request trace.
 
-// PipelineInput is one input binding of a pipeline stage. Exactly one source
-// must be set for a Cipher input: Handle (a stored handle id), Stage (a
-// 0-based index of an earlier stage, whose output named Output — defaulting
-// to the producer's single encrypted output — feeds this input), Cipher (an
-// inline base64 ciphertext), or Values (demo-mode plaintext, encrypted
-// server-side). Plain program inputs take Plain (or Values).
-type PipelineInput struct {
-	Handle string    `json:"handle,omitempty"`
-	Stage  *int      `json:"stage,omitempty"`
-	Output string    `json:"output,omitempty"`
-	Cipher string    `json:"cipher,omitempty"`
-	Values []float64 `json:"values,omitempty"`
-	Plain  []float64 `json:"plain,omitempty"`
-}
+// PipelineInput is one input binding of a pipeline stage — the shared
+// InputBinding shape used by every execution entry point; see InputBinding
+// for the exactly-one-source rules.
+type PipelineInput = InputBinding
 
 // PipelineStage is one stage of a pipeline: a compiled program, the context
 // to execute it under, its input bindings, and the output form — "handle"
@@ -199,8 +188,7 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 
 		res := entry.Result
-		required := requiredInputLevels(res)
-		fingerprint := paramsFingerprint(ce.Ctx.Params)
+		br := s.newBindingResolver(ce, res, cache)
 		for _, in := range res.Program.Inputs() {
 			binding, ok := st.Inputs[in.Name]
 			if !ok {
@@ -208,15 +196,11 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if in.InType != core.TypeCipher {
-				v := binding.Plain
-				if v == nil {
-					v = binding.Values
-				}
-				if v == nil {
+				full, ok, err := br.plain(in.Name, binding)
+				if !ok {
 					writeError(w, http.StatusBadRequest, "stage %d: plain input %q needs \"plain\" values", i, in.Name)
 					return
 				}
-				full, err := execute.PreparePlain(res, in.Name, v)
 				if err != nil {
 					writeError(w, http.StatusBadRequest, "stage %d: %v", i, err)
 					return
@@ -233,12 +217,6 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 			if sources != 1 {
 				writeError(w, http.StatusBadRequest, "stage %d: input %q needs exactly one of \"handle\", \"stage\", \"cipher\", or \"values\"", i, in.Name)
 				return
-			}
-			want := handle.Want{
-				MinLevel: required[in.Name],
-				LogScale: in.LogScale,
-				Width:    res.Program.VecSize,
-				ParamsID: fingerprint,
 			}
 			switch {
 			case binding.Stage != nil:
@@ -259,7 +237,7 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 					writeError(w, http.StatusBadRequest, "stage %d: input %q: %v", i, in.Name, err)
 					return
 				}
-				if err := meta.Check(want); err != nil {
+				if err := meta.Check(br.want(in.Name, in.LogScale)); err != nil {
 					var m *handle.Mismatch
 					if errors.As(err, &m) {
 						incompats = append(incompats, Incompat{
@@ -277,29 +255,20 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 				}
 				plan.refs[in.Name] = stageRef{stage: j, output: outName}
 			case binding.Handle != "":
-				rh, err := s.resolveHandle(r.Context(), binding.Handle, cache)
+				rh, err := br.cipherFromHandle(r.Context(), in.Name, binding.Handle, in.LogScale)
 				if err != nil {
+					var cerr *compatError
+					if errors.As(err, &cerr) {
+						inc := cerr.incompat()
+						inc.Stage = i
+						incompats = append(incompats, inc)
+						continue
+					}
 					if errors.Is(err, handle.ErrNotFound) {
 						writeError(w, http.StatusNotFound, "stage %d: input %q: %v", i, in.Name, err)
 						return
 					}
 					writeError(w, http.StatusBadRequest, "stage %d: input %q: %v", i, in.Name, err)
-					return
-				}
-				if err := rh.meta.Check(want); err != nil {
-					var m *handle.Mismatch
-					if errors.As(err, &m) {
-						incompats = append(incompats, Incompat{
-							Stage: i, Input: in.Name, HandleID: rh.meta.ID,
-							Field: m.Field, Want: m.Want, Got: m.Got,
-						})
-						continue
-					}
-					writeError(w, http.StatusBadRequest, "stage %d: input %q: %v", i, in.Name, err)
-					return
-				}
-				if err := rh.ct.Validate(ce.Ctx.Params); err != nil {
-					writeError(w, http.StatusBadRequest, "stage %d: input %q: handle %s: %v", i, in.Name, rh.meta.ID, err)
 					return
 				}
 				if rh.meta.Level < plan.entryLevel {
@@ -308,17 +277,8 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 				plan.pre.Cipher[in.Name] = rh.ct
 				handleBytes[rh.meta.ID] = int64(rh.ct.MemoryBytes())
 			case binding.Cipher != "":
-				data, err := base64.StdEncoding.DecodeString(binding.Cipher)
+				ct, err := br.cipherFromWire(binding.Cipher)
 				if err != nil {
-					writeError(w, http.StatusBadRequest, "stage %d: input %q: %v", i, in.Name, err)
-					return
-				}
-				ct := &ckks.Ciphertext{}
-				if err := ct.UnmarshalBinary(data); err != nil {
-					writeError(w, http.StatusBadRequest, "stage %d: input %q: %v", i, in.Name, err)
-					return
-				}
-				if err := ct.Validate(ce.Ctx.Params); err != nil {
 					writeError(w, http.StatusBadRequest, "stage %d: input %q: %v", i, in.Name, err)
 					return
 				}

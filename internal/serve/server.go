@@ -48,6 +48,7 @@ import (
 	"eva/internal/lang"
 	"eva/internal/obs"
 	"eva/internal/rewrite"
+	"eva/internal/ring"
 	"eva/internal/store"
 )
 
@@ -77,6 +78,18 @@ type Config struct {
 	// read back decrypted results. This breaks the paper's threat model (the
 	// server can decrypt) and exists for demos and load tests only.
 	AllowServerKeygen bool
+	// RingWorkers sizes the process-wide RNS-limb worker pool that the ring
+	// layer uses to parallelize NTTs and key-switching inner products
+	// (0 = GOMAXPROCS). It is process-wide — the last server configured wins —
+	// because the pool bounds total ring-level parallelism, not per-request
+	// parallelism.
+	RingWorkers int
+	// DisableHoisting turns off hoisted rotation batching for every execution
+	// this server runs: shared-source rotation groups then evaluate as
+	// independent rotations, each paying its own decomposition. A debugging
+	// and benchmarking escape hatch; hoisting is bit-exact, so there is no
+	// accuracy reason to disable it.
+	DisableHoisting bool
 
 	// JobWorkers is how many async jobs run concurrently (0 = 2); each job
 	// additionally parallelizes internally across the executor's workers.
@@ -213,6 +226,9 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NopLogger()
+	}
+	if cfg.RingWorkers > 0 {
+		ring.SetWorkers(cfg.RingWorkers)
 	}
 	s := &Server{
 		cfg:       cfg,
@@ -1147,9 +1163,21 @@ func (s *Server) runBatchOutputs(stdctx context.Context, entry *Entry, ce *conte
 
 	// The execute span carries per-instruction progress (readable on live
 	// traces) and, after the run, the per-opcode time folded from RunStats.
-	sp := obs.TraceFromContext(stdctx).StartSpan("execute", obs.SpanFromContext(stdctx))
+	t := obs.TraceFromContext(stdctx)
+	sp := t.StartSpan("execute", obs.SpanFromContext(stdctx))
 	if sp != nil && ropts.Progress == nil {
 		ropts.Progress = sp.Progress
+	}
+	if sp != nil && ropts.OnHoistedBatch == nil {
+		// Record every hoisted rotation batch the executor dispatches as a
+		// child span, so traces show how many rotations shared one
+		// decomposition. StartSpan is goroutine-safe; the callback can fire
+		// from any executor worker.
+		ropts.OnHoistedBatch = func(rotations int) {
+			hsp := t.StartSpan("rotate_hoisted", sp)
+			hsp.SetAttr("rotations", strconv.Itoa(rotations))
+			hsp.End()
+		}
 	}
 	out, err := execute.RunContext(stdctx, ce.Ctx, res, enc, ropts)
 	if err != nil {
