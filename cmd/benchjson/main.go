@@ -73,7 +73,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	outPath := fs.String("o", "", "write JSON to this file instead of stdout")
 	compare := fs.Bool("compare", false, "compare two JSON reports (old.json new.json) instead of parsing bench output")
 	threshold := fs.Float64("threshold", 0.25, "compare mode: allowed fractional slowdown per tracked benchmark")
-	track := fs.String("track", "NTT|Rotate|RotateHoisted|Relinearize|Rescale|CoalescedExecute|HandleResolve|HetensorMatmul", "compare mode: regexp of benchmark names to gate on")
+	track := fs.String("track", "NTT|Rotate|RotateHoisted|Relinearize|Rescale|CoalescedExecute|HandleResolve|HetensorMatmul|ProfiledExecute", "compare mode: regexp of benchmark names to gate on")
 	ref := fs.String("ref", "", "compare mode: regexp of a reference benchmark used to normalize machine speed (empty = raw times)")
 	metric := fs.String("metric", "ns/op", "compare mode: metric to compare")
 	if err := fs.Parse(args); err != nil {

@@ -10,11 +10,20 @@
 //	evaload [-addr http://host:8080] [-jobs 50] [-concurrency 8] [-batches 2]
 //	        [-job-workers 2] [-job-queue 64] [-job-memory-mb 512]
 //	        [-coalesce] [-pipeline] [-cluster 0] [-kill-owner] [-trace]
+//	        [-profile-sample 0] [-profile]
 //
 // With -trace, evaload ends the run by fetching the slowest completed job's
 // server-side trace (GET /jobs/{id}/trace) and printing its span tree — the
 // phase breakdown of where that job's latency went (queue wait, per-opcode
 // execution, store write; routing hops in cluster mode).
+//
+// With -profile, evaload ends the run by fetching the server's
+// per-instruction profile (GET /profile; the merged cluster view under
+// -cluster), printing the hottest per-opcode buckets and any scale/level/cost
+// drift, and fitting a cost-model calibration from the recorded samples; the
+// run fails if the profiler recorded nothing or the fit comes back empty.
+// -profile-sample sets the in-process server's sampling stride (1 = every
+// instruction, as the nightly smoke runs it).
 //
 // With no -addr, evaload starts an in-process evaserve (demo mode) on a
 // loopback port and drives that, making it a self-contained smoke test: it
@@ -62,6 +71,7 @@ import (
 	"eva/eva"
 	"eva/internal/cluster"
 	"eva/internal/obs"
+	"eva/internal/profile"
 	"eva/internal/serve"
 	"eva/internal/store"
 )
@@ -117,6 +127,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		coalesce    = fs.Bool("coalesce", false, "benchmark POST /jobs?coalesce=1 against the unbatched jobs API")
 		pipeline    = fs.Bool("pipeline", false, "smoke POST /pipelines: a two-stage encrypted chain verified against the cleartext reference, plus an incompatible chain rejected with 422")
 		traceFlag   = fs.Bool("trace", false, "after the run, print the slowest job's phase breakdown from its server-side trace")
+		profSample  = fs.Int("profile-sample", 0, "in-process server: instruction profiler stride (0 = 16, 1 = all, <0 = off)")
+		profFlag    = fs.Bool("profile", false, "after the run, fetch /profile, print the per-opcode breakdown, and fit a calibration from it (fails if the fit is empty)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,6 +153,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		JobWorkers:           *jobWorkers,
 		JobQueueDepth:        *jobQueue,
 		JobMemoryBudgetBytes: *jobMemMB << 20,
+		ProfileSampleRate:    *profSample,
 	}
 
 	var client *eva.Client
@@ -290,6 +303,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if slowest >= 0 {
 			printJobTrace(ctx, stdout, client, outcomes[slowest].jobID, outcomes[slowest].latency)
+		}
+	}
+	if *profFlag {
+		if err := reportProfile(ctx, stdout, client, *clusterN > 0); err != nil {
+			return err
 		}
 	}
 	if *clusterN > 0 && *killOwner && owner != nil {
@@ -479,6 +497,68 @@ type outcome struct {
 	wait    float64
 	retries int
 	err     error
+}
+
+// reportProfile fetches the server's instruction-profiler aggregate after
+// the run, prints the hottest per-(opcode, level) buckets and any drift, and
+// fits a calibration from the recorded samples — failing the run when the
+// profiler recorded nothing (the nightly smoke's assertion that the flight
+// recorder actually flew).
+func reportProfile(ctx context.Context, stdout io.Writer, client *eva.Client, clusterMode bool) error {
+	var rep eva.ProfileReport
+	if clusterMode {
+		cp, err := client.FetchClusterProfile(ctx)
+		if err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+		rep = cp.Merged
+	} else {
+		var err error
+		if rep, err = client.FetchProfile(ctx); err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+	}
+	fmt.Fprintf(stdout, "profile: %d executions, %d instructions, %d sampled, %d drift events\n",
+		rep.Executions, rep.Instructions, rep.Samples, rep.DriftTotal)
+	buckets := append([]profile.Bucket(nil), rep.Buckets...)
+	sort.Slice(buckets, func(a, b int) bool { return buckets[a].TotalNS > buckets[b].TotalNS })
+	for i, b := range buckets {
+		if i == 8 {
+			fmt.Fprintf(stdout, "  ... %d more buckets\n", len(buckets)-i)
+			break
+		}
+		fmt.Fprintf(stdout, "  %-14s L%-2d n=%-6d mean %8.1fus  max %8.1fus\n",
+			b.Op, b.Level, b.Count, b.MeanUS, b.MaxNS/1e3)
+	}
+	for kind, n := range rep.DriftCounts {
+		fmt.Fprintf(stdout, "  drift %s: %d\n", kind, n)
+	}
+	if rep.Samples == 0 {
+		return fmt.Errorf("profile: server recorded no samples (is -profile-sample >= 0?)")
+	}
+	cal, err := profile.Fit([]profile.ProgramProfile{{
+		ProgramID:    "evaload",
+		Executions:   rep.Executions,
+		Instructions: rep.Instructions,
+		Samples:      rep.Samples,
+		Buckets:      rep.Buckets,
+	}})
+	if err != nil {
+		return fmt.Errorf("profile: calibration fit: %w", err)
+	}
+	if len(cal.NsPerUnit) == 0 || cal.BaselineNsPerUnit <= 0 {
+		return fmt.Errorf("profile: calibration fit is empty: %+v", cal)
+	}
+	ops := make([]string, 0, len(cal.NsPerUnit))
+	for op := range cal.NsPerUnit {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Fprintf(stdout, "calibration fit (baseline %.4g ns/unit, %d samples):\n", cal.BaselineNsPerUnit, cal.Samples)
+	for _, op := range ops {
+		fmt.Fprintf(stdout, "  %-14s %.4g ns/unit\n", op, cal.NsPerUnit[op])
+	}
+	return nil
 }
 
 // printJobTrace fetches a job's server-side trace and prints its span tree —

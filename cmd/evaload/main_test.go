@@ -25,6 +25,28 @@ func TestLoadSmoke(t *testing.T) {
 	}
 }
 
+// TestLoadProfileSmoke is the nightly profiler assertion: with full
+// sampling, the post-run profile fetch must show samples and produce a
+// non-empty calibration fit.
+func TestLoadProfileSmoke(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-jobs", "4", "-concurrency", "2", "-batches", "1",
+		"-profile-sample", "1", "-profile"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "profile:") || strings.Contains(out, "0 sampled") {
+		t.Errorf("missing profile summary:\n%s", out)
+	}
+	if !strings.Contains(out, "calibration fit") || !strings.Contains(out, "ns/unit") {
+		t.Errorf("missing calibration fit:\n%s", out)
+	}
+	if !strings.Contains(out, "MULTIPLY") {
+		t.Errorf("fit names no opcodes:\n%s", out)
+	}
+}
+
 // TestLoadSurvivesTinyQueue: with a deliberately starved queue the load
 // generator must absorb 429s via Retry-After and still lose nothing.
 func TestLoadSurvivesTinyQueue(t *testing.T) {

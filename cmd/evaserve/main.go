@@ -29,6 +29,8 @@
 //	         [-data-dir /var/lib/evaserve] [-drain-timeout 30s]
 //	         [-node-id n1] [-peers n2=http://host2:8080,n3=http://host3:8080]
 //	         [-log-level info] [-log-format text] [-slow-trace 0]
+//	         [-trace-ring 0] [-max-active-traces 0]
+//	         [-profile-sample 0] [-calibration fit.json] [-calibrate]
 //	         [-pprof-addr 127.0.0.1:6060]
 //
 // Observability: every response carries an X-Eva-Trace id; GET /traces and
@@ -36,6 +38,18 @@
 // JSON report or (with ?format=prometheus) the Prometheus text exposition,
 // -slow-trace logs a structured phase breakdown of slow requests, and
 // -pprof-addr serves net/http/pprof on a separate (operator-only) listener.
+//
+// The per-instruction profiler samples every -profile-sample'th instruction
+// of every execution (default every 16th) into per-(opcode, level)
+// histograms, checks each sample against the compiler's scale/level
+// expectations and the cost model's runtime prediction, and exposes the
+// aggregate as GET /profile and eva_profile_* Prometheus families. With
+// -data-dir the per-program profiles persist across restarts;
+// `evaserve -data-dir DIR -calibrate` then fits per-opcode cost-model
+// coefficients from everything recorded so far, saves the calibration (loaded
+// automatically at the next start, and reflected in /compile predicted_ms),
+// prints it, and exits. -calibration FILE installs a calibration from a JSON
+// file instead.
 //
 // POST /jobs?coalesce=1 opts a submission into cross-request coalescing:
 // compatible concurrent callers (same program and context, rotation-free,
@@ -56,6 +70,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -73,6 +88,7 @@ import (
 
 	"eva/internal/cluster"
 	"eva/internal/obs"
+	"eva/internal/profile"
 	"eva/internal/serve"
 	"eva/internal/store"
 )
@@ -143,6 +159,11 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		logLevel  = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		logFormat = fs.String("log-format", "text", "log output format: text or json")
 		slowTrace = fs.Duration("slow-trace", 0, "log a structured phase breakdown for requests slower than this (0 = off)")
+		traceRing = fs.Int("trace-ring", 0, "finished traces retained for GET /traces (0 = 256)")
+		maxTraces = fs.Int("max-active-traces", 0, "in-flight traces tracked before shedding (0 = 4096)")
+		profSamp  = fs.Int("profile-sample", 0, "instruction profiler stride: record every Nth instruction (0 = 16, 1 = all, <0 = off)")
+		calibrate = fs.Bool("calibrate", false, "fit cost-model calibration from the profiles in -data-dir, save it, print it, and exit")
+		calibFile = fs.String("calibration", "", "calibration JSON file to install at startup (overrides the store's copy)")
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -174,6 +195,30 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		defer fsStore.Close()
 	}
 
+	// -calibrate is an offline pass, not a server mode: fit per-opcode cost
+	// coefficients from the per-program profiles the store has accumulated,
+	// persist the result (servers on this data dir load it at startup), and
+	// print the fit.
+	if *calibrate {
+		if st == nil {
+			return fmt.Errorf("-calibrate requires -data-dir")
+		}
+		profiles, err := profile.LoadProfiles(st)
+		if err != nil {
+			return err
+		}
+		cal, err := profile.Fit(profiles)
+		if err != nil {
+			return err
+		}
+		if err := profile.SaveCalibration(st, cal); err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cal)
+	}
+
 	srv := serve.NewServer(serve.Config{
 		CacheCapacity:        *cache,
 		DefaultWorkers:       *workers,
@@ -195,6 +240,9 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		NodeID:               *nodeID,
 		Logger:               logger,
 		SlowTraceThreshold:   *slowTrace,
+		TraceCapacity:        *traceRing,
+		MaxActiveTraces:      *maxTraces,
+		ProfileSampleRate:    *profSamp,
 		// Peer nodes replicate contexts through the bundle surface, which
 		// for demo-keygen contexts includes the secret key and has no
 		// node-to-node authentication — run a cluster only on a network
@@ -203,6 +251,19 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 		AllowContextTransfer: len(peers) > 0,
 	})
 	defer srv.Close()
+
+	if *calibFile != "" {
+		data, err := os.ReadFile(*calibFile)
+		if err != nil {
+			return fmt.Errorf("-calibration: %w", err)
+		}
+		var cal profile.Calibration
+		if err := json.Unmarshal(data, &cal); err != nil {
+			return fmt.Errorf("-calibration %s: %w", *calibFile, err)
+		}
+		srv.Profiles().SetCalibration(&cal)
+		logger.Info("calibration installed from file", slog.String("file", *calibFile), slog.Uint64("samples", cal.Samples))
+	}
 
 	handler := srv.Handler()
 	if len(peers) > 0 {

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"eva/internal/profile"
+)
+
+const profileTestProgram = `program profsmoke vec=8;
+input x @30;
+input y @30;
+s = x * x + y;
+out = rotl(s, 1) * 0.5@30;
+output out @30;`
+
+// startNode boots evaserve with the given extra flags and returns its address
+// and a shutdown function that waits for a clean exit.
+func startNode(t *testing.T, extra ...string) (string, func()) {
+	t.Helper()
+	sig := make(chan os.Signal, 1)
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() {
+		done <- run(args, io.Discard, io.Discard, sig, func(addr string) { addrCh <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("server exited before starting: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	return addr, func() {
+		sig <- os.Interrupt
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+}
+
+func postProfileJSON(t *testing.T, url string, body any, out any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("POST %s: %v in %s", url, err, raw)
+	}
+}
+
+// runDemoBatch compiles the smoke program, installs a demo context, and
+// executes one batch against the node.
+func runDemoBatch(t *testing.T, addr string) {
+	t.Helper()
+	base := "http://" + addr
+	var comp struct {
+		ID string `json:"id"`
+	}
+	postProfileJSON(t, base+"/compile", map[string]any{
+		"source":  profileTestProgram,
+		"options": map[string]any{"allow_insecure": true},
+	}, &comp)
+	var ectx struct {
+		ContextID string `json:"context_id"`
+	}
+	postProfileJSON(t, base+"/contexts", map[string]any{
+		"program_id": comp.ID,
+		"keygen":     map[string]any{"seed": 11},
+	}, &ectx)
+	var exec struct {
+		Results []struct {
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	postProfileJSON(t, base+"/execute/"+comp.ID, map[string]any{
+		"context_id": ectx.ContextID,
+		"batches": []map[string]any{{"values": map[string][]float64{
+			"x": {1, 2, 3, 4, 5, 6, 7, 8},
+			"y": {8, 7, 6, 5, 4, 3, 2, 1},
+		}}},
+	}, &exec)
+	if len(exec.Results) != 1 || exec.Results[0].Error != "" {
+		t.Fatalf("execute: %+v", exec)
+	}
+}
+
+func fetchProfile(t *testing.T, addr string) profile.Report {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep profile.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestCalibrateFlow is the operator walkthrough end to end: run a durable
+// node with full sampling, execute a batch, shut down (flushing profiles),
+// fit a calibration offline with -calibrate, and check a restarted node
+// loads it — and that -calibration FILE installs the same fit on a fresh
+// non-durable node.
+func TestCalibrateFlow(t *testing.T) {
+	dir := t.TempDir()
+
+	addr, shutdown := startNode(t, "-demo", "-data-dir", dir, "-profile-sample", "1")
+	runDemoBatch(t, addr)
+	rep := fetchProfile(t, addr)
+	if !rep.Enabled || rep.Samples == 0 {
+		t.Fatalf("profiler recorded nothing: %+v", rep)
+	}
+	shutdown()
+
+	// Offline calibration pass: fits, saves, prints, exits.
+	var out strings.Builder
+	if err := run([]string{"-calibrate", "-data-dir", dir}, &out, io.Discard, nil, nil); err != nil {
+		t.Fatalf("-calibrate: %v", err)
+	}
+	var cal profile.Calibration
+	if err := json.Unmarshal([]byte(out.String()), &cal); err != nil {
+		t.Fatalf("-calibrate printed %q: %v", out.String(), err)
+	}
+	if cal.Samples == 0 || cal.BaselineNsPerUnit <= 0 {
+		t.Fatalf("degenerate fit: %+v", cal)
+	}
+
+	// A restarted durable node loads the saved calibration.
+	addr2, shutdown2 := startNode(t, "-demo", "-data-dir", dir, "-profile-sample", "1")
+	if rep := fetchProfile(t, addr2); rep.Calibration == nil || rep.Calibration.Samples != cal.Samples {
+		t.Fatalf("restarted node did not load calibration: %+v", rep.Calibration)
+	}
+	shutdown2()
+
+	// -calibration FILE installs the fit without a data dir.
+	calFile := filepath.Join(dir, "fit.json")
+	if err := os.WriteFile(calFile, []byte(out.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr3, shutdown3 := startNode(t, "-demo", "-calibration", calFile)
+	defer shutdown3()
+	if rep := fetchProfile(t, addr3); rep.Calibration == nil || rep.Calibration.Samples != cal.Samples {
+		t.Fatalf("-calibration file not installed: %+v", rep.Calibration)
+	}
+}
+
+// TestCalibrateRequiresDataDir: the offline pass refuses to run without a
+// store to read profiles from.
+func TestCalibrateRequiresDataDir(t *testing.T) {
+	err := run([]string{"-calibrate"}, io.Discard, io.Discard, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "-data-dir") {
+		t.Fatalf("want -data-dir error, got %v", err)
+	}
+}
+
+// TestProfileSampleOff: -profile-sample -1 disables the recorder.
+func TestProfileSampleOff(t *testing.T) {
+	addr, shutdown := startNode(t, "-demo", "-profile-sample", "-1")
+	defer shutdown()
+	runDemoBatch(t, addr)
+	if rep := fetchProfile(t, addr); rep.Enabled || rep.Samples != 0 {
+		t.Fatalf("disabled profiler recorded: %+v", rep)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"eva/internal/jobs"
 	"eva/internal/obs"
+	"eva/internal/profile"
 	"eva/internal/serve"
 )
 
@@ -57,7 +58,21 @@ type (
 	JobTrace = obs.TraceJSON
 	// JobTraceSpan is one span of a JobTrace.
 	JobTraceSpan = obs.SpanJSON
+	// ProfileReport is the instruction profiler's aggregate (GET /profile).
+	ProfileReport = profile.Report
+	// ProfileCalibration is a fitted set of per-opcode cost-model
+	// coefficients (evaserve -calibrate).
+	ProfileCalibration = profile.Calibration
 )
+
+// ClusterProfile is the body of GET /profile?scope=cluster on a cluster
+// node: each member's raw report (or an error placeholder for unreachable
+// nodes) plus the merged cluster-wide view.
+type ClusterProfile struct {
+	Scope  string                     `json:"scope"`
+	Nodes  map[string]json.RawMessage `json:"nodes"`
+	Merged ProfileReport              `json:"merged"`
+}
 
 // APIError is a non-2xx response from evaserve, carrying the decoded error
 // body and, for 429 responses, the server's Retry-After hint.
@@ -383,6 +398,26 @@ func (c *Client) FetchJobResult(ctx context.Context, jobID string) (JobResult, e
 func (c *Client) FetchJobTrace(ctx context.Context, jobID string) (JobTrace, error) {
 	var out JobTrace
 	err := c.do(ctx, http.MethodGet, "/jobs/"+jobID+"/trace", nil, &out)
+	return out, err
+}
+
+// FetchProfile fetches the node's instruction-profiler report
+// (GET /profile): per-(opcode, level) latency/alloc histograms, drift events
+// against the compiler's expectations, per-program sample counts, and the
+// installed calibration.
+func (c *Client) FetchProfile(ctx context.Context) (ProfileReport, error) {
+	var out ProfileReport
+	err := c.do(ctx, http.MethodGet, "/profile", nil, &out)
+	return out, err
+}
+
+// FetchClusterProfile fetches GET /profile?scope=cluster: every cluster
+// member's report plus the merged cluster-wide aggregate. Against a
+// standalone server the scope parameter is ignored and the merged field is
+// empty — use FetchProfile there.
+func (c *Client) FetchClusterProfile(ctx context.Context) (ClusterProfile, error) {
+	var out ClusterProfile
+	err := c.do(ctx, http.MethodGet, "/profile?scope=cluster", nil, &out)
 	return out, err
 }
 

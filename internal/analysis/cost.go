@@ -42,44 +42,57 @@ type CostEstimate struct {
 	CriticalPath float64
 }
 
+// OpUnits returns the model's cost of one instruction in abstract
+// "limb-element operations", given its opcode, its chain position (as
+// computed by rewrite.Levels; deeper positions operate on fewer limbs), and —
+// for multiplies — whether both operands are ciphertexts. Leaves and plain
+// terms cost 0 by definition and are the caller's responsibility to exclude.
+// The per-op shape here is what calibration (internal/profile) fits measured
+// wall-clock coefficients against.
+func (m CostModel) OpUnits(op core.OpCode, chainPos int, ctct bool) float64 {
+	n := math.Exp2(float64(m.LogN))
+	logN := float64(m.LogN)
+	limbs := float64(m.TotalLevels - chainPos)
+	if limbs < 1 {
+		limbs = 1
+	}
+	switch {
+	case op == core.OpAdd || op == core.OpSub || op == core.OpNegate || op == core.OpModSwitch:
+		return n * limbs
+	case op == core.OpMultiply:
+		// Element-wise limb products; ct-pt and ct-ct differ by a small factor.
+		factor := 2.0
+		if ctct {
+			factor = 4
+		}
+		return factor * n * limbs
+	case op == core.OpRescale:
+		return n * logN * limbs
+	case op == core.OpRelinearize || op.IsRotation():
+		// Key switching: one NTT pass per digit per limb.
+		return n * logN * limbs * limbs
+	default:
+		return n * limbs
+	}
+}
+
 // EstimateCost walks the compiled program and estimates its cost under the
 // model. levels must map every Cipher term to its chain position (as computed
 // by rewrite.Levels); terms at deeper levels operate on fewer limbs.
 func (m CostModel) EstimateCost(p *core.Program) CostEstimate {
 	levels := rewrite.Levels(p)
 	types := p.InferTypes()
-	n := math.Exp2(float64(m.LogN))
-	logN := float64(m.LogN)
 
 	est := CostEstimate{ByOp: map[string]float64{}}
 	pathCost := map[*core.Term]float64{}
 	var all []InstructionCost
 
 	for _, t := range p.TopoSort() {
-		limbs := float64(m.TotalLevels - levels[t])
-		if limbs < 1 {
-			limbs = 1
-		}
 		var cost float64
-		switch {
-		case t.IsLeaf() || types[t] != core.TypeCipher:
-			cost = 0
-		case t.Op == core.OpAdd || t.Op == core.OpSub || t.Op == core.OpNegate || t.Op == core.OpModSwitch:
-			cost = n * limbs
-		case t.Op == core.OpMultiply:
-			// Element-wise limb products; ct-pt and ct-ct differ by a small factor.
-			factor := 2.0
-			if types[t.Parm(0)] == core.TypeCipher && types[t.Parm(1)] == core.TypeCipher {
-				factor = 4
-			}
-			cost = factor * n * limbs
-		case t.Op == core.OpRescale:
-			cost = n * logN * limbs
-		case t.Op == core.OpRelinearize || t.Op.IsRotation():
-			// Key switching: one NTT pass per digit per limb.
-			cost = n * logN * limbs * limbs
-		default:
-			cost = n * limbs
+		if !t.IsLeaf() && types[t] == core.TypeCipher {
+			ctct := t.Op == core.OpMultiply &&
+				types[t.Parm(0)] == core.TypeCipher && types[t.Parm(1)] == core.TypeCipher
+			cost = m.OpUnits(t.Op, levels[t], ctct)
 		}
 		est.Total += cost
 		est.ByOp[t.Op.String()] += cost

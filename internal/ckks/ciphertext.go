@@ -2,6 +2,7 @@ package ckks
 
 import (
 	"fmt"
+	"math"
 
 	"eva/internal/ring"
 )
@@ -72,6 +73,17 @@ func (ct *Ciphertext) CopyNew() *Ciphertext {
 		out.Value[i] = ct.Value[i].CopyNew()
 	}
 	return out
+}
+
+// LogScale returns log2 of the ciphertext's scale — the unit the compiler's
+// scale tracking (compile.Result.Scales) and the profiler's drift checks work
+// in. Returns 0 for a non-positive (invalid) scale rather than -Inf/NaN so
+// downstream aggregation stays finite.
+func (ct *Ciphertext) LogScale() float64 {
+	if !(ct.Scale > 0) {
+		return 0
+	}
+	return math.Log2(ct.Scale)
 }
 
 // MemoryBytes returns an estimate of the ciphertext's memory footprint, used

@@ -76,6 +76,9 @@ func startTestCluster(t *testing.T, n int, jobWorkers int) []*testNode {
 			AllowServerKeygen:    true,
 			AllowContextTransfer: true,
 			JobWorkers:           jobWorkers,
+			// Sample every instruction so the profiler scatter tests see
+			// deterministic counts.
+			ProfileSampleRate: 1,
 		})
 		peers := map[string]string{}
 		for j := range nodes {

@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"eva/internal/obs"
+	"eva/internal/profile"
 	"eva/internal/serve"
 )
 
@@ -39,6 +40,7 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("POST /pipelines", c.routed("pipelines", c.handlePipelineSubmit))
 	mux.HandleFunc("GET /programs", c.handleProgramsScatter)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /profile", c.handleProfile)
 	// Everything else — /healthz, /programs/{id}, bundles, plain job ids —
 	// is local.
 	mux.Handle("/", c.local.Handler())
@@ -484,6 +486,52 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		nodes[node] = data
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"scope": "cluster", "nodes": nodes})
+}
+
+// handleProfile serves the local instruction-profiler report; ?scope=cluster
+// scatter-gathers every node's report and folds them into one cluster-wide
+// view ("merged") alongside the raw per-node reports. Each instruction is
+// sampled by exactly one node, so summing bucket counters across nodes never
+// double-counts.
+func (c *Cluster) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(headerForwarded) != "" || r.URL.Query().Get("scope") != "cluster" {
+		c.local.Handler().ServeHTTP(w, r)
+		return
+	}
+	nodes := map[string]json.RawMessage{}
+	reports := make([]profile.Report, 0, len(c.ring.nodes))
+	for _, node := range c.ring.nodes {
+		if c.isSelf(node) {
+			rep := c.local.Profiles().Report()
+			reports = append(reports, rep)
+			data, _ := json.Marshal(rep)
+			nodes[node] = data
+			continue
+		}
+		if !c.healthy(node) {
+			nodes[node] = json.RawMessage(`{"error":"node is down"}`)
+			continue
+		}
+		status, data, err := c.roundTrip(r.Context(), node, http.MethodGet, "/profile", nil)
+		if err != nil || status != http.StatusOK {
+			msg, _ := json.Marshal(map[string]string{"error": fmt.Sprintf("unreachable: %v (HTTP %d)", err, status)})
+			nodes[node] = msg
+			continue
+		}
+		var rep profile.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			msg, _ := json.Marshal(map[string]string{"error": err.Error()})
+			nodes[node] = msg
+			continue
+		}
+		reports = append(reports, rep)
+		nodes[node] = data
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scope":  "cluster",
+		"nodes":  nodes,
+		"merged": profile.MergeReports(c.cfg.Self, reports),
+	})
 }
 
 // writePrometheus appends the cluster tier's families to an exposition the

@@ -49,6 +49,34 @@ type RunOptions struct {
 	// called from any worker goroutine (calls for different batches can be
 	// concurrent) and must not call back into the executor.
 	OnHoistedBatch func(rotations int)
+	// OnInstruction, when non-nil, is called after every completed instruction
+	// with the term and its measured record. Like Progress, calls are
+	// serialized under the run's lock but may come from any worker goroutine;
+	// the callback must be fast and must not call back into the executor.
+	OnInstruction func(t *core.Term, rec InstrRecord)
+}
+
+// InstrRecord is the per-instruction measurement handed to
+// RunOptions.OnInstruction: what actually happened when the instruction ran,
+// for the profiler to compare against the compiler's static expectations.
+type InstrRecord struct {
+	// Wall is the instruction's evaluation wall time (backend call only, not
+	// queueing). For the first-scheduled member of a hoisted rotation batch it
+	// includes the whole batch's shared key-switch work.
+	Wall time.Duration
+	// Cipher reports whether the result is a ciphertext. Level and Scale are
+	// the result ciphertext's post-op level and raw scale (Level is -1 and
+	// Scale 0 for plain results).
+	Cipher bool
+	Level  int
+	Scale  float64
+	// OutBytes is the result's memory footprint; OperandBytes sums the live
+	// footprints of the instruction's operands at completion time.
+	OutBytes     int
+	OperandBytes int
+	Operands     int
+	// Hoisted reports membership in a hoisted rotation batch.
+	Hoisted bool
 }
 
 // value is the run-time value of a term: either a ciphertext or a plain
@@ -77,6 +105,7 @@ type runState struct {
 	vecSize int
 	total   int
 	onDone  func(done, total int)
+	onInstr func(t *core.Term, rec InstrRecord)
 
 	// hoist maps each rotation instruction that belongs to a hoistable set
 	// (two or more rotations of one Cipher term; see rewrite.RotationSets) to
@@ -172,6 +201,7 @@ func RunContext(stdctx context.Context, ctx *Context, res *compile.Result, in *E
 		vecSize:   res.Program.VecSize,
 		total:     len(order),
 		onDone:    opts.Progress,
+		onInstr:   opts.OnInstruction,
 		values:    make(map[*core.Term]*value, len(order)),
 		refcounts: make(map[*core.Term]int, len(order)),
 	}
@@ -469,13 +499,34 @@ func (st *runState) evalAndStore(t *core.Term) (err error) {
 	}
 	os.observe(elapsed)
 	st.values[t] = v
-	st.liveBytes += v.bytes()
+	vb := v.bytes()
+	st.liveBytes += vb
 	st.liveValues++
 	if st.liveBytes > st.stats.PeakLiveBytes {
 		st.stats.PeakLiveBytes = st.liveBytes
 	}
 	if st.liveValues > st.stats.PeakLiveValues {
 		st.stats.PeakLiveValues = st.liveValues
+	}
+	if st.onInstr != nil {
+		// Operand footprints must be read before the release loop below frees
+		// last uses. Serialized under st.mu like Progress.
+		rec := InstrRecord{
+			Wall:     elapsed,
+			Level:    -1,
+			OutBytes: vb,
+			Operands: len(t.Parms()),
+			Hoisted:  st.hoist[t] != nil,
+		}
+		if v.ct != nil {
+			rec.Cipher = true
+			rec.Level = v.ct.Level
+			rec.Scale = v.ct.Scale
+		}
+		for _, parm := range t.Parms() {
+			rec.OperandBytes += st.values[parm].bytes()
+		}
+		st.onInstr(t, rec)
 	}
 	// Release operands whose uses are all satisfied: one refcount decrement
 	// per (child, slot) use edge consumed by this instruction.

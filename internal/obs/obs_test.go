@@ -138,6 +138,34 @@ func TestSlowTraceLogged(t *testing.T) {
 	}
 }
 
+// TestMaxActiveBound: past the configured cap, Start still hands out a
+// usable trace but stops tracking it, so a flood of concurrent requests
+// cannot grow the active map without bound.
+func TestMaxActiveBound(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4, MaxActive: 2})
+	t1 := tr.Start("trace-1")
+	t2 := tr.Start("trace-2")
+	t3 := tr.Start("trace-3")
+	if _, ok := tr.Get("trace-1"); !ok {
+		t.Fatal("first trace should be tracked")
+	}
+	if _, ok := tr.Get("trace-2"); !ok {
+		t.Fatal("second trace should be tracked")
+	}
+	if _, ok := tr.Get("trace-3"); ok {
+		t.Fatal("third trace should be shed by the MaxActive bound")
+	}
+	// The shed trace still works as a recorder.
+	sp := t3.StartSpan("execute", nil)
+	sp.End()
+	t3.Release()
+	t1.Release()
+	t2.Release()
+	if _, ok := tr.Get("trace-1"); !ok {
+		t.Fatal("released trace should land in the finished ring")
+	}
+}
+
 func TestNilSafety(t *testing.T) {
 	var tr *Tracer
 	trace := tr.Start("x")

@@ -277,14 +277,17 @@ type TracerConfig struct {
 	// SlowThreshold is the duration at or above which a finished trace is
 	// logged with its phase breakdown (default 0 = disabled).
 	SlowThreshold time.Duration
+	// MaxActive bounds the active-trace table: beyond it, new traces are
+	// still functional (spans record, ids propagate) but not registered for
+	// lookup, so a reference leak cannot grow the table without bound
+	// (default 4096).
+	MaxActive int
 	// Logger receives slow-trace records; nil disables them.
 	Logger *slog.Logger
 }
 
-// maxActiveTraces bounds the active-trace table: beyond it, new traces are
-// still functional (spans record, ids propagate) but not registered for
-// lookup, so a reference leak cannot grow the table without bound.
-const maxActiveTraces = 4096
+// defaultMaxActiveTraces is the default TracerConfig.MaxActive bound.
+const defaultMaxActiveTraces = 4096
 
 // Tracer owns a node's traces: the active table (reference-counted,
 // in-flight) and the bounded ring of finished traces.
@@ -303,6 +306,9 @@ type Tracer struct {
 func NewTracer(cfg TracerConfig) *Tracer {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = 256
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = defaultMaxActiveTraces
 	}
 	return &Tracer{
 		cfg:    cfg,
@@ -333,7 +339,7 @@ func (tr *Tracer) Start(id string) *Trace {
 		id = NewTraceID()
 	}
 	t := &Trace{tr: tr, id: id, node: tr.cfg.Node, start: time.Now(), refs: 1}
-	if len(tr.active) < maxActiveTraces {
+	if len(tr.active) < tr.cfg.MaxActive {
 		tr.active[id] = t
 	}
 	return t

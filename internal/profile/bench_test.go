@@ -1,0 +1,48 @@
+package profile_test
+
+import (
+	"testing"
+
+	"eva/internal/ckks"
+	"eva/internal/execute"
+	"eva/internal/profile"
+)
+
+// benchmarkProfiledExecute measures end-to-end execution of the hetensor
+// matmul workload with and without a recorder attached. The CI regression
+// gate tracks both; the acceptance bar is <= 5% overhead at the default
+// sampling rate (the always-on path must stay within noise).
+func benchmarkProfiledExecute(b *testing.B, c *profile.Collector) {
+	res := buildMatmul(b, 64, 8)
+	prng := ckks.NewTestPRNG(3)
+	ctx, keys, err := execute.NewContext(res, prng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := execute.EncryptInputs(ctx, res, keys, randomInputs(res, 3), prng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := execute.RunOptions{Scheduler: execute.SchedulerSequential}
+		var rec *profile.Recorder
+		if c != nil {
+			rec = c.Recorder("bench", res, "")
+			opts.OnInstruction = rec.OnInstruction
+		}
+		if _, err := execute.Run(ctx, res, enc, opts); err != nil {
+			b.Fatal(err)
+		}
+		rec.Finish()
+	}
+}
+
+func BenchmarkProfiledExecuteOff(b *testing.B) {
+	benchmarkProfiledExecute(b, nil)
+}
+
+func BenchmarkProfiledExecuteOn(b *testing.B) {
+	benchmarkProfiledExecute(b, profile.NewCollector(profile.Config{}))
+}

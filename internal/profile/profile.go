@@ -1,0 +1,491 @@
+// Package profile is the per-instruction execution flight recorder: it
+// samples measured wall time, opcode, ring level, operand footprints,
+// hoisted-batch membership, and the post-op scale/level trajectory of every
+// Nth instruction the executor completes, and compares each sample against
+// the compiler's static expectations — the analysis.CostModel prediction and
+// the checked scale/level the scale-management passes assigned. Divergence
+// becomes a structured drift event; agreement accumulates into per-(opcode,
+// level) latency and allocation histograms that feed /profile, the
+// eva_profile_* Prometheus families, and the calibration fit that turns the
+// abstract cost model into measured nanosecond coefficients.
+//
+// Overhead design: the executor's OnInstruction callback runs under the run
+// lock, so the recorder does no locking of its own — it owns its run
+// exclusively and only touches the shared collector once, at Finish. The
+// sampling decision is a counter test; skipped instructions cost one branch.
+// Persistence (store kind "profile", one record per program id) is throttled
+// per program and runs outside the collector lock.
+package profile
+
+import (
+	"log/slog"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eva/internal/analysis"
+	"eva/internal/compile"
+	"eva/internal/core"
+	"eva/internal/execute"
+	"eva/internal/rewrite"
+	"eva/internal/store"
+)
+
+// DefaultSampleRate is the default instruction sampling stride: one in every
+// DefaultSampleRate instructions is recorded. Chosen so the always-on path
+// stays within benchmark noise (see BenchmarkProfiledExecuteOn).
+const DefaultSampleRate = 16
+
+// maxDriftPerRun bounds the drift events one execution can contribute, so a
+// systematically divergent program cannot flood the collector's ring.
+const maxDriftPerRun = 32
+
+// Config configures a Collector. Zero values select defaults; SampleRate < 0
+// disables profiling entirely (Recorder returns nil).
+type Config struct {
+	// SampleRate records one in every SampleRate instructions (1 = all,
+	// 0 = DefaultSampleRate, < 0 = disabled).
+	SampleRate int
+	// ScaleTolBits is the allowed |log2(measured) − expected| scale deviation
+	// before a "scale" drift event is recorded (0 = 0.5 bits).
+	ScaleTolBits float64
+	// CostDriftFactor flags a "cost" drift when measured wall time differs
+	// from the predicted time by at least this factor either way (0 = 8).
+	CostDriftFactor float64
+	// MinCostWall is the minimum measured wall time for a sample to be
+	// eligible for cost-drift checking; faster instructions are all scheduler
+	// noise (0 = 250µs).
+	MinCostWall time.Duration
+	// DriftRing bounds the retained drift events (0 = 256).
+	DriftRing int
+	// PersistInterval throttles per-program persistence to Store (0 = 5s).
+	PersistInterval time.Duration
+	// Store, when non-nil, accumulates per-program profiles under kind
+	// "profile" across process restarts.
+	Store store.Store
+	// Node labels this collector's reports and drift events.
+	Node string
+	// Logger, when non-nil, receives throttled drift warnings.
+	Logger *slog.Logger
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = DefaultSampleRate
+	}
+	if cfg.ScaleTolBits == 0 {
+		cfg.ScaleTolBits = 0.5
+	}
+	if cfg.CostDriftFactor == 0 {
+		cfg.CostDriftFactor = 8
+	}
+	if cfg.MinCostWall == 0 {
+		cfg.MinCostWall = 250 * time.Microsecond
+	}
+	if cfg.DriftRing == 0 {
+		cfg.DriftRing = 256
+	}
+	if cfg.PersistInterval == 0 {
+		cfg.PersistInterval = 5 * time.Second
+	}
+	return cfg
+}
+
+// Collector aggregates instruction samples across executions. It is safe for
+// concurrent use; per-run state lives in Recorders that fold in at Finish.
+type Collector struct {
+	cfg     Config
+	enabled bool
+
+	preds sync.Map // program id -> *predictions
+	calib atomic.Pointer[Calibration]
+
+	mu           sync.Mutex
+	executions   uint64
+	instructions uint64
+	samples      uint64
+	buckets      map[BucketKey]*bucket
+	driftCounts  map[string]uint64
+	drift        []DriftEvent // ring of size cfg.DriftRing
+	driftNext    int
+	driftTotal   uint64
+	totalNs      float64 // cipher, non-hoisted compute samples only:
+	totalUnits   float64 // the global measured ns-per-cost-unit baseline
+	programs     map[string]*programAgg
+	lastDriftLog time.Time
+}
+
+type programAgg struct {
+	executions   uint64
+	instructions uint64
+	samples      uint64
+	buckets      map[BucketKey]*bucket
+	lastPersist  time.Time
+
+	persistMu sync.Mutex // serializes baseline load + store writes
+	loaded    bool
+	baseline  *ProgramProfile
+}
+
+// NewCollector builds a collector. The returned collector is never nil; when
+// cfg.SampleRate < 0 it is disabled and Recorder returns nil recorders.
+func NewCollector(cfg Config) *Collector {
+	enabled := cfg.SampleRate >= 0
+	cfg = cfg.withDefaults()
+	return &Collector{
+		cfg:         cfg,
+		enabled:     enabled,
+		buckets:     map[BucketKey]*bucket{},
+		driftCounts: map[string]uint64{},
+		programs:    map[string]*programAgg{},
+	}
+}
+
+// Enabled reports whether the collector records samples at all.
+func (c *Collector) Enabled() bool { return c != nil && c.enabled }
+
+// SampleRate returns the configured sampling stride.
+func (c *Collector) SampleRate() int { return c.cfg.SampleRate }
+
+// SetCalibration installs fitted coefficients; subsequent cost-drift checks
+// and report predictions use them instead of the running global ratio.
+func (c *Collector) SetCalibration(cal *Calibration) { c.calib.Store(cal) }
+
+// Calibration returns the installed coefficient set, or nil.
+func (c *Collector) Calibration() *Calibration {
+	if c == nil {
+		return nil
+	}
+	return c.calib.Load()
+}
+
+// predictions is the per-program static expectation table, computed once per
+// program id and shared by every Recorder for that program.
+type predictions struct {
+	perTerm  map[*core.Term]pred
+	maxLevel int
+	// skipExpect suppresses level/scale drift checks: with ExtraLevels
+	// pipeline headroom, inputs legally enter below fresh and every absolute
+	// level expectation shifts by the (unknown at compile time) entry depth.
+	skipExpect bool
+}
+
+type pred struct {
+	units    float64 // cost-model units; 0 for leaves
+	expLevel int     // expected post-op ciphertext level
+	logScale float64 // expected log2 scale
+}
+
+func buildPredictions(res *compile.Result) *predictions {
+	model := analysis.CostModel{LogN: res.LogN, TotalLevels: len(res.Plan.BitSizes)}
+	levels := rewrite.Levels(res.Program)
+	types := res.Types
+	if types == nil {
+		types = res.Program.InferTypes()
+	}
+	p := &predictions{
+		perTerm:    make(map[*core.Term]pred),
+		maxLevel:   len(res.Plan.BitSizes) - 1,
+		skipExpect: res.Options.ExtraLevels > 0,
+	}
+	for _, t := range res.Program.TopoSort() {
+		if types[t] != core.TypeCipher {
+			continue
+		}
+		var units float64
+		if !t.IsLeaf() {
+			ctct := t.Op == core.OpMultiply &&
+				types[t.Parm(0)] == core.TypeCipher && types[t.Parm(1)] == core.TypeCipher
+			units = model.OpUnits(t.Op, levels[t], ctct)
+		}
+		p.perTerm[t] = pred{
+			units:    units,
+			expLevel: p.maxLevel - levels[t],
+			logScale: res.Scales[t],
+		}
+	}
+	return p
+}
+
+func (c *Collector) predictionsFor(programID string, res *compile.Result) *predictions {
+	if v, ok := c.preds.Load(programID); ok {
+		return v.(*predictions)
+	}
+	v, _ := c.preds.LoadOrStore(programID, buildPredictions(res))
+	return v.(*predictions)
+}
+
+// Recorder samples one execution. It is NOT internally synchronized: the
+// executor serializes OnInstruction calls under the run lock, and Finish must
+// be called after the run returns. A nil Recorder is a valid no-op.
+type Recorder struct {
+	c         *Collector
+	p         *predictions
+	programID string
+	traceID   string
+	rate      int
+	nsPerUnit float64 // cost-drift baseline when no calibration is installed
+	cal       *Calibration
+
+	n           uint64
+	samples     uint64
+	local       map[BucketKey]*bucket
+	drift       []DriftEvent
+	driftCounts map[string]uint64
+}
+
+// Recorder starts sampling one execution of the given compiled program.
+// traceID, when non-empty, is attached to drift events so a /profile outlier
+// links to its /traces entry. Returns nil when the collector is disabled.
+func (c *Collector) Recorder(programID string, res *compile.Result, traceID string) *Recorder {
+	if c == nil || !c.enabled {
+		return nil
+	}
+	r := &Recorder{
+		c:         c,
+		p:         c.predictionsFor(programID, res),
+		programID: programID,
+		traceID:   traceID,
+		rate:      c.cfg.SampleRate,
+		cal:       c.calib.Load(),
+		local:     map[BucketKey]*bucket{},
+	}
+	if r.cal == nil {
+		// Snapshot the running global ratio once per run: a lock per
+		// execution, not per instruction. Require a minimum population so
+		// early noise does not masquerade as a baseline.
+		c.mu.Lock()
+		if c.samples >= 256 && c.totalUnits > 0 {
+			r.nsPerUnit = c.totalNs / c.totalUnits
+		}
+		c.mu.Unlock()
+	}
+	return r
+}
+
+// OnInstruction is the execute.RunOptions.OnInstruction callback. It must be
+// fast: the executor holds the run lock while it runs.
+func (r *Recorder) OnInstruction(t *core.Term, rec execute.InstrRecord) {
+	if r == nil {
+		return
+	}
+	i := r.n
+	r.n++
+	if r.rate > 1 && i%uint64(r.rate) != 0 {
+		return
+	}
+	r.samples++
+	pd, known := r.p.perTerm[t]
+	key := BucketKey{Op: t.Op.String(), Level: rec.Level, Hoisted: rec.Hoisted}
+	b := r.local[key]
+	if b == nil {
+		b = newBucket()
+		r.local[key] = b
+	}
+	b.observe(rec, pd.units)
+
+	if !rec.Cipher || !known {
+		return
+	}
+	wallNs := float64(rec.Wall.Nanoseconds())
+	if !r.p.skipExpect {
+		if rec.Level != pd.expLevel {
+			r.addDrift(DriftKindLevel, t, rec, float64(pd.expLevel), float64(rec.Level))
+		}
+		if logScale := math.Log2(rec.Scale); rec.Scale > 0 && math.Abs(logScale-pd.logScale) > r.c.cfg.ScaleTolBits {
+			r.addDrift(DriftKindScale, t, rec, pd.logScale, logScale)
+		}
+	}
+	// Cost drift: compare measured wall time against the calibrated (or
+	// running-baseline) prediction. Hoisted members are excluded — the first
+	// scheduled member absorbs the whole batch's key-switch work, so its wall
+	// time diverges from the per-instruction model by design.
+	if rec.Hoisted || pd.units <= 0 || rec.Wall < r.c.cfg.MinCostWall {
+		return
+	}
+	var predNs float64
+	if r.cal != nil {
+		predNs = r.cal.PredictNs(key.Op, pd.units)
+	} else {
+		predNs = r.nsPerUnit * pd.units
+	}
+	if predNs <= 0 {
+		return
+	}
+	if f := r.c.cfg.CostDriftFactor; wallNs >= predNs*f || wallNs*f <= predNs {
+		r.addDrift(DriftKindCost, t, rec, predNs, wallNs)
+	}
+}
+
+func (r *Recorder) addDrift(kind string, t *core.Term, rec execute.InstrRecord, expected, measured float64) {
+	if r.driftCounts == nil {
+		r.driftCounts = map[string]uint64{}
+	}
+	r.driftCounts[kind]++
+	if len(r.drift) >= maxDriftPerRun {
+		return
+	}
+	r.drift = append(r.drift, DriftEvent{
+		Kind:     kind,
+		Program:  r.programID,
+		Node:     r.c.cfg.Node,
+		Op:       t.Op.String(),
+		Level:    rec.Level,
+		Expected: expected,
+		Measured: measured,
+		WallUS:   float64(rec.Wall.Nanoseconds()) / 1e3,
+		TraceID:  r.traceID,
+	})
+}
+
+// Finish folds the run's samples into the collector and triggers throttled
+// persistence. Must be called at most once, after the run has returned.
+func (r *Recorder) Finish() {
+	if r == nil || r.c == nil {
+		return
+	}
+	r.c.fold(r)
+	r.c = nil
+}
+
+func (c *Collector) fold(r *Recorder) {
+	now := time.Now()
+	var persist *programAgg
+
+	c.mu.Lock()
+	c.executions++
+	c.instructions += r.n
+	c.samples += r.samples
+	for k, lb := range r.local {
+		b := c.buckets[k]
+		if b == nil {
+			b = newBucket()
+			c.buckets[k] = b
+		}
+		b.merge(lb)
+		if !k.Hoisted && lb.units > 0 {
+			c.totalNs += lb.ns
+			c.totalUnits += lb.units
+		}
+	}
+	for kind, n := range r.driftCounts {
+		c.driftCounts[kind] += n
+	}
+	for _, ev := range r.drift {
+		ev.At = now
+		if len(c.drift) < c.cfg.DriftRing {
+			c.drift = append(c.drift, ev)
+		} else {
+			c.drift[c.driftNext] = ev
+			c.driftNext = (c.driftNext + 1) % c.cfg.DriftRing
+		}
+		c.driftTotal++
+	}
+	pa := c.programs[r.programID]
+	if pa == nil {
+		pa = &programAgg{buckets: map[BucketKey]*bucket{}}
+		c.programs[r.programID] = pa
+	}
+	pa.executions++
+	pa.instructions += r.n
+	pa.samples += r.samples
+	for k, lb := range r.local {
+		b := pa.buckets[k]
+		if b == nil {
+			b = newBucket()
+			pa.buckets[k] = b
+		}
+		b.merge(lb)
+	}
+	if c.cfg.Store != nil && now.Sub(pa.lastPersist) >= c.cfg.PersistInterval {
+		pa.lastPersist = now
+		persist = pa
+	}
+	shouldLog := len(r.drift) > 0 && c.cfg.Logger != nil && now.Sub(c.lastDriftLog) >= time.Second
+	if shouldLog {
+		c.lastDriftLog = now
+	}
+	c.mu.Unlock()
+
+	if shouldLog {
+		ev := r.drift[0]
+		c.cfg.Logger.Warn("profile drift",
+			slog.String("program", r.programID),
+			slog.String("kind", ev.Kind),
+			slog.String("op", ev.Op),
+			slog.Int("level", ev.Level),
+			slog.Float64("expected", ev.Expected),
+			slog.Float64("measured", ev.Measured),
+			slog.String("trace_id", r.traceID),
+			slog.Int("events", len(r.drift)),
+		)
+	}
+	if persist != nil {
+		c.persistProgram(r.programID, persist)
+	}
+}
+
+// persistProgram writes the accumulated profile for one program: the
+// baseline loaded from the store on first touch plus everything this process
+// has observed since. Runs outside the collector lock.
+func (c *Collector) persistProgram(id string, pa *programAgg) {
+	pa.persistMu.Lock()
+	defer pa.persistMu.Unlock()
+	if !pa.loaded {
+		if data, err := c.cfg.Store.Get(KindProfile, id); err == nil {
+			var base ProgramProfile
+			if decodeErr := decodeJSON(data, &base); decodeErr == nil {
+				pa.baseline = &base
+			}
+		}
+		pa.loaded = true
+	}
+	snap := c.snapshotProgram(id, pa)
+	if pa.baseline != nil {
+		snap.mergeFrom(pa.baseline)
+	}
+	snap.UpdatedAt = time.Now().UTC().Format(time.RFC3339)
+	data, err := encodeJSON(snap)
+	if err != nil {
+		return
+	}
+	if err := c.cfg.Store.Put(KindProfile, id, data); err != nil && c.cfg.Logger != nil {
+		c.cfg.Logger.Warn("profile persist failed", slog.String("program", id), slog.String("error", err.Error()))
+	}
+}
+
+func (c *Collector) snapshotProgram(id string, pa *programAgg) *ProgramProfile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := &ProgramProfile{
+		ProgramID:    id,
+		Executions:   pa.executions,
+		Instructions: pa.instructions,
+		Samples:      pa.samples,
+		Buckets:      wireBuckets(pa.buckets, nil),
+	}
+	return snap
+}
+
+// Flush persists every program's accumulated profile immediately, ignoring
+// the persistence interval. Called on server shutdown and before a
+// calibration fit so the store reflects everything observed.
+func (c *Collector) Flush() {
+	if c == nil || !c.enabled || c.cfg.Store == nil {
+		return
+	}
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.programs))
+	aggs := make([]*programAgg, 0, len(c.programs))
+	now := time.Now()
+	for id, pa := range c.programs {
+		ids = append(ids, id)
+		aggs = append(aggs, pa)
+		pa.lastPersist = now
+	}
+	c.mu.Unlock()
+	for i, id := range ids {
+		c.persistProgram(id, aggs[i])
+	}
+}

@@ -1,0 +1,387 @@
+package profile_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"eva/internal/builder"
+	"eva/internal/ckks"
+	"eva/internal/compile"
+	"eva/internal/core"
+	"eva/internal/execute"
+	"eva/internal/hetensor"
+	"eva/internal/obs"
+	"eva/internal/profile"
+	"eva/internal/rewrite"
+	"eva/internal/store"
+)
+
+// buildDeepChain compiles x^8 over a 32-slot vector: a maximally level-
+// consuming multiply/relinearize/rescale chain with no rotations.
+func buildDeepChain(tb testing.TB) *compile.Result {
+	tb.Helper()
+	b := builder.New("deep", 32)
+	x := b.Input("x", 30)
+	b.Output("y", x.Pow(8), 30)
+	p, err := b.Program()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := compile.Compile(p, compile.Options{AllowInsecure: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+// buildMatmul compiles a dim x dim diagonal-method matmul: rotation-heavy
+// (hoisted) with ct-pt multiplies, the complement of the deep chain.
+func buildMatmul(tb testing.TB, vecSize, dim int) *compile.Result {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	b := builder.New("matmul", vecSize)
+	tc := hetensor.NewCompiler(b, 25, 20)
+	w := make([][]float64, dim)
+	for i := range w {
+		w[i] = make([]float64, dim)
+		for j := range w[i] {
+			w[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	x := &hetensor.Vector{Value: b.InputWithWidth("x", dim, 30), Length: dim}
+	out, err := tc.Matmul("mm", x, w, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.Output("y", out.Value, 30)
+	p, err := b.Program()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := compile.Compile(p, compile.Options{AllowInsecure: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+func randomInputs(res *compile.Result, seed int64) execute.Inputs {
+	rng := rand.New(rand.NewSource(seed))
+	in := execute.Inputs{}
+	for _, t := range res.Program.Inputs() {
+		v := make([]float64, t.VecWidth)
+		for i := range v {
+			v[i] = rng.Float64()*2 - 1
+		}
+		in[t.Name] = v
+	}
+	return in
+}
+
+// runProfiled executes res once on the CKKS backend with a recorder wired in.
+func runProfiled(tb testing.TB, c *profile.Collector, programID string, res *compile.Result, traceID string, seed uint64) *execute.Outputs {
+	tb.Helper()
+	prng := ckks.NewTestPRNG(seed)
+	ctx, keys, err := execute.NewContext(res, prng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	enc, err := execute.EncryptInputs(ctx, res, keys, randomInputs(res, int64(seed)), prng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rec := c.Recorder(programID, res, traceID)
+	out, err := execute.Run(ctx, res, enc, execute.RunOptions{
+		Scheduler:     execute.SchedulerSequential,
+		OnInstruction: rec.OnInstruction,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rec.Finish()
+	return out
+}
+
+// TestRecorderSamplesRealExecution runs a deep chain at sample rate 1 and
+// checks that every instruction was sampled, that real executions produce no
+// level or scale drift (the compiler's invariants hold at runtime), and that
+// the report aggregates are coherent.
+func TestRecorderSamplesRealExecution(t *testing.T) {
+	res := buildDeepChain(t)
+	c := profile.NewCollector(profile.Config{SampleRate: 1})
+	runProfiled(t, c, "deep", res, "", 7)
+
+	total := uint64(len(res.Program.TopoSort()))
+	rep := c.Report()
+	if !rep.Enabled {
+		t.Fatal("report not enabled")
+	}
+	if rep.Executions != 1 || rep.Instructions != total || rep.Samples != total {
+		t.Fatalf("report counts = %d exec / %d instr / %d samples, want 1 / %d / %d",
+			rep.Executions, rep.Instructions, rep.Samples, total, total)
+	}
+	if len(rep.DriftCounts) != 0 {
+		t.Fatalf("real execution produced drift: %v (events %v)", rep.DriftCounts, rep.Drift)
+	}
+	if len(rep.Buckets) == 0 {
+		t.Fatal("no buckets aggregated")
+	}
+	if rep.NsPerUnit <= 0 {
+		t.Fatalf("ns-per-unit ratio %v, want > 0", rep.NsPerUnit)
+	}
+	var bucketCount uint64
+	seenOps := map[string]bool{}
+	for _, b := range rep.Buckets {
+		bucketCount += b.Count
+		seenOps[b.Op] = true
+		if b.Count > 0 && b.MeanUS < 0 {
+			t.Fatalf("bucket %v has negative mean", b)
+		}
+	}
+	if bucketCount != total {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketCount, total)
+	}
+	if !seenOps[core.OpMultiply.String()] || !seenOps[core.OpRescale.String()] {
+		t.Fatalf("expected multiply and rescale buckets, got ops %v", seenOps)
+	}
+	if len(rep.Programs) != 1 || rep.Programs[0].ProgramID != "deep" || rep.Programs[0].Samples != total {
+		t.Fatalf("program summary %+v, want deep with %d samples", rep.Programs, total)
+	}
+}
+
+// TestSamplingStride checks that sample rate N records exactly every Nth
+// instruction (indices 0, N, 2N, ...).
+func TestSamplingStride(t *testing.T) {
+	res := buildDeepChain(t)
+	c := profile.NewCollector(profile.Config{SampleRate: 4})
+	runProfiled(t, c, "deep", res, "", 7)
+	total := uint64(len(res.Program.TopoSort()))
+	want := (total + 3) / 4
+	rep := c.Report()
+	if rep.Instructions != total || rep.Samples != want {
+		t.Fatalf("rate-4 run: %d instructions / %d samples, want %d / %d",
+			rep.Instructions, rep.Samples, total, want)
+	}
+}
+
+// TestCollectorDisabled checks the disabled path: nil recorders that are safe
+// to call and a report that says so.
+func TestCollectorDisabled(t *testing.T) {
+	res := buildDeepChain(t)
+	c := profile.NewCollector(profile.Config{SampleRate: -1})
+	if c.Enabled() {
+		t.Fatal("SampleRate -1 collector reports enabled")
+	}
+	rec := c.Recorder("deep", res, "")
+	if rec != nil {
+		t.Fatal("disabled collector returned a recorder")
+	}
+	rec.OnInstruction(res.Program.TopoSort()[0], execute.InstrRecord{}) // must not panic
+	rec.Finish()
+	if rep := c.Report(); rep.Enabled || rep.Samples != 0 {
+		t.Fatalf("disabled report = %+v", rep)
+	}
+}
+
+// TestDriftDetection feeds fabricated instruction records that violate the
+// compiler's level, scale, and cost expectations and checks each is flagged
+// with the right kind and carries the trace id (the /traces exemplar link).
+func TestDriftDetection(t *testing.T) {
+	res := buildDeepChain(t)
+	maxLevel := len(res.Plan.BitSizes) - 1
+	levels := rewrite.Levels(res.Program)
+	var mul *core.Term
+	for _, term := range res.Program.TopoSort() {
+		if term.Op == core.OpMultiply && res.Types[term] == core.TypeCipher {
+			mul = term
+			break
+		}
+	}
+	if mul == nil {
+		t.Fatal("no cipher multiply in deep chain")
+	}
+	expLevel := maxLevel - levels[mul]
+	okScale := math.Exp2(res.Scales[mul])
+	base := execute.InstrRecord{Wall: time.Millisecond, Cipher: true, Level: expLevel, Scale: okScale, OutBytes: 4096, Operands: 2}
+
+	c := profile.NewCollector(profile.Config{SampleRate: 1})
+	rec := c.Recorder("deep", res, "trace-abc")
+	good := base
+	rec.OnInstruction(mul, good)
+	wrongLevel := base
+	wrongLevel.Level = expLevel - 1
+	rec.OnInstruction(mul, wrongLevel)
+	wrongScale := base
+	wrongScale.Scale = okScale * 8 // 3 bits off, tolerance is 0.5
+	rec.OnInstruction(mul, wrongScale)
+	rec.Finish()
+
+	rep := c.Report()
+	if rep.DriftCounts[profile.DriftKindLevel] != 1 || rep.DriftCounts[profile.DriftKindScale] != 1 {
+		t.Fatalf("drift counts %v, want one level and one scale", rep.DriftCounts)
+	}
+	for _, ev := range rep.Drift {
+		if ev.TraceID != "trace-abc" {
+			t.Fatalf("drift event missing trace id: %+v", ev)
+		}
+		if ev.Program != "deep" || ev.Op != core.OpMultiply.String() {
+			t.Fatalf("drift event mislabeled: %+v", ev)
+		}
+	}
+
+	// Cost drift needs a prediction source; install a calibration that
+	// predicts near-zero time so the 1ms sample is a >= 8x outlier.
+	c2 := profile.NewCollector(profile.Config{SampleRate: 1})
+	c2.SetCalibration(&profile.Calibration{
+		NsPerUnit:         map[string]float64{core.OpMultiply.String(): 1e-6},
+		BaselineNsPerUnit: 1e-6,
+	})
+	rec2 := c2.Recorder("deep", res, "trace-def")
+	rec2.OnInstruction(mul, base)
+	rec2.Finish()
+	rep2 := c2.Report()
+	if rep2.DriftCounts[profile.DriftKindCost] != 1 {
+		t.Fatalf("cost drift counts %v, want one cost event", rep2.DriftCounts)
+	}
+	if len(rep2.Drift) != 1 || rep2.Drift[0].TraceID != "trace-def" || rep2.Drift[0].Kind != profile.DriftKindCost {
+		t.Fatalf("cost drift event %+v", rep2.Drift)
+	}
+}
+
+// TestPipelineHeadroomSkipsExpectations: with ExtraLevels the absolute entry
+// level is unknowable at compile time, so level/scale checks must not fire.
+func TestPipelineHeadroomSkipsExpectations(t *testing.T) {
+	b := builder.New("pad", 32)
+	x := b.Input("x", 30)
+	b.Output("y", x.Square(), 30)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compile.Compile(p, compile.Options{AllowInsecure: true, ExtraLevels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := profile.NewCollector(profile.Config{SampleRate: 1})
+	runProfiled(t, c, "pad", res, "", 3)
+	rep := c.Report()
+	if rep.DriftCounts[profile.DriftKindLevel] != 0 || rep.DriftCounts[profile.DriftKindScale] != 0 {
+		t.Fatalf("pipeline-padded run produced expectation drift: %v", rep.DriftCounts)
+	}
+	if rep.Samples == 0 {
+		t.Fatal("padded run sampled nothing")
+	}
+}
+
+// TestPersistenceAccumulates runs the same program in two collector
+// "processes" sharing one store and checks the persisted profile accumulates
+// across them (the repeated-runs-accumulate property).
+func TestPersistenceAccumulates(t *testing.T) {
+	res := buildDeepChain(t)
+	st := store.NewMemory()
+	defer st.Close()
+	total := uint64(len(res.Program.TopoSort()))
+
+	c1 := profile.NewCollector(profile.Config{SampleRate: 1, Store: st})
+	runProfiled(t, c1, "deep", res, "", 7)
+	c1.Flush()
+	c2 := profile.NewCollector(profile.Config{SampleRate: 1, Store: st})
+	runProfiled(t, c2, "deep", res, "", 8)
+	runProfiled(t, c2, "deep", res, "", 9)
+	c2.Flush()
+
+	profiles, err := profile.LoadProfiles(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 1 {
+		t.Fatalf("got %d profiles, want 1", len(profiles))
+	}
+	p := profiles[0]
+	if p.ProgramID != "deep" || p.Executions != 3 || p.Samples != 3*total {
+		t.Fatalf("accumulated profile = %s with %d executions / %d samples, want deep with 3 / %d",
+			p.ProgramID, p.Executions, p.Samples, 3*total)
+	}
+	var count uint64
+	for _, b := range p.Buckets {
+		count += b.Count
+	}
+	if count != 3*total {
+		t.Fatalf("accumulated bucket counts sum to %d, want %d", count, 3*total)
+	}
+}
+
+// TestMergeReports checks the cluster merge: counters and per-bucket counts
+// sum across nodes with no double-counting.
+func TestMergeReports(t *testing.T) {
+	res := buildDeepChain(t)
+	ca := profile.NewCollector(profile.Config{SampleRate: 1, Node: "a"})
+	cb := profile.NewCollector(profile.Config{SampleRate: 1, Node: "b"})
+	runProfiled(t, ca, "deep", res, "", 7)
+	runProfiled(t, cb, "deep", res, "", 8)
+	runProfiled(t, cb, "deep", res, "", 9)
+	ra, rb := ca.Report(), cb.Report()
+
+	merged := profile.MergeReports("cluster", []profile.Report{ra, rb})
+	if merged.Samples != ra.Samples+rb.Samples {
+		t.Fatalf("merged samples %d, want %d", merged.Samples, ra.Samples+rb.Samples)
+	}
+	if merged.Executions != 3 {
+		t.Fatalf("merged executions %d, want 3", merged.Executions)
+	}
+	sum := func(rep profile.Report) map[profile.BucketKey]uint64 {
+		m := map[profile.BucketKey]uint64{}
+		for _, b := range rep.Buckets {
+			m[profile.BucketKey{Op: b.Op, Level: b.Level, Hoisted: b.Hoisted}] += b.Count
+		}
+		return m
+	}
+	want := sum(ra)
+	for k, v := range sum(rb) {
+		want[k] += v
+	}
+	got := sum(merged)
+	if len(got) != len(want) {
+		t.Fatalf("merged bucket keys = %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("merged bucket %v count %d, want %d", k, got[k], v)
+		}
+	}
+	if len(merged.Programs) != 1 || merged.Programs[0].Samples != merged.Samples {
+		t.Fatalf("merged program summaries %+v", merged.Programs)
+	}
+}
+
+// TestWriteProm renders the profiler families and feeds them back through
+// the strict exposition parser.
+func TestWriteProm(t *testing.T) {
+	res := buildDeepChain(t)
+	c := profile.NewCollector(profile.Config{SampleRate: 1})
+	c.SetCalibration(&profile.Calibration{NsPerUnit: map[string]float64{"mul": 5}, BaselineNsPerUnit: 3})
+	runProfiled(t, c, "deep", res, "", 7)
+
+	var buf bytes.Buffer
+	pw := obs.NewPromWriter(&buf)
+	c.WriteProm(pw)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	for _, name := range []string{
+		"eva_profile_executions_total", "eva_profile_samples_total",
+		"eva_profile_drift_total", "eva_profile_op_duration_seconds",
+		"eva_profile_op_result_bytes", "eva_profile_calibration_ns_per_unit",
+	} {
+		if fams[name] == nil {
+			t.Errorf("family %s missing from exposition", name)
+		}
+	}
+}

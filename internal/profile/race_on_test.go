@@ -1,0 +1,8 @@
+//go:build race
+
+package profile_test
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose instrumentation slows each opcode by a different factor and so
+// distorts the timing ratios the calibration tests assert on.
+const raceEnabled = true

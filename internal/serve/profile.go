@@ -1,0 +1,20 @@
+package serve
+
+import (
+	"net/http"
+
+	"eva/internal/profile"
+)
+
+// handleProfile serves GET /profile: the instruction profiler's aggregated
+// flight-recorder report — per-(opcode, level) latency/alloc histograms,
+// drift events with trace-id exemplars, per-program sample counts, and the
+// installed calibration. In a cluster, ?scope=cluster on the cluster handler
+// scatter-gathers this endpoint across nodes and merges the reports.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.profiles.Report())
+}
+
+// Profiles exposes the instruction profiler (for tests, the cluster tier,
+// and tooling).
+func (s *Server) Profiles() *profile.Collector { return s.profiles }

@@ -197,5 +197,7 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 			p.Histogram("eva_trace_phase_duration_seconds", map[string]string{"phase": name}, phases[name])
 		}
 	}
+
+	s.profiles.WriteProm(p)
 	return p.Err()
 }

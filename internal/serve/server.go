@@ -47,6 +47,7 @@ import (
 	"eva/internal/jobs"
 	"eva/internal/lang"
 	"eva/internal/obs"
+	"eva/internal/profile"
 	"eva/internal/rewrite"
 	"eva/internal/ring"
 	"eva/internal/store"
@@ -157,6 +158,18 @@ type Config struct {
 	// SlowTraceThreshold is the end-to-end duration at or above which a
 	// finished trace is logged with its per-phase breakdown (0 = disabled).
 	SlowTraceThreshold time.Duration
+	// MaxActiveTraces bounds the tracer's active-trace table (0 = 4096).
+	MaxActiveTraces int
+
+	// ProfileSampleRate is the instruction profiler's sampling stride: every
+	// execution records one in ProfileSampleRate instructions into the
+	// flight recorder behind GET /profile and the eva_profile_* families
+	// (0 = every 16th, 1 = every instruction, < 0 = profiling off). Sampled
+	// records are compared against the cost model and the compiler's
+	// scale/level expectations; divergence surfaces as drift events. With a
+	// Store, per-program profiles persist under kind "profile" and a fitted
+	// calibration (kind "calibration") is loaded at startup.
+	ProfileSampleRate int
 }
 
 // Server is the evaserve HTTP service. Create one with NewServer and mount
@@ -170,6 +183,7 @@ type Server struct {
 	mux       *http.ServeMux
 	start     time.Time
 	tracer    *obs.Tracer
+	profiles  *profile.Collector
 	log       *slog.Logger
 
 	// traceMu guards jobTraces, the job-id → held trace binding that lets
@@ -245,8 +259,24 @@ func NewServer(cfg Config) *Server {
 		Node:          cfg.NodeID,
 		Capacity:      cfg.TraceCapacity,
 		SlowThreshold: cfg.SlowTraceThreshold,
+		MaxActive:     cfg.MaxActiveTraces,
 		Logger:        s.log,
 	})
+	s.profiles = profile.NewCollector(profile.Config{
+		SampleRate: cfg.ProfileSampleRate,
+		Store:      cfg.Store,
+		Node:       cfg.NodeID,
+		Logger:     s.log,
+	})
+	if cfg.Store != nil {
+		// A previously fitted calibration makes drift checks and /compile
+		// predictions run on measured numbers from the first request.
+		if cal, err := profile.LoadCalibration(cfg.Store); err != nil {
+			s.log.Warn("loading calibration", slog.String("error", err.Error()))
+		} else if cal != nil {
+			s.profiles.SetCalibration(cal)
+		}
+	}
 	s.jobs = jobs.NewManager(jobs.Config{
 		Workers:           cfg.JobWorkers,
 		QueueDepth:        cfg.JobQueueDepth,
@@ -297,6 +327,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /pipelines", s.route("pipelines", s.handlePipelineSubmit))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /profile", s.route("profile", s.handleProfile))
 	if (cfg.Store != nil && cfg.ResultRetention >= 0) || s.handles.Retention() >= 0 {
 		s.janitorStop = make(chan struct{})
 		s.janitorWG.Add(1)
@@ -337,6 +368,9 @@ func (s *Server) Close() {
 	s.coalescer.Close()
 	s.jobs.Close()
 	s.janitorWG.Wait()
+	// Flush after the job subsystem stops so every finished run's samples
+	// are in the persisted profiles.
+	s.profiles.Flush()
 }
 
 // Drain gracefully stops the async job subsystem: new submissions are
@@ -597,6 +631,10 @@ type CompileResponse struct {
 	InputScales   map[string]float64 `json:"input_scales"`
 	RotationSteps []int              `json:"rotation_steps"`
 	Instructions  int                `json:"instructions"`
+	// PredictedMillis is the calibrated sequential-execution estimate for one
+	// batch (cost-model units priced by the fitted per-opcode coefficients).
+	// Present only when the server has a calibration installed.
+	PredictedMillis float64 `json:"predicted_ms,omitempty"`
 }
 
 // CanonicalCompile resolves a compile request — either submission form — to
@@ -669,11 +707,21 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 func (s *Server) compileResponse(entry *Entry, cached bool) CompileResponse {
 	res := entry.Result
 	lit := res.ParametersLiteral()
+	var predictedMs float64
+	if cal := s.profiles.Calibration(); cal != nil {
+		model := analysis.CostModel{LogN: res.LogN, TotalLevels: len(res.Plan.BitSizes)}
+		var ns float64
+		for op, units := range model.EstimateCost(res.Program).ByOp {
+			ns += cal.PredictNs(op, units)
+		}
+		predictedMs = ns / 1e6
+	}
 	return CompileResponse{
-		ID:            entry.ID,
-		Cached:        cached,
-		CompileMillis: float64(entry.CompileTime) / float64(time.Millisecond),
-		Summary:       res.Summary(),
+		PredictedMillis: predictedMs,
+		ID:              entry.ID,
+		Cached:          cached,
+		CompileMillis:   float64(entry.CompileTime) / float64(time.Millisecond),
+		Summary:         res.Summary(),
 		Params: ParamsJSON{
 			LogN:          lit.LogN,
 			LogQi:         lit.LogQi,
@@ -1167,6 +1215,12 @@ func (s *Server) runBatchOutputs(stdctx context.Context, entry *Entry, ce *conte
 	sp := t.StartSpan("execute", obs.SpanFromContext(stdctx))
 	if sp != nil && ropts.Progress == nil {
 		ropts.Progress = sp.Progress
+	}
+	// The instruction profiler samples this run; the trace id rides along so
+	// drift events in /profile link back to their /traces entry.
+	if rec := s.profiles.Recorder(entry.ID, res, t.ID()); rec != nil {
+		ropts.OnInstruction = rec.OnInstruction
+		defer rec.Finish()
 	}
 	if sp != nil && ropts.OnHoistedBatch == nil {
 		// Record every hoisted rotation batch the executor dispatches as a
